@@ -1,0 +1,63 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Extension bench (not a paper table): the paper's future-work proposal
+// from Section IV-C3 - "the changes in correlations between time steps are
+// often small, making it unnecessary to calculate them so frequently. In
+// future work, we will consider how to infer spatial correlations only
+// when crucial changes occur." This harness implements the lazy-refresh
+// variant (rebuild the time-aware graph every k steps) and measures the
+// accuracy/time trade-off it buys.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace tgcrn {
+namespace bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  std::printf("Graph-refresh ablation bench (paper future work), "
+              "scale=%s\n",
+              scale.name.c_str());
+  const DatasetBundle bundle = MakeHzSim(scale);
+
+  TablePrinter table({"refresh interval", "MAE", "RMSE", "s/epoch",
+                      "speedup"});
+  double base_seconds = 0.0;
+  for (int64_t interval : {1, 2, 4}) {
+    std::printf("  interval=%lld...\n", static_cast<long long>(interval));
+    std::fflush(stdout);
+    core::TGCRNConfig config;
+    config.num_nodes = bundle.num_nodes;
+    config.input_dim = bundle.num_features;
+    config.output_dim = bundle.num_features;
+    config.horizon = bundle.dataset->options().output_steps;
+    config.hidden_dim = scale.hidden_dim;
+    config.node_embed_dim = scale.node_embed_dim;
+    config.time_embed_dim = scale.time_embed_dim;
+    config.steps_per_day = bundle.steps_per_day;
+    config.graph_refresh_interval = interval;
+    Rng rng(12000);
+    core::TGCRN model(config, &rng);
+    const auto result = RunNeural(&model, bundle, scale, 12000);
+    if (interval == 1) base_seconds = result.seconds_per_epoch;
+    table.AddRow({std::to_string(interval),
+                  TablePrinter::Num(result.average.mae, 2),
+                  TablePrinter::Num(result.average.rmse, 2),
+                  TablePrinter::Num(result.seconds_per_epoch, 2),
+                  TablePrinter::Num(
+                      base_seconds / result.seconds_per_epoch, 2) + "x"});
+  }
+  std::printf("\n=== Graph-refresh trade-off (interval 1 = the paper's "
+              "TGCRN) ===\n");
+  EmitTable("ablation_refresh", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tgcrn
+
+int main() {
+  tgcrn::bench::Run();
+  return 0;
+}

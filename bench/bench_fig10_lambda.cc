@@ -1,0 +1,58 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Regenerates Fig 10: sensitivity of TGCRN to the joint-loss weight lambda
+// (Eq 17) on the HZMetro stand-in. The paper finds a shallow optimum
+// around lambda = 0.1: some time-discrepancy regularization helps, a large
+// weight lets the auxiliary task dominate and hurts.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace tgcrn {
+namespace bench {
+namespace {
+
+void Run() {
+  Scale scale = GetScale();
+  if (scale.name != "full") {
+    scale.epochs = std::max<int64_t>(6, scale.epochs / 2);
+  }
+  std::printf("Fig 10 bench (lambda sensitivity), scale=%s\n",
+              scale.name.c_str());
+  const DatasetBundle bundle = MakeHzSim(scale);
+
+  TablePrinter table({"lambda", "MAE", "RMSE", "MAPE%"});
+  for (float lambda : {0.0f, 0.01f, 0.1f, 0.5f, 1.0f}) {
+    std::printf("  lambda=%.2f...\n", lambda);
+    std::fflush(stdout);
+    core::TGCRNConfig config;
+    config.num_nodes = bundle.num_nodes;
+    config.input_dim = bundle.num_features;
+    config.output_dim = bundle.num_features;
+    config.horizon = bundle.dataset->options().output_steps;
+    config.hidden_dim = scale.hidden_dim;
+    config.node_embed_dim = scale.node_embed_dim;
+    config.time_embed_dim = scale.time_embed_dim;
+    config.steps_per_day = bundle.steps_per_day;
+    config.lambda = lambda;
+    config.use_tdl = lambda > 0.0f;
+    Rng rng(8000);
+    core::TGCRN model(config, &rng);
+    const auto result = RunNeural(&model, bundle, scale, 8000);
+    table.AddRow({TablePrinter::Num(lambda, 2),
+                  TablePrinter::Num(result.average.mae, 2),
+                  TablePrinter::Num(result.average.rmse, 2),
+                  TablePrinter::Num(result.average.mape, 2)});
+  }
+  std::printf("\n=== Fig 10 (joint-loss weight; paper: optimum near 0.1) "
+              "===\n");
+  EmitTable("fig10_lambda", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tgcrn
+
+int main() {
+  tgcrn::bench::Run();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Micro-benchmarks of the substrate (google-benchmark): tensor kernels,
+// autograd overhead, and the paper's core building blocks (TagSL graph
+// construction, one GCGRU step). Not a paper table - this is the
+// engineering baseline for the wall-clock numbers in bench_table8_cost.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "core/gcgru.h"
+#include "core/tagsl.h"
+#include "core/time_encoders.h"
+#include "tensor/tensor.h"
+
+namespace tgcrn {
+namespace {
+
+void BM_MatmulSquare(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandUniform({n, n}, -1, 1, &rng);
+  Tensor b = Tensor::RandUniform({n, n}, -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Matmul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulSquare)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_BatchedMatmul(benchmark::State& state) {
+  // The GCGRU inner shape: [B, N, 1, C] x [B, N, C, H].
+  const int64_t b = 16, n = 20, c = 18, h = 16;
+  Rng rng(2);
+  Tensor lhs = Tensor::RandUniform({b, n, 1, c}, -1, 1, &rng);
+  Tensor rhs = Tensor::RandUniform({b, n, c, h}, -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lhs.Matmul(rhs));
+  }
+}
+BENCHMARK(BM_BatchedMatmul);
+
+void BM_BroadcastAdd(benchmark::State& state) {
+  Rng rng(3);
+  Tensor a = Tensor::RandUniform({16, 20, 64}, -1, 1, &rng);
+  Tensor b = Tensor::RandUniform({64}, -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Add(b));
+  }
+}
+BENCHMARK(BM_BroadcastAdd);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(4);
+  Tensor a = Tensor::RandUniform({16, n, n}, -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Softmax(-1));
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(20)->Arg(64);
+
+void BM_AutogradMatmulForwardBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  ag::Variable a(Tensor::RandUniform({n, n}, -1, 1, &rng), true);
+  ag::Variable b(Tensor::RandUniform({n, n}, -1, 1, &rng), true);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    ag::Variable loss = ag::SumAll(ag::Matmul(a, b));
+    loss.Backward();
+    benchmark::DoNotOptimize(a.grad());
+  }
+}
+BENCHMARK(BM_AutogradMatmulForwardBackward)->Arg(16)->Arg(64);
+
+void BM_TagslBuildGraph(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(6);
+  core::DiscreteTimeEmbedding encoder(72, 8, &rng);
+  core::TagSL::Options options;
+  options.num_nodes = n;
+  options.node_dim = 12;
+  core::TagSL tagsl(options, &encoder, &rng);
+  ag::Variable x(Tensor::RandUniform({16, n, 2}, -1, 1, &rng));
+  std::vector<int64_t> slots(16, 10), prev(16, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tagsl.BuildGraph(x, slots, prev));
+  }
+}
+BENCHMARK(BM_TagslBuildGraph)->Arg(20)->Arg(64);
+
+void BM_GcgruStep(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(7);
+  core::GCGRUCell cell(2, 16, 12, 8, &rng);
+  ag::Variable x(Tensor::RandUniform({16, n, 2}, -1, 1, &rng));
+  ag::Variable h(Tensor::Zeros({16, n, 16}));
+  ag::Variable adj(Tensor::Full({16, n, n},
+                                1.0f / static_cast<float>(n)));
+  ag::Variable node_embed(Tensor::RandUniform({n, 12}, -1, 1, &rng));
+  ag::Variable time_embed(Tensor::RandUniform({16, 8}, -1, 1, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cell.Forward(x, h, adj, node_embed, time_embed));
+  }
+}
+BENCHMARK(BM_GcgruStep)->Arg(20)->Arg(64);
+
+}  // namespace
+}  // namespace tgcrn
+
+BENCHMARK_MAIN();

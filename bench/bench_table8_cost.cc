@@ -1,0 +1,105 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Regenerates Table VIII: computational cost - parameter counts and
+// training time per epoch of the graph-based models on the HZMetro
+// stand-in, including the two TGCRN embedding configurations the paper
+// reports (d_nu = d_tau = 16 vs d_nu = 64, d_tau = 32; scaled here to the
+// reproduction's dimensions in the same 1:1 and 4:2 ratios).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "paper_refs.h"
+
+namespace tgcrn {
+namespace bench {
+namespace {
+
+core::TrainResult TimeOneEpoch(core::ForecastModel* model,
+                               const DatasetBundle& bundle,
+                               const Scale& scale) {
+  core::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = scale.batch_size;
+  config.max_batches_per_epoch = scale.max_batches_per_epoch;
+  config.verbose = false;
+  return core::TrainAndEvaluate(model, *bundle.dataset, config);
+}
+
+void Run() {
+  const Scale scale = GetScale();
+  std::printf("Table VIII bench (cost), scale=%s\n", scale.name.c_str());
+  const DatasetBundle bundle = MakeHzSim(scale);
+
+  TablePrinter table({"Model", "#Params (paper)", "s/epoch (paper)"});
+  const std::vector<std::string> methods = {"DCRNN", "AGCRN", "GraphWaveNet",
+                                            "PVCGN", "ESG"};
+  for (const auto& method : methods) {
+    std::printf("  timing %s...\n", method.c_str());
+    std::fflush(stdout);
+    auto model = MakeModel(method, bundle, scale, 5000);
+    const auto result = TimeOneEpoch(model.get(), bundle, scale);
+    const CostRef& ref = CostRefs().at(method);
+    table.AddRow({method,
+                  Cell(static_cast<double>(result.num_parameters),
+                       ref.params, 0),
+                  Cell(result.seconds_per_epoch, ref.seconds_per_epoch, 3)});
+  }
+  // TGCRN small embeddings (paper: d_nu = d_tau = 16).
+  {
+    std::printf("  timing TGCRN (small embeddings)...\n");
+    std::fflush(stdout);
+    core::TGCRNConfig config;
+    config.num_nodes = bundle.num_nodes;
+    config.input_dim = bundle.num_features;
+    config.output_dim = bundle.num_features;
+    config.horizon = bundle.dataset->options().output_steps;
+    config.hidden_dim = scale.hidden_dim;
+    config.node_embed_dim = scale.node_embed_dim / 2;
+    config.time_embed_dim = scale.node_embed_dim / 2;
+    config.steps_per_day = bundle.steps_per_day;
+    Rng rng(5001);
+    core::TGCRN model(config, &rng);
+    const auto result = TimeOneEpoch(&model, bundle, scale);
+    const CostRef& ref = CostRefs().at("TGCRN (16,16)");
+    table.AddRow({"TGCRN (small emb)",
+                  Cell(static_cast<double>(result.num_parameters),
+                       ref.params, 0),
+                  Cell(result.seconds_per_epoch, ref.seconds_per_epoch, 3)});
+  }
+  // TGCRN large embeddings (paper: d_nu = 64, d_tau = 32 -> 2x ratio).
+  {
+    std::printf("  timing TGCRN (large embeddings)...\n");
+    std::fflush(stdout);
+    core::TGCRNConfig config;
+    config.num_nodes = bundle.num_nodes;
+    config.input_dim = bundle.num_features;
+    config.output_dim = bundle.num_features;
+    config.horizon = bundle.dataset->options().output_steps;
+    config.hidden_dim = scale.hidden_dim;
+    config.node_embed_dim = 2 * scale.node_embed_dim;
+    config.time_embed_dim = scale.node_embed_dim;
+    config.steps_per_day = bundle.steps_per_day;
+    Rng rng(5002);
+    core::TGCRN model(config, &rng);
+    const auto result = TimeOneEpoch(&model, bundle, scale);
+    const CostRef& ref = CostRefs().at("TGCRN (64,32)");
+    table.AddRow({"TGCRN (large emb)",
+                  Cell(static_cast<double>(result.num_parameters),
+                       ref.params, 0),
+                  Cell(result.seconds_per_epoch, ref.seconds_per_epoch, 3)});
+  }
+  std::printf("\n=== Table VIII (cost): measured (paper) ===\n");
+  std::printf("(absolute values differ - paper trains hidden=64 models on "
+              "N=80 with GPUs;\n the reproduction checks the *ordering*: "
+              "PVCGN heaviest, dynamic-graph models\n costlier than static, "
+              "TGCRN params grow with embedding dims)\n");
+  EmitTable("table8_cost", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tgcrn
+
+int main() {
+  tgcrn::bench::Run();
+  return 0;
+}

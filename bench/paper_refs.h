@@ -1,0 +1,203 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// The paper's reported numbers, transcribed from its evaluation section, so
+// every bench can print "measured (paper)" side by side. Absolute values
+// are not expected to match (the data here is simulated and the scale is
+// reduced); the *shape* - which method wins, by roughly what factor - is
+// the reproduction target recorded in EXPERIMENTS.md.
+#ifndef TGCRN_BENCH_PAPER_REFS_H_
+#define TGCRN_BENCH_PAPER_REFS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tgcrn {
+namespace bench {
+
+// Table IV: one entry per method; 4 horizons x (MAE, RMSE, MAPE%).
+struct MetroRef {
+  double mae[4];
+  double rmse[4];
+  double mape[4];
+};
+
+inline const std::map<std::string, MetroRef>& HzMetroRefs() {
+  static const std::map<std::string, MetroRef> refs = {
+      {"HA", {{51.43, 51.38, 51.11, 50.62},
+              {111.86, 111.80, 111.64, 111.30},
+              {25.31, 25.30, 25.36, 25.50}}},
+      {"GBDT", {{36.31, 39.17, 42.78, 47.35},
+                {57.49, 58.76, 60.27, 64.14},
+                {19.51, 20.50, 20.84, 22.05}}},
+      {"FC-LSTM", {{26.85, 27.45, 28.14, 30.34},
+                   {48.27, 49.59, 51.49, 53.68},
+                   {18.90, 19.35, 20.17, 21.30}}},
+      {"Informer", {{31.97, 31.98, 34.45, 38.35},
+                    {59.22, 59.55, 63.65, 70.53},
+                    {34.34, 31.14, 34.25, 40.54}}},
+      {"Crossformer", {{28.34, 31.68, 34.65, 38.53},
+                       {51.39, 57.43, 62.71, 69.69},
+                       {36.14, 39.43, 42.31, 44.97}}},
+      {"DCRNN", {{23.93, 24.86, 25.64, 26.78},
+                 {40.78, 42.24, 43.45, 45.42},
+                 {14.79, 15.43, 16.40, 17.70}}},
+      {"GraphWaveNet", {{25.38, 26.61, 27.47, 29.87},
+                        {43.15, 45.24, 48.92, 51.74},
+                        {17.44, 16.87, 18.62, 22.52}}},
+      {"AGCRN", {{24.02, 25.21, 26.48, 27.53},
+                 {42.19, 44.46, 47.06, 48.48},
+                 {14.73, 15.50, 16.79, 19.74}}},
+      {"PVCGN", {{23.96, 25.18, 25.41, 27.17},
+                 {40.72, 42.97, 44.91, 47.18},
+                 {14.77, 15.37, 16.30, 17.68}}},
+      {"ESG", {{23.86, 24.72, 25.81, 27.38},
+               {41.00, 42.36, 44.45, 47.05},
+               {14.75, 15.58, 15.78, 17.93}}},
+      {"TGCRN", {{21.73, 22.33, 23.13, 23.85},
+                 {35.91, 36.88, 38.40, 39.92},
+                 {13.65, 13.96, 14.69, 15.87}}},
+  };
+  return refs;
+}
+
+inline const std::map<std::string, MetroRef>& ShMetroRefs() {
+  static const std::map<std::string, MetroRef> refs = {
+      {"HA", {{48.26, 47.88, 47.26, 46.40},
+              {136.97, 136.81, 136.45, 135.72},
+              {31.55, 31.49, 31.27, 30.80}}},
+      {"GBDT", {{32.72, 39.50, 49.14, 57.31},
+                {62.59, 82.32, 113.95, 137.50},
+                {23.40, 28.17, 40.76, 52.60}}},
+      {"FC-LSTM", {{26.68, 27.25, 28.08, 28.94},
+                   {55.53, 57.37, 60.45, 63.41},
+                   {18.76, 19.04, 19.61, 20.59}}},
+      {"Informer", {{31.44, 32.02, 33.81, 37.19},
+                    {62.01, 63.36, 67.08, 71.64},
+                    {33.26, 32.96, 35.55, 40.54}}},
+      {"Crossformer", {{32.93, 33.84, 38.61, 40.36},
+                       {63.54, 68.49, 79.09, 84.99},
+                       {47.08, 44.28, 51.98, 49.30}}},
+      {"DCRNN", {{24.04, 25.23, 26.76, 28.01},
+                 {46.02, 49.90, 54.92, 58.83},
+                 {17.82, 18.35, 19.30, 20.44}}},
+      {"GraphWaveNet", {{24.91, 26.53, 28.78, 30.90},
+                        {46.98, 51.64, 58.50, 65.08},
+                        {20.05, 20.38, 21.99, 24.36}}},
+      {"AGCRN", {{24.50, 25.28, 26.62, 27.50},
+                 {50.01, 52.38, 56.74, 60.45},
+                 {18.37, 19.96, 20.71, 22.46}}},
+      {"PVCGN", {{23.29, 24.16, 25.33, 26.29},
+                 {44.97, 47.83, 52.02, 55.27},
+                 {16.83, 17.23, 17.92, 18.69}}},
+      {"ESG", {{25.74, 26.68, 27.67, 28.70},
+               {49.24, 52.23, 55.72, 58.71},
+               {19.44, 19.83, 21.45, 22.99}}},
+      {"TGCRN", {{21.81, 22.51, 23.04, 23.34},
+                 {43.20, 45.54, 47.56, 48.89},
+                 {15.87, 16.17, 16.60, 17.06}}},
+  };
+  return refs;
+}
+
+// Table V: NYC-Bike / NYC-Taxi (MAE, RMSE, PCC averaged over horizons).
+struct DemandRef {
+  double mae;
+  double rmse;
+  double pcc;  // < 0 when the paper did not report it
+};
+
+inline const std::map<std::string, DemandRef>& BikeRefs() {
+  static const std::map<std::string, DemandRef> refs = {
+      {"HA", {3.4617, 5.2003, 0.1669}},
+      {"XGBoost", {2.4689, 4.0494, 0.4107}},
+      {"FC-LSTM", {2.3026, 3.8139, 0.4861}},
+      {"Informer", {1.7650, 2.8341, -1}},
+      {"Crossformer", {2.0908, 3.2898, -1}},
+      {"DCRNN", {1.8954, 3.2094, 0.7227}},
+      {"GraphWaveNet", {1.9911, 3.2943, 0.7003}},
+      {"CCRNN", {1.7404, 2.8382, 0.7934}},
+      {"GTS", {1.7798, 2.9258, -1}},
+      {"ESG", {1.6129, 2.6727, -1}},
+      {"TGCRN", {1.5889, 2.6106, 0.8319}},
+  };
+  return refs;
+}
+
+inline const std::map<std::string, DemandRef>& TaxiRefs() {
+  static const std::map<std::string, DemandRef> refs = {
+      {"HA", {16.1509, 29.7806, 0.6339}},
+      {"XGBoost", {11.6806, 21.1994, 0.8077}},
+      {"FC-LSTM", {10.2200, 18.0708, 0.8645}},
+      {"Informer", {5.7888, 18.0708, -1}},
+      {"Crossformer", {5.9777, 10.5976, -1}},
+      {"DCRNN", {8.4274, 14.7926, 0.9122}},
+      {"GraphWaveNet", {8.1037, 13.0729, 0.9322}},
+      {"CCRNN", {5.4979, 9.5631, 0.9648}},
+      {"GTS", {7.2095, 12.7511, -1}},
+      {"ESG", {5.0344, 8.9759, -1}},
+      {"TGCRN", {4.7244, 8.4074, 0.9725}},
+  };
+  return refs;
+}
+
+// Table VI: Electricity (MSE, MAE) on normalized data.
+struct ElectricityRef {
+  double mse;
+  double mae;
+};
+
+inline const std::map<std::string, ElectricityRef>& ElectricityRefs() {
+  static const std::map<std::string, ElectricityRef> refs = {
+      {"GraphWaveNet", {0.2313, 0.3226}},
+      {"AGCRN", {0.1725, 0.2756}},
+      {"Informer", {0.2330, 0.3453}},
+      {"Crossformer", {0.1453, 0.2620}},
+      {"ESG", {0.1563, 0.2651}},
+      {"TGCRN", {0.1440, 0.2517}},
+  };
+  return refs;
+}
+
+// Table VII: ablation (MAE, RMSE, MAPE% averaged over horizons).
+struct AblationRef {
+  double hz[3];
+  double sh[3];
+};
+
+inline const std::map<std::string, AblationRef>& AblationRefs() {
+  static const std::map<std::string, AblationRef> refs = {
+      {"TGCRN", {{22.71, 37.76, 14.54}, {22.68, 46.30, 16.43}}},
+      {"w/o tagsl", {{25.40, 44.52, 15.85}, {26.99, 57.10, 20.07}}},
+      {"w/ TE", {{22.90, 38.05, 14.74}, {23.36, 46.83, 17.43}}},
+      {"w/o TDL", {{22.84, 38.02, 14.89}, {22.85, 46.32, 16.76}}},
+      {"w/o PDF", {{22.78, 37.69, 14.70}, {23.26, 46.74, 17.33}}},
+      {"Time2vec", {{25.95, 47.94, 15.77}, {25.14, 61.90, 17.57}}},
+      {"CTR", {{23.16, 39.51, 14.73}, {23.81, 49.36, 16.96}}},
+      {"w/o enc-dec", {{22.91, 38.23, 14.59}, {24.35, 51.47, 18.22}}},
+  };
+  return refs;
+}
+
+// Table VIII: parameter counts and seconds/epoch on HZMetro.
+struct CostRef {
+  double params;
+  double seconds_per_epoch;
+};
+
+inline const std::map<std::string, CostRef>& CostRefs() {
+  static const std::map<std::string, CostRef> refs = {
+      {"DCRNN", {373378, 2.1}},
+      {"AGCRN", {750120, 1.43}},
+      {"GraphWaveNet", {367396, 1.3965}},
+      {"PVCGN", {37598785, 48.79}},
+      {"ESG", {3936334, 7.2461}},
+      {"TGCRN (16,16)", {5557331, 8.62}},
+      {"TGCRN (64,32)", {16675299, 10.14}},
+  };
+  return refs;
+}
+
+}  // namespace bench
+}  // namespace tgcrn
+
+#endif  // TGCRN_BENCH_PAPER_REFS_H_

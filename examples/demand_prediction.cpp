@@ -1,0 +1,78 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Domain example: shared-mobility demand prediction (the paper's NYC-Bike /
+// NYC-Taxi scenario). Long-horizon setting: 12 half-hour input steps, 12
+// forecast steps, two channels (pick-up, drop-off). Compares TGCRN against
+// the Historical Average baseline and reports PCC as in Table V, plus a
+// per-horizon error profile.
+//
+// Run:  ./examples/demand_prediction
+#include <cstdio>
+
+#include "baselines/ha.h"
+#include "core/tgcrn.h"
+#include "core/trainer.h"
+#include "datagen/demand_sim.h"
+
+using namespace tgcrn;  // NOLINT: example brevity
+
+int main() {
+  datagen::DemandSimConfig sim_config;
+  sim_config.num_zones = 14;
+  sim_config.num_days = 28;
+  sim_config.seed = 19;
+  sim_config.target_mean_demand = 6.0;
+  auto sim = datagen::SimulateDemand(sim_config);
+  std::printf("Simulated %lld zones x %lld days of 30-min demand "
+              "(communities induce the spatial correlation)\n",
+              static_cast<long long>(sim_config.num_zones),
+              static_cast<long long>(sim_config.num_days));
+
+  // Keep a copy of the raw series for the HA baseline.
+  data::SpatioTemporalData raw = sim.data;
+
+  data::ForecastDataset::Options options;
+  options.input_steps = 12;
+  options.output_steps = 12;
+  data::ForecastDataset dataset(std::move(sim.data), options);
+
+  // Historical average reference.
+  baselines::HistoricalAverage ha;
+  ha.Fit(raw, static_cast<int64_t>(raw.num_steps() * 0.7));
+  const auto ha_metrics =
+      metrics::AverageMetrics(ha.EvaluateOnDataset(dataset, {}));
+
+  // TGCRN.
+  core::TGCRNConfig config;
+  config.num_nodes = sim_config.num_zones;
+  config.input_dim = 2;
+  config.output_dim = 2;
+  config.horizon = 12;
+  config.hidden_dim = 12;
+  config.node_embed_dim = 8;
+  config.time_embed_dim = 6;
+  config.steps_per_day = 48;
+  Rng rng(5);
+  core::TGCRN model(config, &rng);
+  core::TrainConfig train_config;
+  train_config.epochs = 10;
+  train_config.lr = 6e-3f;
+  train_config.lr_milestones = {6, 9};
+  train_config.max_batches_per_epoch = 45;
+  train_config.verbose = false;
+  std::printf("Training TGCRN (%lld parameters)...\n",
+              static_cast<long long>(model.NumParameters()));
+  const auto result = core::TrainAndEvaluate(&model, dataset, train_config);
+
+  std::printf("\n              MAE     RMSE    PCC\n");
+  std::printf("HA          %6.3f  %6.3f  %6.3f\n", ha_metrics.mae,
+              ha_metrics.rmse, ha_metrics.pcc);
+  std::printf("TGCRN       %6.3f  %6.3f  %6.3f\n", result.average.mae,
+              result.average.rmse, result.average.pcc);
+
+  std::printf("\nTGCRN error by horizon:\n");
+  for (size_t h = 0; h < result.per_horizon.size(); h += 2) {
+    std::printf("  +%3zu min: MAE %.3f  PCC %.3f\n", (h + 1) * 30,
+                result.per_horizon[h].mae, result.per_horizon[h].pcc);
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Domain example: metro ridership forecasting with learned-graph analysis.
+// Trains TGCRN on a simulated metro network, then inspects the learned
+// time-aware structure the way an operator would:
+//   * strongest learned correlations at the morning peak vs late evening,
+//   * how a station pair's correlation trends through the day,
+//   * weekday vs weekend graph difference.
+//
+// Run:  ./examples/metro_graph_analysis
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/tgcrn.h"
+#include "core/trainer.h"
+#include "datagen/metro_sim.h"
+
+using namespace tgcrn;  // NOLINT: example brevity
+
+namespace {
+
+const char* AreaName(datagen::AreaType type) {
+  switch (type) {
+    case datagen::AreaType::kResidential:
+      return "residential";
+    case datagen::AreaType::kBusiness:
+      return "business";
+    case datagen::AreaType::kShopping:
+      return "shopping";
+    case datagen::AreaType::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+// Prints the k strongest off-diagonal edges of an adjacency matrix.
+void PrintTopEdges(const Tensor& adj,
+                   const std::vector<datagen::AreaType>& areas, int64_t k) {
+  const int64_t n = adj.size(0);
+  std::vector<std::tuple<float, int64_t, int64_t>> edges;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i != j) edges.emplace_back(adj.at({i, j}), i, j);
+    }
+  }
+  std::partial_sort(edges.begin(), edges.begin() + k, edges.end(),
+                    std::greater<>());
+  for (int64_t e = 0; e < k; ++e) {
+    const auto& [w, i, j] = edges[e];
+    std::printf("    %2lld (%-11s) -> %2lld (%-11s)  weight %.4f\n",
+                static_cast<long long>(i), AreaName(areas[i]),
+                static_cast<long long>(j), AreaName(areas[j]), w);
+  }
+}
+
+}  // namespace
+
+int main() {
+  datagen::MetroSimConfig sim_config;
+  sim_config.num_stations = 14;
+  sim_config.num_days = 21;
+  sim_config.seed = 13;
+  sim_config.keep_od_ground_truth = false;
+  auto sim = datagen::SimulateMetro(sim_config);
+  const auto areas = sim.area_types;
+  const Tensor raw_values = sim.data.values;
+  const auto slot_of_day = sim.data.slot_of_day;
+
+  data::ForecastDataset::Options data_options;
+  data_options.input_steps = 4;
+  data_options.output_steps = 4;
+  data::ForecastDataset dataset(std::move(sim.data), data_options);
+
+  core::TGCRNConfig config;
+  config.num_nodes = sim_config.num_stations;
+  config.input_dim = 2;
+  config.output_dim = 2;
+  config.horizon = 4;
+  config.hidden_dim = 14;
+  config.node_embed_dim = 10;
+  config.time_embed_dim = 8;
+  config.steps_per_day = 72;
+  Rng rng(3);
+  core::TGCRN model(config, &rng);
+
+  core::TrainConfig train_config;
+  train_config.epochs = 10;
+  train_config.lr = 6e-3f;
+  train_config.lr_milestones = {6, 9};
+  train_config.max_batches_per_epoch = 50;
+  train_config.verbose = false;
+  std::printf("Training TGCRN on %lld stations (%lld parameters)...\n",
+              static_cast<long long>(sim_config.num_stations),
+              static_cast<long long>(model.NumParameters()));
+  const auto result = core::TrainAndEvaluate(&model, dataset, train_config);
+  std::printf("Test MAE %.2f  RMSE %.2f  MAPE %.1f%% (avg over 1h)\n\n",
+              result.average.mae, result.average.rmse, result.average.mape);
+
+  // Node state from a weekday morning in the test period (day 18 = Friday)
+  // and the same time on a weekend (day 20 = Sunday).
+  const int64_t spd = 72;
+  const int64_t slot_peak = 8;   // 08:00
+  const int64_t slot_late = 62;  // 21:30
+  auto state_at = [&](int64_t t) {
+    return dataset.scaler()
+        .Transform(raw_values.Slice(0, t, t + 1))
+        .Squeeze(0);
+  };
+
+  std::printf("Strongest learned correlations, weekday 08:00:\n");
+  PrintTopEdges(model.LearnedAdjacency(state_at(18 * spd + slot_peak),
+                                       {slot_peak}),
+                areas, 5);
+  std::printf("\nStrongest learned correlations, weekday 21:30:\n");
+  PrintTopEdges(model.LearnedAdjacency(state_at(18 * spd + slot_late),
+                                       {slot_late}),
+                areas, 5);
+
+  // Trend of one station pair over the morning.
+  std::printf("\nLearned correlation trend through the morning "
+              "(edge 0 -> 1):\n");
+  for (int64_t slot = 4; slot <= 20; slot += 4) {
+    const Tensor adj =
+        model.LearnedAdjacency(state_at(18 * spd + slot), {slot});
+    std::printf("  %02lld:%02lld  %.4f\n",
+                static_cast<long long>(6 + slot / 4),
+                static_cast<long long>((slot % 4) * 15), adj.at({0, 1}));
+  }
+
+  // Weekday/weekend contrast at the same clock time.
+  const Tensor weekday =
+      model.LearnedAdjacency(state_at(18 * spd + slot_peak), {slot_peak});
+  const Tensor weekend =
+      model.LearnedAdjacency(state_at(20 * spd + slot_peak), {slot_peak});
+  std::printf("\nMean |weekday - weekend| learned edge difference at 08:00: "
+              "%.5f\n",
+              weekday.Sub(weekend).Abs().MeanAll());
+  (void)slot_of_day;
+  return 0;
+}

@@ -1,0 +1,369 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <utility>
+
+namespace tgcrn {
+namespace ag {
+namespace {
+
+// Transposes the last two axes (for matmul backward).
+Tensor TransposeLast2(const Tensor& t) {
+  return t.Transpose(t.dim() - 2, t.dim() - 1);
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  Tensor value = a.value().Add(b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpNode(std::move(value), {a, b}, [an, bn](const Tensor& g) {
+    if (an->needs_grad) an->AccumulateGrad(g.ReduceTo(an->value.shape()));
+    if (bn->needs_grad) bn->AccumulateGrad(g.ReduceTo(bn->value.shape()));
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  Tensor value = a.value().Sub(b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpNode(std::move(value), {a, b}, [an, bn](const Tensor& g) {
+    if (an->needs_grad) an->AccumulateGrad(g.ReduceTo(an->value.shape()));
+    if (bn->needs_grad) {
+      bn->AccumulateGrad(g.Neg().ReduceTo(bn->value.shape()));
+    }
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Tensor value = a.value().Mul(b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpNode(std::move(value), {a, b}, [an, bn](const Tensor& g) {
+    if (an->needs_grad) {
+      an->AccumulateGrad(g.Mul(bn->value).ReduceTo(an->value.shape()));
+    }
+    if (bn->needs_grad) {
+      bn->AccumulateGrad(g.Mul(an->value).ReduceTo(bn->value.shape()));
+    }
+  });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  Tensor value = a.value().Div(b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpNode(std::move(value), {a, b}, [an, bn](const Tensor& g) {
+    if (an->needs_grad) {
+      an->AccumulateGrad(g.Div(bn->value).ReduceTo(an->value.shape()));
+    }
+    if (bn->needs_grad) {
+      // d(a/b)/db = -a / b^2
+      Tensor gb = g.Mul(an->value).Div(bn->value.Mul(bn->value)).Neg();
+      bn->AccumulateGrad(gb.ReduceTo(bn->value.shape()));
+    }
+  });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  auto an = a.node();
+  return MakeOpNode(a.value().AddScalar(s), {a}, [an](const Tensor& g) {
+    an->AccumulateGrad(g);
+  });
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  auto an = a.node();
+  return MakeOpNode(a.value().MulScalar(s), {a}, [an, s](const Tensor& g) {
+    an->AccumulateGrad(g.MulScalar(s));
+  });
+}
+
+Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
+
+Variable Matmul(const Variable& a, const Variable& b) {
+  Tensor value = a.value().Matmul(b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpNode(std::move(value), {a, b}, [an, bn](const Tensor& g) {
+    if (an->needs_grad) {
+      Tensor ga = g.Matmul(TransposeLast2(bn->value));
+      an->AccumulateGrad(ga.ReduceTo(an->value.shape()));
+    }
+    if (bn->needs_grad) {
+      Tensor gb = TransposeLast2(an->value).Matmul(g);
+      bn->AccumulateGrad(gb.ReduceTo(bn->value.shape()));
+    }
+  });
+}
+
+Variable Sigmoid(const Variable& a) {
+  Tensor y = a.value().Sigmoid();
+  auto an = a.node();
+  return MakeOpNode(y, {a}, [an, y](const Tensor& g) {
+    // dy/dx = y (1 - y)
+    Tensor one_minus = y.Neg().AddScalar(1.0f);
+    an->AccumulateGrad(g.Mul(y).Mul(one_minus));
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  Tensor y = a.value().Tanh();
+  auto an = a.node();
+  return MakeOpNode(y, {a}, [an, y](const Tensor& g) {
+    // dy/dx = 1 - y^2
+    Tensor d = y.Mul(y).Neg().AddScalar(1.0f);
+    an->AccumulateGrad(g.Mul(d));
+  });
+}
+
+Variable Relu(const Variable& a) {
+  Tensor y = a.value().Relu();
+  auto an = a.node();
+  return MakeOpNode(y, {a}, [an](const Tensor& g) {
+    Tensor mask =
+        an->value.Map([](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+    an->AccumulateGrad(g.Mul(mask));
+  });
+}
+
+Variable Exp(const Variable& a) {
+  Tensor y = a.value().Exp();
+  auto an = a.node();
+  return MakeOpNode(y, {a}, [an, y](const Tensor& g) {
+    an->AccumulateGrad(g.Mul(y));
+  });
+}
+
+Variable Log(const Variable& a) {
+  Tensor y = a.value().Log();
+  auto an = a.node();
+  return MakeOpNode(std::move(y), {a}, [an](const Tensor& g) {
+    an->AccumulateGrad(g.Div(an->value));
+  });
+}
+
+Variable Sqrt(const Variable& a) {
+  Tensor y = a.value().Sqrt();
+  auto an = a.node();
+  return MakeOpNode(y, {a}, [an, y](const Tensor& g) {
+    // dy/dx = 0.5 / sqrt(x)
+    an->AccumulateGrad(g.MulScalar(0.5f).Div(y));
+  });
+}
+
+Variable Abs(const Variable& a) {
+  Tensor y = a.value().Abs();
+  auto an = a.node();
+  return MakeOpNode(std::move(y), {a}, [an](const Tensor& g) {
+    Tensor sign = an->value.Map(
+        [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+    an->AccumulateGrad(g.Mul(sign));
+  });
+}
+
+Variable Pow(const Variable& a, float exponent) {
+  Tensor y = a.value().Pow(exponent);
+  auto an = a.node();
+  return MakeOpNode(std::move(y), {a}, [an, exponent](const Tensor& g) {
+    Tensor d = an->value.Pow(exponent - 1.0f).MulScalar(exponent);
+    an->AccumulateGrad(g.Mul(d));
+  });
+}
+
+Variable Softmax(const Variable& a, int64_t axis) {
+  if (axis < 0) axis += a.value().dim();
+  Tensor y = a.value().Softmax(axis);
+  auto an = a.node();
+  return MakeOpNode(y, {a}, [an, y, axis](const Tensor& g) {
+    // dx = y * (g - sum(g * y, axis))
+    Tensor gy = g.Mul(y);
+    Tensor s = gy.Sum(axis, /*keepdim=*/true);
+    an->AccumulateGrad(y.Mul(g.Sub(s)));
+  });
+}
+
+Variable Dropout(const Variable& a, float p, bool training, Rng* rng) {
+  if (!training || p <= 0.0f) return a;
+  TGCRN_CHECK(rng != nullptr);
+  TGCRN_CHECK_LT(p, 1.0f);
+  const float scale = 1.0f / (1.0f - p);
+  Tensor mask(a.shape());
+  float* m = mask.mutable_data();
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    m[i] = rng->NextDouble() < p ? 0.0f : scale;
+  }
+  auto an = a.node();
+  return MakeOpNode(a.value().Mul(mask), {a}, [an, mask](const Tensor& g) {
+    an->AccumulateGrad(g.Mul(mask));
+  });
+}
+
+Variable Sum(const Variable& a, int64_t axis, bool keepdim) {
+  if (axis < 0) axis += a.value().dim();
+  Tensor y = a.value().Sum(axis, keepdim);
+  auto an = a.node();
+  return MakeOpNode(std::move(y), {a},
+                    [an, axis, keepdim](const Tensor& g) {
+                      Tensor gg = keepdim ? g : g.Unsqueeze(axis);
+                      an->AccumulateGrad(gg.BroadcastTo(an->value.shape()));
+                    });
+}
+
+Variable Mean(const Variable& a, int64_t axis, bool keepdim) {
+  if (axis < 0) axis += a.value().dim();
+  const float inv = 1.0f / static_cast<float>(a.value().size(axis));
+  return MulScalar(Sum(a, axis, keepdim), inv);
+}
+
+Variable SumAll(const Variable& a) {
+  Tensor y = Tensor::Scalar(a.value().SumAll());
+  auto an = a.node();
+  return MakeOpNode(std::move(y), {a}, [an](const Tensor& g) {
+    an->AccumulateGrad(Tensor::Full(an->value.shape(), g.item()));
+  });
+}
+
+Variable MeanAll(const Variable& a) {
+  return MulScalar(SumAll(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Variable Reshape(const Variable& a, Shape shape) {
+  Tensor y = a.value().Reshape(std::move(shape));
+  auto an = a.node();
+  return MakeOpNode(std::move(y), {a}, [an](const Tensor& g) {
+    an->AccumulateGrad(g.Reshape(an->value.shape()));
+  });
+}
+
+Variable Transpose(const Variable& a, int64_t axis0, int64_t axis1) {
+  if (axis0 < 0) axis0 += a.value().dim();
+  if (axis1 < 0) axis1 += a.value().dim();
+  Tensor y = a.value().Transpose(axis0, axis1);
+  auto an = a.node();
+  return MakeOpNode(std::move(y), {a}, [an, axis0, axis1](const Tensor& g) {
+    an->AccumulateGrad(g.Transpose(axis0, axis1));
+  });
+}
+
+Variable Permute(const Variable& a, std::vector<int64_t> perm) {
+  Tensor y = a.value().Permute(perm);
+  auto an = a.node();
+  return MakeOpNode(std::move(y), {a},
+                    [an, perm = std::move(perm)](const Tensor& g) {
+                      std::vector<int64_t> inverse(perm.size());
+                      for (size_t i = 0; i < perm.size(); ++i) {
+                        inverse[perm[i]] = static_cast<int64_t>(i);
+                      }
+                      an->AccumulateGrad(g.Permute(inverse));
+                    });
+}
+
+Variable Unsqueeze(const Variable& a, int64_t axis) {
+  Tensor y = a.value().Unsqueeze(axis);
+  auto an = a.node();
+  return MakeOpNode(std::move(y), {a}, [an](const Tensor& g) {
+    an->AccumulateGrad(g.Reshape(an->value.shape()));
+  });
+}
+
+Variable Squeeze(const Variable& a, int64_t axis) {
+  Tensor y = a.value().Squeeze(axis);
+  auto an = a.node();
+  return MakeOpNode(std::move(y), {a}, [an](const Tensor& g) {
+    an->AccumulateGrad(g.Reshape(an->value.shape()));
+  });
+}
+
+Variable Slice(const Variable& a, int64_t axis, int64_t start, int64_t end) {
+  if (axis < 0) axis += a.value().dim();
+  Tensor y = a.value().Slice(axis, start, end);
+  auto an = a.node();
+  return MakeOpNode(std::move(y), {a}, [an, axis, start](const Tensor& g) {
+    Tensor full = Tensor::Zeros(an->value.shape());
+    full.AddSliceInplace(axis, start, g);
+    an->AccumulateGrad(full);
+  });
+}
+
+Variable BroadcastTo(const Variable& a, Shape shape) {
+  Tensor y = a.value().BroadcastTo(shape);
+  auto an = a.node();
+  return MakeOpNode(std::move(y), {a}, [an](const Tensor& g) {
+    an->AccumulateGrad(g.ReduceTo(an->value.shape()));
+  });
+}
+
+Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
+  TGCRN_CHECK(!parts.empty());
+  if (axis < 0) axis += parts[0].value().dim();
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const auto& p : parts) values.push_back(p.value());
+  Tensor y = Tensor::Concat(values, axis);
+  std::vector<std::shared_ptr<internal::Node>> nodes;
+  nodes.reserve(parts.size());
+  for (const auto& p : parts) nodes.push_back(p.node());
+  return MakeOpNode(std::move(y), parts,
+                    [nodes = std::move(nodes), axis](const Tensor& g) {
+                      int64_t offset = 0;
+                      for (const auto& n : nodes) {
+                        const int64_t span = n->value.size(axis);
+                        if (n->needs_grad) {
+                          n->AccumulateGrad(
+                              g.Slice(axis, offset, offset + span));
+                        }
+                        offset += span;
+                      }
+                    });
+}
+
+Variable Stack(const std::vector<Variable>& parts, int64_t axis) {
+  std::vector<Variable> expanded;
+  expanded.reserve(parts.size());
+  for (const auto& p : parts) expanded.push_back(Unsqueeze(p, axis));
+  return Concat(expanded, axis);
+}
+
+Variable EmbeddingLookup(const Variable& weight,
+                         const std::vector<int64_t>& indices) {
+  Tensor y = weight.value().IndexSelect0(indices);
+  auto wn = weight.node();
+  return MakeOpNode(std::move(y), {weight},
+                    [wn, indices](const Tensor& g) {
+                      Tensor gw = Tensor::Zeros(wn->value.shape());
+                      gw.IndexAdd0Inplace(indices, g);
+                      wn->AccumulateGrad(gw);
+                    });
+}
+
+Variable MaeLoss(const Variable& pred, const Variable& target) {
+  return MeanAll(Abs(pred - target));
+}
+
+Variable MseLoss(const Variable& pred, const Variable& target) {
+  Variable diff = pred - target;
+  return MeanAll(diff * diff);
+}
+
+Variable MaskedMaeLoss(const Variable& pred, const Variable& target,
+                       float null_threshold) {
+  // The mask is a constant w.r.t. the parameters: grads flow through pred
+  // only where the target is valid.
+  Tensor mask = target.value().Map([null_threshold](float v) {
+    return std::fabs(v) > null_threshold ? 1.0f : 0.0f;
+  });
+  const float valid = mask.SumAll();
+  if (valid <= 0.0f) {
+    // Nothing valid in this batch: contribute a zero loss with zero grads.
+    return MulScalar(SumAll(pred), 0.0f);
+  }
+  Variable mask_var{mask};
+  Variable masked = Abs(pred - target) * mask_var;
+  return MulScalar(SumAll(masked), 1.0f / valid);
+}
+
+}  // namespace ag
+}  // namespace tgcrn

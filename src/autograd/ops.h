@@ -1,0 +1,91 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Differentiable operations over ag::Variable. Each op computes its value
+// eagerly with tensor kernels and records a backward closure on the graph.
+// All shape semantics mirror src/tensor (NumPy broadcasting, batched matmul).
+#ifndef TGCRN_AUTOGRAD_OPS_H_
+#define TGCRN_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/rng.h"
+
+namespace tgcrn {
+namespace ag {
+
+// --- Arithmetic (broadcasting) ---------------------------------------------
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Div(const Variable& a, const Variable& b);
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+Variable Neg(const Variable& a);
+
+inline Variable operator+(const Variable& a, const Variable& b) {
+  return Add(a, b);
+}
+inline Variable operator-(const Variable& a, const Variable& b) {
+  return Sub(a, b);
+}
+inline Variable operator*(const Variable& a, const Variable& b) {
+  return Mul(a, b);
+}
+inline Variable operator/(const Variable& a, const Variable& b) {
+  return Div(a, b);
+}
+
+// --- Linear algebra ---------------------------------------------------------
+// Batched matmul (..., m, k) x (..., k, n) -> (..., m, n).
+Variable Matmul(const Variable& a, const Variable& b);
+
+// --- Nonlinearities ---------------------------------------------------------
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Relu(const Variable& a);
+Variable Exp(const Variable& a);
+Variable Log(const Variable& a);
+Variable Sqrt(const Variable& a);
+Variable Abs(const Variable& a);
+Variable Pow(const Variable& a, float exponent);
+Variable Softmax(const Variable& a, int64_t axis);
+// Inverted-dropout: at train time zeroes elements w.p. `p` and rescales by
+// 1/(1-p); identity at eval time.
+Variable Dropout(const Variable& a, float p, bool training, Rng* rng);
+
+// --- Reductions --------------------------------------------------------------
+Variable Sum(const Variable& a, int64_t axis, bool keepdim = false);
+Variable Mean(const Variable& a, int64_t axis, bool keepdim = false);
+Variable SumAll(const Variable& a);   // rank-0 result
+Variable MeanAll(const Variable& a);  // rank-0 result
+
+// --- Shape -------------------------------------------------------------------
+Variable Reshape(const Variable& a, Shape shape);
+Variable Transpose(const Variable& a, int64_t axis0, int64_t axis1);
+Variable Permute(const Variable& a, std::vector<int64_t> perm);
+Variable Unsqueeze(const Variable& a, int64_t axis);
+Variable Squeeze(const Variable& a, int64_t axis);
+Variable Slice(const Variable& a, int64_t axis, int64_t start, int64_t end);
+Variable BroadcastTo(const Variable& a, Shape shape);
+Variable Concat(const std::vector<Variable>& parts, int64_t axis);
+Variable Stack(const std::vector<Variable>& parts, int64_t axis);
+
+// --- Gather ------------------------------------------------------------------
+// Selects rows of `weight` ([V, ...]) by `indices`; gradient scatter-adds.
+Variable EmbeddingLookup(const Variable& weight,
+                         const std::vector<int64_t>& indices);
+
+// --- Losses ------------------------------------------------------------------
+// Mean absolute error over all elements (the paper's L_error, Eq 18).
+Variable MaeLoss(const Variable& pred, const Variable& target);
+// Mean squared error over all elements.
+Variable MseLoss(const Variable& pred, const Variable& target);
+// Masked MAE: elements of `target` whose |value| <= null_threshold are
+// excluded (traffic convention for missing sensor readings).
+Variable MaskedMaeLoss(const Variable& pred, const Variable& target,
+                       float null_threshold);
+
+}  // namespace ag
+}  // namespace tgcrn
+
+#endif  // TGCRN_AUTOGRAD_OPS_H_

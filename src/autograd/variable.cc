@@ -1,0 +1,124 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+namespace tgcrn {
+namespace ag {
+
+namespace internal {
+
+void Node::AccumulateGrad(const Tensor& g) {
+  TGCRN_CHECK(g.shape() == value.shape())
+      << "gradient shape " << ShapeToString(g.shape())
+      << " != value shape " << ShapeToString(value.shape());
+  if (!has_grad) {
+    grad = Tensor::Zeros(value.shape());
+    has_grad = true;
+  }
+  grad.AddInplace(g);
+}
+
+}  // namespace internal
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<internal::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  node_->needs_grad = requires_grad;
+}
+
+Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+Variable MakeOpNode(Tensor value, std::vector<Variable> parents,
+                    std::function<void(const Tensor&)> backward_fn) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  bool needs = false;
+  for (const auto& p : parents) {
+    TGCRN_CHECK(p.defined());
+    node->parents.push_back(p.node());
+    needs = needs || p.needs_grad();
+  }
+  node->needs_grad = needs;
+  // If no parent needs gradients the graph history is dead weight; drop it
+  // so inference-mode forward passes don't retain activations.
+  if (needs) {
+    node->backward_fn = std::move(backward_fn);
+  } else {
+    node->parents.clear();
+  }
+  return Variable::FromNode(std::move(node));
+}
+
+namespace {
+
+// Builds a reverse topological order (children before parents) of the graph
+// reachable from `root` following parent edges. Iterative DFS to avoid
+// stack overflow on long recurrent chains (P x layers x gates nodes).
+std::vector<internal::Node*> ReverseTopoOrder(internal::Node* root) {
+  std::vector<internal::Node*> order;
+  std::unordered_set<internal::Node*> visited;
+  // Each stack frame: (node, next parent index to visit).
+  std::vector<std::pair<internal::Node*, size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (next < node->parents.size()) {
+      internal::Node* parent = node->parents[next].get();
+      ++next;
+      if (parent->needs_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // Postorder appends a node after its parents; reversing yields an order
+  // where every node precedes its parents, i.e. each node's gradient is
+  // complete before its backward_fn fires.
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+void Variable::Backward() const {
+  TGCRN_CHECK(defined());
+  TGCRN_CHECK_EQ(node_->value.numel(), 1)
+      << "Backward() without explicit gradient requires a scalar output";
+  Backward(Tensor::Full(node_->value.shape(), 1.0f));
+}
+
+void Variable::Backward(const Tensor& grad_output) const {
+  TGCRN_CHECK(defined());
+  TGCRN_CHECK(node_->needs_grad)
+      << "Backward() on a graph with no trainable leaves";
+  node_->AccumulateGrad(grad_output);
+  const auto order = ReverseTopoOrder(node_.get());
+  for (internal::Node* node : order) {
+    if (node->backward_fn && node->has_grad) {
+      node->backward_fn(node->grad);
+    }
+    // Interior nodes' grads are only needed transiently; free them so a
+    // full BPTT pass doesn't hold two tensors per op. Leaves keep theirs.
+    if (!node->requires_grad && node != node_.get()) {
+      node->has_grad = false;
+      node->grad = Tensor();
+    }
+  }
+}
+
+Variable Variable::Detach() const {
+  TGCRN_CHECK(defined());
+  return Variable(node_->value, /*requires_grad=*/false);
+}
+
+}  // namespace ag
+}  // namespace tgcrn

@@ -1,0 +1,116 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Tape-based reverse-mode automatic differentiation over tgcrn::Tensor.
+//
+// A Variable is a cheap shared handle to a node in a dynamically built
+// computation graph. Operations in autograd/ops.h create new Variables whose
+// nodes remember their parents and a backward closure; calling
+// Variable::Backward() runs a reverse topological sweep accumulating
+// gradients into every node with requires_grad set (directly or via an
+// ancestor). Gradients are stored per-node and survive until ZeroGrad().
+#ifndef TGCRN_AUTOGRAD_VARIABLE_H_
+#define TGCRN_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tgcrn {
+namespace ag {
+
+class Variable;
+
+namespace internal {
+
+// Graph node. Owned via shared_ptr from Variables and children.
+struct Node {
+  Tensor value;
+  Tensor grad;            // valid iff has_grad
+  bool has_grad = false;
+  bool requires_grad = false;  // set for leaves the optimizer updates
+  bool needs_grad = false;     // this or an ancestor requires grad
+  // Parents this node was computed from (empty for leaves).
+  std::vector<std::shared_ptr<Node>> parents;
+  // Propagates `grad_out` (d loss / d value) into the parents' grads.
+  // Null for leaves.
+  std::function<void(const Tensor& grad_out)> backward_fn;
+
+  // Accumulates `g` into this->grad (allocating zeros first if absent).
+  void AccumulateGrad(const Tensor& g);
+};
+
+}  // namespace internal
+
+// Value-semantic handle to a graph node.
+class Variable {
+ public:
+  // Null handle; defined() is false.
+  Variable() = default;
+
+  // Leaf variable. If `requires_grad`, Backward() will populate grad().
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const {
+    TGCRN_CHECK(defined());
+    return node_->value;
+  }
+
+  // The accumulated gradient; CHECK-fails if none has been computed.
+  const Tensor& grad() const {
+    TGCRN_CHECK(defined() && node_->has_grad) << "no gradient accumulated";
+    return node_->grad;
+  }
+  bool has_grad() const { return defined() && node_->has_grad; }
+  bool requires_grad() const { return defined() && node_->requires_grad; }
+  // True if gradients flow through this node (it or an ancestor is a
+  // trainable leaf).
+  bool needs_grad() const { return defined() && node_->needs_grad; }
+
+  // Clears this node's gradient (typically called on leaves between steps).
+  void ZeroGrad() {
+    TGCRN_CHECK(defined());
+    node_->has_grad = false;
+  }
+
+  // Replaces the value in place (used by optimizers on leaves).
+  void SetValue(Tensor value) {
+    TGCRN_CHECK(defined());
+    node_->value = std::move(value);
+  }
+
+  // Runs reverse-mode differentiation seeding d(this)/d(this) = 1.
+  // This variable must hold a single element (a scalar loss).
+  void Backward() const;
+  // Runs reverse-mode differentiation with an explicit output gradient.
+  void Backward(const Tensor& grad_output) const;
+
+  // Returns a new leaf with the same value and no graph history.
+  Variable Detach() const;
+
+  // Shape conveniences.
+  const Shape& shape() const { return value().shape(); }
+  int64_t size(int64_t axis) const { return value().size(axis); }
+  int64_t numel() const { return value().numel(); }
+
+  // Internal: used by ops to build graph nodes.
+  static Variable FromNode(std::shared_ptr<internal::Node> node);
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+// Builds an interior node: value computed from parents with the given
+// backward closure. The closure must route grad_out into each parent that
+// needs_grad (it may skip parents that don't). Declared here so layered ops
+// outside ops.cc (e.g. custom fused ops) can also create nodes.
+Variable MakeOpNode(Tensor value, std::vector<Variable> parents,
+                    std::function<void(const Tensor&)> backward_fn);
+
+}  // namespace ag
+}  // namespace tgcrn
+
+#endif  // TGCRN_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,103 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// DCRNN baseline [15]: an encoder-decoder of diffusion-convolutional GRUs
+// on a pre-defined distance graph. The diffusion convolution uses k-step
+// bidirectional random-walk supports built once from sensor distances -
+// the canonical "pre-defined graph" representative of Table II.
+#ifndef TGCRN_BASELINES_DCRNN_H_
+#define TGCRN_BASELINES_DCRNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/graph_gru_cell.h"
+#include "core/forecast_model.h"
+#include "graph/graph_ops.h"
+#include "nn/linear.h"
+
+namespace tgcrn {
+namespace baselines {
+
+class Dcrnn : public core::ForecastModel {
+ public:
+  struct Config {
+    int64_t num_nodes = 0;
+    int64_t input_dim = 2;
+    int64_t output_dim = 2;
+    int64_t horizon = 4;
+    int64_t hidden_dim = 16;
+    int64_t num_layers = 2;
+    int64_t diffusion_steps = 2;
+    float graph_threshold = 0.1f;  // Gaussian-kernel sparsification
+  };
+
+  // `distances` is the [N, N] pairwise sensor-distance matrix.
+  Dcrnn(const Config& config, const Tensor& distances, Rng* rng)
+      : config_(config) {
+    const Tensor adj =
+        graph::GaussianKernelGraph(distances, config.graph_threshold);
+    for (Tensor& s : graph::DiffusionSupports(adj, config.diffusion_steps,
+                                              /*bidirectional=*/true)) {
+      supports_.emplace_back(std::move(s));
+    }
+    const int64_t k = static_cast<int64_t>(supports_.size());
+    for (int64_t l = 0; l < config.num_layers; ++l) {
+      encoder_.push_back(std::make_unique<GraphGRUCell>(
+          l == 0 ? config.input_dim : config.hidden_dim, config.hidden_dim,
+          k, rng));
+      RegisterModule("enc" + std::to_string(l), encoder_.back().get());
+      decoder_.push_back(std::make_unique<GraphGRUCell>(
+          l == 0 ? config.output_dim : config.hidden_dim, config.hidden_dim,
+          k, rng));
+      RegisterModule("dec" + std::to_string(l), decoder_.back().get());
+    }
+    head_ = std::make_unique<nn::Linear>(config.hidden_dim,
+                                         config.output_dim, rng);
+    RegisterModule("head", head_.get());
+  }
+
+  ag::Variable Forward(const data::Batch& batch) override {
+    const int64_t b = batch.batch_size();
+    const int64_t p = batch.x.size(1);
+    const int64_t n = config_.num_nodes;
+    std::vector<ag::Variable> hidden(config_.num_layers);
+    for (auto& h : hidden) {
+      h = ag::Variable(Tensor::Zeros({b, n, config_.hidden_dim}));
+    }
+    ag::Variable x_all{batch.x};
+    for (int64_t t = 0; t < p; ++t) {
+      ag::Variable input = ag::Squeeze(ag::Slice(x_all, 1, t, t + 1), 1);
+      for (int64_t l = 0; l < config_.num_layers; ++l) {
+        input = encoder_[l]->Forward(input, hidden[l], supports_);
+        hidden[l] = input;
+      }
+    }
+    ag::Variable dec_input{Tensor::Zeros({b, n, config_.output_dim})};
+    std::vector<ag::Variable> outputs;
+    for (int64_t q = 0; q < config_.horizon; ++q) {
+      ag::Variable input = dec_input;
+      for (int64_t l = 0; l < config_.num_layers; ++l) {
+        input = decoder_[l]->Forward(input, hidden[l], supports_);
+        hidden[l] = input;
+      }
+      ag::Variable y = head_->Forward(hidden.back());
+      outputs.push_back(y);
+      dec_input = y;
+    }
+    return ag::Stack(outputs, 1);
+  }
+
+  std::string name() const override { return "DCRNN"; }
+
+ private:
+  Config config_;
+  std::vector<ag::Variable> supports_;  // constant diffusion matrices
+  std::vector<std::unique_ptr<GraphGRUCell>> encoder_;
+  std::vector<std::unique_ptr<GraphGRUCell>> decoder_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace baselines
+}  // namespace tgcrn
+
+#endif  // TGCRN_BASELINES_DCRNN_H_

@@ -1,0 +1,75 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// FC-LSTM baseline [23]: a fully connected sequence-to-sequence LSTM that
+// treats the whole sensor network as one flat feature vector per step -
+// temporal modelling only, no explicit spatial structure.
+#ifndef TGCRN_BASELINES_FC_LSTM_H_
+#define TGCRN_BASELINES_FC_LSTM_H_
+
+#include <string>
+
+#include "core/forecast_model.h"
+#include "nn/linear.h"
+#include "nn/rnn_cells.h"
+
+namespace tgcrn {
+namespace baselines {
+
+class FcLstm : public core::ForecastModel {
+ public:
+  struct Config {
+    int64_t num_nodes = 0;
+    int64_t input_dim = 2;
+    int64_t output_dim = 2;
+    int64_t horizon = 4;
+    int64_t hidden_dim = 64;
+  };
+
+  FcLstm(const Config& config, Rng* rng)
+      : config_(config),
+        encoder_(config.num_nodes * config.input_dim, config.hidden_dim,
+                 rng),
+        decoder_(config.num_nodes * config.output_dim, config.hidden_dim,
+                 rng),
+        head_(config.hidden_dim, config.num_nodes * config.output_dim, rng) {
+    RegisterModule("encoder", &encoder_);
+    RegisterModule("decoder", &decoder_);
+    RegisterModule("head", &head_);
+  }
+
+  ag::Variable Forward(const data::Batch& batch) override {
+    const int64_t b = batch.batch_size();
+    const int64_t p = batch.x.size(1);
+    const int64_t n = config_.num_nodes;
+    ag::Variable x_all{batch.x};
+    auto state = encoder_.InitialState({b});
+    for (int64_t t = 0; t < p; ++t) {
+      ag::Variable step = ag::Reshape(
+          ag::Squeeze(ag::Slice(x_all, 1, t, t + 1), 1),
+          {b, n * config_.input_dim});
+      state = encoder_.Forward(step, state);
+    }
+    ag::Variable input{Tensor::Zeros({b, n * config_.output_dim})};
+    std::vector<ag::Variable> outputs;
+    for (int64_t q = 0; q < config_.horizon; ++q) {
+      state = decoder_.Forward(input, state);
+      ag::Variable y = head_.Forward(state.h);
+      outputs.push_back(
+          ag::Reshape(y, {b, n, config_.output_dim}));
+      input = y;
+    }
+    return ag::Stack(outputs, 1);
+  }
+
+  std::string name() const override { return "FC-LSTM"; }
+
+ private:
+  Config config_;
+  nn::LSTMCell encoder_;
+  nn::LSTMCell decoder_;
+  nn::Linear head_;
+};
+
+}  // namespace baselines
+}  // namespace tgcrn
+
+#endif  // TGCRN_BASELINES_FC_LSTM_H_

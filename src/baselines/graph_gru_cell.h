@@ -1,0 +1,84 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// A graph-convolutional GRU cell with weights shared across nodes, the
+// common recurrent core of DCRNN, PVCGN, CCRNN, GTS and ESG (each differs
+// in where its graph supports come from). Each gate aggregates [x ; h]
+// over every support and mixes the concatenated aggregations linearly:
+//   z, r = sigmoid(Linear(concat_k S_k [x ; h]))
+//   c    = tanh  (Linear(concat_k S_k [x ; r .* h]))
+//   h'   = (1 - z) .* h + z .* c
+// Unlike core::GCGRUCell (the paper's node-adaptive variant), the weights
+// here are shared across nodes, as in the original baselines.
+#ifndef TGCRN_BASELINES_GRAPH_GRU_CELL_H_
+#define TGCRN_BASELINES_GRAPH_GRU_CELL_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace tgcrn {
+namespace baselines {
+
+class GraphGRUCell : public nn::Module {
+ public:
+  // When `include_identity` is set, the gates additionally see the
+  // un-mixed [x ; h] (equivalent to an implicit identity support, as in
+  // GCN's A + I and DCRNN's order-0 diffusion term). Callers whose support
+  // list already contains I (e.g. DCRNN's DiffusionSupports) leave it off.
+  GraphGRUCell(int64_t input_dim, int64_t hidden_dim, int64_t num_supports,
+               Rng* rng, bool include_identity = false)
+      : hidden_dim_(hidden_dim),
+        num_supports_(num_supports),
+        include_identity_(include_identity),
+        gates_((input_dim + hidden_dim) *
+                   (num_supports + (include_identity ? 1 : 0)),
+               2 * hidden_dim, rng),
+        candidate_((input_dim + hidden_dim) *
+                       (num_supports + (include_identity ? 1 : 0)),
+                   hidden_dim, rng) {
+    TGCRN_CHECK_GE(num_supports, 1);
+    RegisterModule("gates", &gates_);
+    RegisterModule("candidate", &candidate_);
+  }
+
+  // x: [B, N, in], h: [B, N, H]; each support is [N, N] or [B, N, N].
+  ag::Variable Forward(const ag::Variable& x, const ag::Variable& h,
+                       const std::vector<ag::Variable>& supports) const {
+    TGCRN_CHECK_EQ(static_cast<int64_t>(supports.size()), num_supports_);
+    ag::Variable zr = ag::Sigmoid(gates_.Forward(
+        Aggregate(ag::Concat({x, h}, -1), supports, include_identity_)));
+    ag::Variable z = ag::Slice(zr, -1, 0, hidden_dim_);
+    ag::Variable r = ag::Slice(zr, -1, hidden_dim_, 2 * hidden_dim_);
+    ag::Variable cand = ag::Tanh(candidate_.Forward(Aggregate(
+        ag::Concat({x, ag::Mul(r, h)}, -1), supports, include_identity_)));
+    ag::Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+    return ag::Add(ag::Mul(one_minus_z, h), ag::Mul(z, cand));
+  }
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  static ag::Variable Aggregate(const ag::Variable& value,
+                                const std::vector<ag::Variable>& supports,
+                                bool include_identity) {
+    std::vector<ag::Variable> parts;
+    parts.reserve(supports.size() + 1);
+    if (include_identity) parts.push_back(value);
+    for (const auto& s : supports) {
+      parts.push_back(ag::Matmul(s, value));
+    }
+    return parts.size() == 1 ? parts[0] : ag::Concat(parts, -1);
+  }
+
+  int64_t hidden_dim_;
+  int64_t num_supports_;
+  bool include_identity_;
+  nn::Linear gates_;
+  nn::Linear candidate_;
+};
+
+}  // namespace baselines
+}  // namespace tgcrn
+
+#endif  // TGCRN_BASELINES_GRAPH_GRU_CELL_H_

@@ -1,0 +1,151 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// GTS baseline [20] ("-lite"): graph structure learned from the *training
+// data as a whole*. Per-node feature vectors (the mean daily profile of the
+// training series) pass through an MLP; pairwise concatenations map to edge
+// logits, and the sigmoid-weighted graph feeds a graph-convolutional GRU.
+// The original's Gumbel-softmax discrete sampling is replaced by its
+// deterministic sigmoid expectation (at these sizes the expectation is what
+// the sampler converges to; this removes sampling variance, not capacity).
+#ifndef TGCRN_BASELINES_GTS_H_
+#define TGCRN_BASELINES_GTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/graph_gru_cell.h"
+#include "core/forecast_model.h"
+#include "nn/linear.h"
+
+namespace tgcrn {
+namespace baselines {
+
+class Gts : public core::ForecastModel {
+ public:
+  struct Config {
+    int64_t num_nodes = 0;
+    int64_t input_dim = 2;
+    int64_t output_dim = 2;
+    int64_t horizon = 4;
+    int64_t hidden_dim = 16;
+    int64_t num_layers = 2;
+    int64_t feature_dim = 16;  // node-feature MLP width
+  };
+
+  // `node_features`: [N, F] per-node statistics of the training data
+  // (e.g. the mean daily profile; see MakeProfileFeatures below).
+  Gts(const Config& config, const Tensor& node_features, Rng* rng)
+      : config_(config), node_features_(node_features) {
+    TGCRN_CHECK_EQ(node_features.size(0), config.num_nodes);
+    feature_mlp_ = std::make_unique<nn::Linear>(
+        node_features.size(1), config.feature_dim, rng);
+    RegisterModule("feature_mlp", feature_mlp_.get());
+    edge_mlp1_ = std::make_unique<nn::Linear>(2 * config.feature_dim,
+                                              config.feature_dim, rng);
+    RegisterModule("edge_mlp1", edge_mlp1_.get());
+    edge_mlp2_ = std::make_unique<nn::Linear>(config.feature_dim, 1, rng);
+    RegisterModule("edge_mlp2", edge_mlp2_.get());
+    for (int64_t l = 0; l < config.num_layers; ++l) {
+      cells_.push_back(std::make_unique<GraphGRUCell>(
+          l == 0 ? config.input_dim : config.hidden_dim, config.hidden_dim,
+          /*num_supports=*/1, rng, /*include_identity=*/true));
+      RegisterModule("cell" + std::to_string(l), cells_.back().get());
+    }
+    head_ = std::make_unique<nn::Linear>(
+        config.hidden_dim, config.horizon * config.output_dim, rng);
+    RegisterModule("head", head_.get());
+  }
+
+  // Builds the learned (input-independent) graph; exposed for analysis.
+  ag::Variable LearnGraph() const {
+    const int64_t n = config_.num_nodes;
+    ag::Variable h =
+        ag::Relu(feature_mlp_->Forward(ag::Variable(node_features_)));
+    // Pairwise concatenation [h_i ; h_j] for all (i, j).
+    ag::Variable hi = ag::BroadcastTo(ag::Unsqueeze(h, 1),
+                                      {n, n, config_.feature_dim});
+    ag::Variable hj = ag::BroadcastTo(ag::Unsqueeze(h, 0),
+                                      {n, n, config_.feature_dim});
+    ag::Variable pair = ag::Concat({hi, hj}, -1);  // [N, N, 2F]
+    ag::Variable logits = ag::Squeeze(
+        edge_mlp2_->Forward(ag::Relu(edge_mlp1_->Forward(pair))), -1);
+    ag::Variable weights = ag::Sigmoid(logits);  // [N, N]
+    // Row-normalize into an aggregation operator.
+    ag::Variable row_sum = ag::Sum(weights, -1, /*keepdim=*/true);
+    return ag::Div(weights, ag::AddScalar(row_sum, 1e-6f));
+  }
+
+  ag::Variable Forward(const data::Batch& batch) override {
+    const int64_t b = batch.batch_size();
+    const int64_t p = batch.x.size(1);
+    const int64_t n = config_.num_nodes;
+    ag::Variable adj = LearnGraph();
+    std::vector<ag::Variable> hidden(config_.num_layers);
+    for (auto& h : hidden) {
+      h = ag::Variable(Tensor::Zeros({b, n, config_.hidden_dim}));
+    }
+    ag::Variable x_all{batch.x};
+    for (int64_t t = 0; t < p; ++t) {
+      ag::Variable input = ag::Squeeze(ag::Slice(x_all, 1, t, t + 1), 1);
+      for (int64_t l = 0; l < config_.num_layers; ++l) {
+        input = cells_[l]->Forward(input, hidden[l], {adj});
+        hidden[l] = input;
+      }
+    }
+    ag::Variable out = head_->Forward(hidden.back());
+    out = ag::Reshape(out, {b, n, config_.horizon, config_.output_dim});
+    return ag::Permute(out, {0, 2, 1, 3});
+  }
+
+  std::string name() const override { return "GTS"; }
+
+  // Helper: mean daily profile features [N, bins * d] from raw data.
+  static Tensor MakeProfileFeatures(const data::SpatioTemporalData& data,
+                                    int64_t fit_steps, int64_t bins) {
+    const int64_t n = data.num_nodes();
+    const int64_t d = data.num_features();
+    const int64_t spd = data.steps_per_day;
+    Tensor out = Tensor::Zeros({n, bins * d});
+    std::vector<int64_t> counts(bins, 0);
+    for (int64_t t = 0; t < fit_steps; ++t) {
+      const int64_t bin = data.slot_of_day[t] * bins / spd;
+      ++counts[bin];
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t c = 0; c < d; ++c) {
+          out.set({i, bin * d + c}, out.at({i, bin * d + c}) +
+                                        data.values.at({t, i, c}));
+        }
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t bin = 0; bin < bins; ++bin) {
+        for (int64_t c = 0; c < d; ++c) {
+          if (counts[bin] > 0) {
+            out.set({i, bin * d + c},
+                    out.at({i, bin * d + c}) / counts[bin]);
+          }
+        }
+      }
+    }
+    // Standardize features so the MLP starts in a sane range.
+    const float mean = out.MeanAll();
+    Tensor centered = out.AddScalar(-mean);
+    const float std =
+        std::sqrt(centered.Mul(centered).MeanAll()) + 1e-6f;
+    return centered.MulScalar(1.0f / std);
+  }
+
+ private:
+  Config config_;
+  Tensor node_features_;
+  std::unique_ptr<nn::Linear> feature_mlp_;
+  std::unique_ptr<nn::Linear> edge_mlp1_;
+  std::unique_ptr<nn::Linear> edge_mlp2_;
+  std::vector<std::unique_ptr<GraphGRUCell>> cells_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace baselines
+}  // namespace tgcrn
+
+#endif  // TGCRN_BASELINES_GTS_H_

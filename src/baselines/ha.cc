@@ -1,0 +1,71 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "baselines/ha.h"
+
+#include "common/check.h"
+
+namespace tgcrn {
+namespace baselines {
+
+void HistoricalAverage::Fit(const data::SpatioTemporalData& data,
+                            int64_t fit_steps) {
+  TGCRN_CHECK_GT(fit_steps, 0);
+  TGCRN_CHECK_LE(fit_steps, data.num_steps());
+  steps_per_day_ = data.steps_per_day;
+  num_nodes_ = data.num_nodes();
+  num_features_ = data.num_features();
+  const int64_t cells = steps_per_day_ * num_nodes_ * num_features_;
+  means_.assign(2, std::vector<float>(cells, 0.0f));
+  std::vector<std::vector<int64_t>> counts(2,
+                                           std::vector<int64_t>(cells, 0));
+  const float* v = data.values.data();
+  for (int64_t t = 0; t < fit_steps; ++t) {
+    const int64_t period = data.day_of_week[t] >= 5 ? 1 : 0;
+    const int64_t slot = data.slot_of_day[t];
+    const int64_t base = slot * num_nodes_ * num_features_;
+    for (int64_t i = 0; i < num_nodes_ * num_features_; ++i) {
+      means_[period][base + i] += v[t * num_nodes_ * num_features_ + i];
+      ++counts[period][base + i];
+    }
+  }
+  for (int64_t p = 0; p < 2; ++p) {
+    for (int64_t i = 0; i < cells; ++i) {
+      if (counts[p][i] > 0) {
+        means_[p][i] /= static_cast<float>(counts[p][i]);
+      }
+    }
+  }
+}
+
+float HistoricalAverage::Predict(int64_t day_of_week, int64_t slot,
+                                 int64_t node, int64_t channel) const {
+  TGCRN_CHECK_GT(steps_per_day_, 0) << "Fit() before Predict()";
+  const int64_t period = day_of_week >= 5 ? 1 : 0;
+  return means_[period][(slot * num_nodes_ + node) * num_features_ +
+                        channel];
+}
+
+std::vector<metrics::Metrics> HistoricalAverage::EvaluateOnDataset(
+    const data::ForecastDataset& dataset,
+    const metrics::MetricsOptions& options) const {
+  const int64_t q = dataset.options().output_steps;
+  const int64_t num = dataset.NumTestSamples();
+  std::vector<int64_t> ids(num);
+  for (int64_t i = 0; i < num; ++i) ids[i] = i;
+  const data::Batch batch =
+      dataset.MakeBatch(data::ForecastDataset::Split::kTest, ids);
+  Tensor pred = Tensor::Zeros(batch.y.shape());
+  for (int64_t b = 0; b < num; ++b) {
+    for (int64_t h = 0; h < q; ++h) {
+      for (int64_t i = 0; i < num_nodes_; ++i) {
+        for (int64_t c = 0; c < num_features_; ++c) {
+          pred.set({b, h, i, c},
+                   Predict(batch.y_days[b][h], batch.y_slots[b][h], i, c));
+        }
+      }
+    }
+  }
+  return metrics::EvaluatePerHorizon(pred, batch.y, options);
+}
+
+}  // namespace baselines
+}  // namespace tgcrn

@@ -1,0 +1,43 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Historical Average baseline: forecasts the mean of the training values
+// observed at the same (weekday/weekend, slot-of-day) position. This is the
+// paper's HA row - a pure seasonality model with no spatial component.
+#ifndef TGCRN_BASELINES_HA_H_
+#define TGCRN_BASELINES_HA_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "metrics/metrics.h"
+
+namespace tgcrn {
+namespace baselines {
+
+class HistoricalAverage {
+ public:
+  // Fits per-(period, slot, node, channel) means over the first `fit_steps`
+  // of `data`, where period is weekday vs weekend.
+  void Fit(const data::SpatioTemporalData& data, int64_t fit_steps);
+
+  // The average value for (day_of_week, slot, node, channel).
+  float Predict(int64_t day_of_week, int64_t slot, int64_t node,
+                int64_t channel) const;
+
+  // Evaluates on the test split of `dataset`: per-horizon metrics computed
+  // exactly like the neural models'.
+  std::vector<metrics::Metrics> EvaluateOnDataset(
+      const data::ForecastDataset& dataset,
+      const metrics::MetricsOptions& options) const;
+
+ private:
+  int64_t steps_per_day_ = 0;
+  int64_t num_nodes_ = 0;
+  int64_t num_features_ = 0;
+  // means_[period][slot * N * d + node * d + channel], period 0 = weekday.
+  std::vector<std::vector<float>> means_;
+};
+
+}  // namespace baselines
+}  // namespace tgcrn
+
+#endif  // TGCRN_BASELINES_HA_H_

@@ -1,0 +1,214 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Transformer baselines.
+//
+// InformerLite [37]: temporal transformer over the flattened sensor vector.
+// Full attention replaces the original's ProbSparse mechanism - at the
+// horizons used in the paper's traffic setting (P <= 12) ProbSparse reduces
+// to full attention; the distilling pyramid likewise targets sequence
+// lengths in the hundreds. Multi-step output comes from learned horizon
+// queries cross-attending to the encoder, mirroring Informer's one-shot
+// generative decoder.
+//
+// CrossformerLite [34]: two-stage attention per layer - across time within
+// each series, then across series (the paper's cross-dimension stage) -
+// which is the mechanism distinguishing Crossformer; its segment merging is
+// an efficiency device for long sequences and is omitted.
+#ifndef TGCRN_BASELINES_TRANSFORMERS_H_
+#define TGCRN_BASELINES_TRANSFORMERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/forecast_model.h"
+#include "nn/attention.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+
+namespace tgcrn {
+namespace baselines {
+
+// One pre-norm transformer block: x + MHA(LN(x)), then x + FFN(LN(x)).
+class TransformerBlock : public nn::Module {
+ public:
+  TransformerBlock(int64_t d_model, int64_t num_heads, Rng* rng)
+      : attn_(d_model, num_heads, rng),
+        norm1_(d_model),
+        norm2_(d_model),
+        ff1_(d_model, 2 * d_model, rng),
+        ff2_(2 * d_model, d_model, rng) {
+    RegisterModule("attn", &attn_);
+    RegisterModule("norm1", &norm1_);
+    RegisterModule("norm2", &norm2_);
+    RegisterModule("ff1", &ff1_);
+    RegisterModule("ff2", &ff2_);
+  }
+
+  ag::Variable Forward(const ag::Variable& x) const {
+    ag::Variable n1 = norm1_.Forward(x);
+    ag::Variable a = ag::Add(x, attn_.Forward(n1, n1, n1));
+    ag::Variable n2 = norm2_.Forward(a);
+    return ag::Add(a, ff2_.Forward(ag::Relu(ff1_.Forward(n2))));
+  }
+
+  // Cross-attention flavour used by the decoder queries.
+  ag::Variable ForwardCross(const ag::Variable& q,
+                            const ag::Variable& kv) const {
+    ag::Variable a = ag::Add(q, attn_.Forward(norm1_.Forward(q), kv, kv));
+    ag::Variable n2 = norm2_.Forward(a);
+    return ag::Add(a, ff2_.Forward(ag::Relu(ff1_.Forward(n2))));
+  }
+
+ private:
+  nn::MultiHeadAttention attn_;
+  nn::LayerNorm norm1_;
+  nn::LayerNorm norm2_;
+  nn::Linear ff1_;
+  nn::Linear ff2_;
+};
+
+class InformerLite : public core::ForecastModel {
+ public:
+  struct Config {
+    int64_t num_nodes = 0;
+    int64_t input_dim = 2;
+    int64_t output_dim = 2;
+    int64_t horizon = 4;
+    int64_t input_steps = 4;
+    int64_t d_model = 32;
+    int64_t num_heads = 4;
+    int64_t num_layers = 2;
+  };
+
+  InformerLite(const Config& config, Rng* rng) : config_(config) {
+    input_proj_ = std::make_unique<nn::Linear>(
+        config.num_nodes * config.input_dim, config.d_model, rng);
+    RegisterModule("input_proj", input_proj_.get());
+    pos_embed_ = RegisterParameter(
+        "pos_embed",
+        nn::NormalInit({config.input_steps, config.d_model}, 0.1f, rng));
+    query_embed_ = RegisterParameter(
+        "query_embed",
+        nn::NormalInit({config.horizon, config.d_model}, 0.1f, rng));
+    for (int64_t l = 0; l < config.num_layers; ++l) {
+      encoder_.push_back(std::make_unique<TransformerBlock>(
+          config.d_model, config.num_heads, rng));
+      RegisterModule("enc" + std::to_string(l), encoder_.back().get());
+    }
+    decoder_ = std::make_unique<TransformerBlock>(config.d_model,
+                                                  config.num_heads, rng);
+    RegisterModule("decoder", decoder_.get());
+    head_ = std::make_unique<nn::Linear>(
+        config.d_model, config.num_nodes * config.output_dim, rng);
+    RegisterModule("head", head_.get());
+  }
+
+  ag::Variable Forward(const data::Batch& batch) override {
+    const int64_t b = batch.batch_size();
+    const int64_t p = batch.x.size(1);
+    TGCRN_CHECK_EQ(p, config_.input_steps);
+    ag::Variable x = ag::Reshape(
+        ag::Variable(batch.x),
+        {b, p, config_.num_nodes * config_.input_dim});
+    x = ag::Add(input_proj_->Forward(x), pos_embed_);  // [B, P, dm]
+    for (const auto& block : encoder_) x = block->Forward(x);
+    ag::Variable queries = ag::BroadcastTo(
+        ag::Unsqueeze(query_embed_, 0),
+        {b, config_.horizon, config_.d_model});
+    ag::Variable dec = decoder_->ForwardCross(queries, x);  // [B, Q, dm]
+    ag::Variable out = head_->Forward(dec);  // [B, Q, N*d]
+    return ag::Reshape(out, {b, config_.horizon, config_.num_nodes,
+                             config_.output_dim});
+  }
+
+  std::string name() const override { return "Informer"; }
+
+ private:
+  Config config_;
+  std::unique_ptr<nn::Linear> input_proj_;
+  ag::Variable pos_embed_;
+  ag::Variable query_embed_;
+  std::vector<std::unique_ptr<TransformerBlock>> encoder_;
+  std::unique_ptr<TransformerBlock> decoder_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+class CrossformerLite : public core::ForecastModel {
+ public:
+  struct Config {
+    int64_t num_nodes = 0;
+    int64_t input_dim = 2;
+    int64_t output_dim = 2;
+    int64_t horizon = 4;
+    int64_t input_steps = 4;
+    int64_t d_model = 24;
+    int64_t num_heads = 4;
+    int64_t num_layers = 2;
+  };
+
+  CrossformerLite(const Config& config, Rng* rng) : config_(config) {
+    input_proj_ =
+        std::make_unique<nn::Linear>(config.input_dim, config.d_model, rng);
+    RegisterModule("input_proj", input_proj_.get());
+    pos_embed_ = RegisterParameter(
+        "pos_embed",
+        nn::NormalInit({config.input_steps, config.d_model}, 0.1f, rng));
+    node_embed_ = RegisterParameter(
+        "node_embed",
+        nn::NormalInit({config.num_nodes, config.d_model}, 0.1f, rng));
+    for (int64_t l = 0; l < config.num_layers; ++l) {
+      time_blocks_.push_back(std::make_unique<TransformerBlock>(
+          config.d_model, config.num_heads, rng));
+      RegisterModule("time" + std::to_string(l), time_blocks_.back().get());
+      node_blocks_.push_back(std::make_unique<TransformerBlock>(
+          config.d_model, config.num_heads, rng));
+      RegisterModule("node" + std::to_string(l), node_blocks_.back().get());
+    }
+    head_ = std::make_unique<nn::Linear>(
+        config.d_model, config.horizon * config.output_dim, rng);
+    RegisterModule("head", head_.get());
+  }
+
+  ag::Variable Forward(const data::Batch& batch) override {
+    const int64_t b = batch.batch_size();
+    const int64_t p = batch.x.size(1);
+    const int64_t n = config_.num_nodes;
+    const int64_t dm = config_.d_model;
+    // [B, P, N, d] -> [B, P, N, dm] with time and node embeddings added.
+    ag::Variable x = input_proj_->Forward(ag::Variable(batch.x));
+    x = ag::Add(x, ag::Reshape(pos_embed_, {1, p, 1, dm}));
+    x = ag::Add(x, ag::Reshape(node_embed_, {1, 1, n, dm}));
+    for (size_t l = 0; l < time_blocks_.size(); ++l) {
+      // Stage 1: attention across time, nodes folded into the batch.
+      ag::Variable by_node =
+          ag::Reshape(ag::Permute(x, {0, 2, 1, 3}), {b * n, p, dm});
+      by_node = time_blocks_[l]->Forward(by_node);
+      x = ag::Permute(ag::Reshape(by_node, {b, n, p, dm}), {0, 2, 1, 3});
+      // Stage 2: attention across nodes, time folded into the batch.
+      ag::Variable by_time = ag::Reshape(x, {b * p, n, dm});
+      by_time = node_blocks_[l]->Forward(by_time);
+      x = ag::Reshape(by_time, {b, p, n, dm});
+    }
+    // Forecast from the final time step's node representations.
+    ag::Variable last = ag::Squeeze(ag::Slice(x, 1, p - 1, p), 1);
+    ag::Variable out = head_->Forward(last);  // [B, N, Q*d]
+    out = ag::Reshape(out, {b, n, config_.horizon, config_.output_dim});
+    return ag::Permute(out, {0, 2, 1, 3});
+  }
+
+  std::string name() const override { return "Crossformer"; }
+
+ private:
+  Config config_;
+  std::unique_ptr<nn::Linear> input_proj_;
+  ag::Variable pos_embed_;
+  ag::Variable node_embed_;
+  std::vector<std::unique_ptr<TransformerBlock>> time_blocks_;
+  std::vector<std::unique_ptr<TransformerBlock>> node_blocks_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace baselines
+}  // namespace tgcrn
+
+#endif  // TGCRN_BASELINES_TRANSFORMERS_H_

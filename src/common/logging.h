@@ -1,0 +1,76 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Minimal leveled logging to stderr. Training loops use LOG(INFO) for epoch
+// summaries; set TGCRN_LOG_LEVEL=WARNING (or ERROR) to silence them.
+#ifndef TGCRN_COMMON_LOGGING_H_
+#define TGCRN_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tgcrn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal {
+
+// Reads the minimum level once from the TGCRN_LOG_LEVEL environment variable.
+inline LogLevel MinLogLevel() {
+  static const LogLevel level = [] {
+    const char* env = std::getenv("TGCRN_LOG_LEVEL");
+    if (env == nullptr) return LogLevel::kInfo;
+    if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+    if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
+    if (std::strcmp(env, "WARNING") == 0) return LogLevel::kWarning;
+    if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+    return LogLevel::kInfo;
+  }();
+  return level;
+}
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    const char* base = std::strrchr(file, '/');
+    stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file)
+            << ":" << line << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= MinLogLevel()) {
+      stream_ << "\n";
+      std::fputs(stream_.str().c_str(), stderr);
+      std::fflush(stderr);
+    }
+  }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "D";
+      case LogLevel::kInfo:
+        return "I";
+      case LogLevel::kWarning:
+        return "W";
+      case LogLevel::kError:
+        return "E";
+    }
+    return "?";
+  }
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tgcrn
+
+#define TGCRN_LOG(level)                                                 \
+  ::tgcrn::internal::LogMessage(::tgcrn::LogLevel::k##level, __FILE__, \
+                                __LINE__)                                \
+      .stream()
+
+#endif  // TGCRN_COMMON_LOGGING_H_

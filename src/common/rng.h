@@ -1,0 +1,129 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Deterministic, seedable random number generation. Every stochastic
+// component in the library (weight init, samplers, simulators, dropout)
+// takes an explicit Rng so experiments are reproducible bit-for-bit.
+#ifndef TGCRN_COMMON_RNG_H_
+#define TGCRN_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tgcrn {
+
+// xoshiro256** PRNG seeded via SplitMix64. Fast, high quality, and fully
+// deterministic across platforms (unlike std::mt19937 distributions, whose
+// outputs are implementation-defined for e.g. normal_distribution).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  // Re-seeds the generator; identical seeds yield identical streams.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      state_[i] = z ^ (z >> 31);
+    }
+    has_cached_gaussian_ = false;
+  }
+
+  // Uniform 64-bit integer.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform float in [lo, hi).
+  float Uniform(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    TGCRN_CHECK_LE(lo, hi);
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextUint64() % range);
+  }
+
+  // Standard normal via Box-Muller with caching of the second deviate.
+  double NextGaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  // Normal with mean/stddev.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  // Poisson-distributed count with the given rate. Uses Knuth's method for
+  // small rates and a normal approximation for large ones (rate > 64),
+  // which is accurate enough for simulator traffic counts.
+  int64_t Poisson(double rate) {
+    TGCRN_CHECK_GE(rate, 0.0);
+    if (rate == 0.0) return 0;
+    if (rate > 64.0) {
+      const double v = Gaussian(rate, std::sqrt(rate));
+      return v < 0.0 ? 0 : static_cast<int64_t>(std::llround(v));
+    }
+    const double limit = std::exp(-rate);
+    double product = NextDouble();
+    int64_t count = 0;
+    while (product > limit) {
+      product *= NextDouble();
+      ++count;
+    }
+    return count;
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (int64_t i = static_cast<int64_t>(values->size()) - 1; i > 0; --i) {
+      const int64_t j = UniformInt(0, i);
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace tgcrn
+
+#endif  // TGCRN_COMMON_RNG_H_

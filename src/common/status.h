@@ -1,0 +1,136 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Status / Result<T> error-propagation types in the Arrow/RocksDB idiom.
+// Library code does not throw; fallible public APIs (I/O, configuration,
+// dataset construction) return Status or Result<T>.
+#ifndef TGCRN_COMMON_STATUS_H_
+#define TGCRN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace tgcrn {
+
+// Machine-readable error category; the message carries the human detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Returns a short stable name for a code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic success/error indicator.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    TGCRN_CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    if (ok()) return ok_status;
+    return std::get<Status>(payload_);
+  }
+
+  // Value accessors abort if the Result carries an error: callers must
+  // test ok() (or use the TGCRN_ASSIGN_OR_RETURN macro) first.
+  const T& ValueOrDie() const& {
+    TGCRN_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    TGCRN_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    TGCRN_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace tgcrn
+
+// Propagates a non-OK Status to the caller.
+#define TGCRN_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::tgcrn::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+// Evaluates a Result<T> expression; on success binds the value, on error
+// returns the Status to the caller.
+#define TGCRN_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).ValueOrDie();
+
+#define TGCRN_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define TGCRN_ASSIGN_OR_RETURN_NAME(x, y) TGCRN_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define TGCRN_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  TGCRN_ASSIGN_OR_RETURN_IMPL(                                               \
+      TGCRN_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)
+
+#endif  // TGCRN_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Utilities for the bench harness: aligned console tables (so bench output
+// mirrors the paper's tables) and CSV export for downstream plotting.
+#ifndef TGCRN_COMMON_TABLE_PRINTER_H_
+#define TGCRN_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tgcrn {
+
+// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision ("-" for NaN).
+  static std::string Num(double value, int precision = 2);
+
+  // Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+  // Prints ToString() to stdout.
+  void Print() const;
+
+  // Writes the table as CSV. Creates parent directories if needed.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tgcrn
+
+#endif  // TGCRN_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,50 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// The interface every forecasting model in this repository implements
+// (TGCRN and all neural baselines), so the trainer and bench harnesses are
+// model-agnostic. Non-neural baselines (HA, GBDT) have their own fit/predict
+// surfaces in src/baselines and are evaluated by the same harness through
+// thin adapters.
+#ifndef TGCRN_CORE_FORECAST_MODEL_H_
+#define TGCRN_CORE_FORECAST_MODEL_H_
+
+#include <string>
+
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace tgcrn {
+namespace core {
+
+class ForecastModel : public nn::Module {
+ public:
+  // Multi-step forecast in *scaled* space: [B, Q, N, d_out].
+  virtual ag::Variable Forward(const data::Batch& batch) = 0;
+
+  // Optional auxiliary training loss (TGCRN's L_time, Eq 17); an undefined
+  // Variable means "none".
+  virtual ag::Variable AuxiliaryLoss(const data::Batch& batch, Rng* rng) {
+    (void)batch;
+    (void)rng;
+    return {};
+  }
+
+  // Weight of the auxiliary loss (lambda in Eq 17).
+  virtual float auxiliary_weight() const { return 0.0f; }
+
+  // Scheduled sampling (curriculum learning, as in DCRNN): probability of
+  // feeding the decoder the ground-truth previous step instead of the
+  // model's own prediction during training. The trainer anneals this from
+  // 1 toward 0; models without a recursive decoder ignore it.
+  virtual void SetTeacherForcingProbability(float probability) {
+    (void)probability;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace core
+}  // namespace tgcrn
+
+#endif  // TGCRN_CORE_FORECAST_MODEL_H_

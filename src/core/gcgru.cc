@@ -1,0 +1,109 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "core/gcgru.h"
+
+namespace tgcrn {
+namespace core {
+
+GCGRUCell::GCGRUCell(int64_t input_dim, int64_t hidden_dim,
+                     int64_t node_embed_dim, int64_t time_embed_dim,
+                     Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      node_embed_dim_(node_embed_dim),
+      time_embed_dim_(time_embed_dim) {
+  TGCRN_CHECK_GT(node_embed_dim, 0);
+  // Convolution order 2, as in AGCRN (the paper's base): the supports are
+  // [I, A_hat], so each gate sees [v ; A_hat v] -> input width 2 * cat.
+  const int64_t cat = 2 * (input_dim + hidden_dim);
+  const int64_t d_e = node_embed_dim + time_embed_dim;
+  auto make_pool_w = [&](const char* name, int64_t rows, int64_t out) {
+    return RegisterParameter(
+        name, nn::XavierUniform({rows, cat * out}, cat * d_e / 2, out, rng));
+  };
+  gates_pool_w_node_ =
+      make_pool_w("gates_pool_w_node", node_embed_dim, 2 * hidden_dim);
+  gates_pool_b_node_ = RegisterParameter(
+      "gates_pool_b_node", Tensor::Zeros({node_embed_dim, 2 * hidden_dim}));
+  cand_pool_w_node_ =
+      make_pool_w("cand_pool_w_node", node_embed_dim, hidden_dim);
+  cand_pool_b_node_ = RegisterParameter(
+      "cand_pool_b_node", Tensor::Zeros({node_embed_dim, hidden_dim}));
+  if (time_embed_dim > 0) {
+    gates_pool_w_time_ =
+        make_pool_w("gates_pool_w_time", time_embed_dim, 2 * hidden_dim);
+    gates_pool_b_time_ = RegisterParameter(
+        "gates_pool_b_time",
+        Tensor::Zeros({time_embed_dim, 2 * hidden_dim}));
+    cand_pool_w_time_ =
+        make_pool_w("cand_pool_w_time", time_embed_dim, hidden_dim);
+    cand_pool_b_time_ = RegisterParameter(
+        "cand_pool_b_time", Tensor::Zeros({time_embed_dim, hidden_dim}));
+  }
+}
+
+ag::Variable GCGRUCell::NodeAdaptiveConv(
+    const ag::Variable& value, const ag::Variable& adj,
+    const ag::Variable& node_embed, const ag::Variable& time_embed,
+    const ag::Variable& pool_w_node, const ag::Variable& pool_w_time,
+    const ag::Variable& pool_b_node, const ag::Variable& pool_b_time,
+    int64_t in_dim, int64_t out_dim) const {
+  const int64_t batch = value.size(0);
+  const int64_t n = value.size(1);
+  TGCRN_CHECK_EQ(2 * value.size(2), in_dim);
+  // Order-2 spatial aggregation over the time-aware graph: [I v ; A v].
+  ag::Variable support =
+      ag::Concat({value, ag::Matmul(adj, value)}, -1);  // [B, N, 2C]
+
+  // Node term: W_nu[n] = E_nu[n] @ pool, contracted per node.
+  ag::Variable w_node = ag::Reshape(ag::Matmul(node_embed, pool_w_node),
+                                    {n, in_dim, out_dim});
+  ag::Variable by_node = ag::Permute(support, {1, 0, 2});  // [N, B, C]
+  ag::Variable out_node =
+      ag::Permute(ag::Matmul(by_node, w_node), {1, 0, 2});  // [B, N, out]
+  ag::Variable b_node =
+      ag::Unsqueeze(ag::Matmul(node_embed, pool_b_node), 0);  // [1, N, out]
+  ag::Variable out = ag::Add(out_node, b_node);
+
+  if (time_embed.defined()) {
+    TGCRN_CHECK_EQ(time_embed.size(0), batch);
+    // Time term: W_tau[b] = E_tau[b] @ pool, contracted per sample.
+    ag::Variable w_time = ag::Reshape(ag::Matmul(time_embed, pool_w_time),
+                                      {batch, in_dim, out_dim});
+    ag::Variable out_time = ag::Matmul(support, w_time);  // [B, N, out]
+    ag::Variable b_time = ag::Unsqueeze(
+        ag::Matmul(time_embed, pool_b_time), 1);  // [B, 1, out]
+    out = ag::Add(ag::Add(out, out_time), b_time);
+  }
+  return out;
+}
+
+ag::Variable GCGRUCell::Forward(const ag::Variable& x, const ag::Variable& h,
+                                const ag::Variable& adj,
+                                const ag::Variable& node_embed,
+                                const ag::Variable& time_embed) const {
+  TGCRN_CHECK_EQ(x.size(2), input_dim_);
+  TGCRN_CHECK_EQ(h.size(2), hidden_dim_);
+  TGCRN_CHECK_EQ(time_embed.defined() ? 1 : 0, time_embed_dim_ > 0 ? 1 : 0)
+      << "time_embed presence must match construction";
+  const int64_t cat = 2 * (input_dim_ + hidden_dim_);
+  // Eq 13-14: update and reset gates from the aggregated [X ; h].
+  ag::Variable xh = ag::Concat({x, h}, -1);
+  ag::Variable zr = ag::Sigmoid(NodeAdaptiveConv(
+      xh, adj, node_embed, time_embed, gates_pool_w_node_,
+      gates_pool_w_time_, gates_pool_b_node_, gates_pool_b_time_, cat,
+      2 * hidden_dim_));
+  ag::Variable z = ag::Slice(zr, -1, 0, hidden_dim_);
+  ag::Variable r = ag::Slice(zr, -1, hidden_dim_, 2 * hidden_dim_);
+  // Eq 15: candidate state from [X ; r .* h].
+  ag::Variable xrh = ag::Concat({x, ag::Mul(r, h)}, -1);
+  ag::Variable cand = ag::Tanh(NodeAdaptiveConv(
+      xrh, adj, node_embed, time_embed, cand_pool_w_node_,
+      cand_pool_w_time_, cand_pool_b_node_, cand_pool_b_time_, cat,
+      hidden_dim_));
+  // Eq 16.
+  ag::Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+  return ag::Add(ag::Mul(one_minus_z, h), ag::Mul(z, cand));
+}
+
+}  // namespace core
+}  // namespace tgcrn

@@ -1,0 +1,82 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "core/tagsl.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace tgcrn {
+namespace core {
+
+TagSL::TagSL(const Options& options, const TimeEncoder* time_encoder,
+             Rng* rng)
+    : options_(options), time_encoder_(time_encoder) {
+  TGCRN_CHECK_GT(options_.num_nodes, 0);
+  if (options_.use_time) {
+    TGCRN_CHECK(time_encoder_ != nullptr)
+        << "TagSL with use_time requires a time encoder";
+  }
+  node_embedding_ = RegisterParameter(
+      "node_embedding",
+      nn::NormalInit({options_.num_nodes, options_.node_dim}, 0.3f, rng));
+}
+
+ag::Variable TagSL::BuildRawGraph(const ag::Variable& x_t,
+                                  const std::vector<int64_t>& slots,
+                                  const std::vector<int64_t>& prev_slots)
+    const {
+  const int64_t batch = x_t.size(0);
+  TGCRN_CHECK_EQ(x_t.size(1), options_.num_nodes);
+
+  // Eq 6: static node-pair correlation, shared across the batch.
+  ag::Variable a_nu = ag::Matmul(node_embedding_,
+                                 ag::Transpose(node_embedding_, 0, 1));
+  ag::Variable base = ag::Unsqueeze(a_nu, 0);  // [1, N, N]
+
+  if (options_.use_time) {
+    TGCRN_CHECK_EQ(static_cast<int64_t>(slots.size()), batch);
+    TGCRN_CHECK_EQ(static_cast<int64_t>(prev_slots.size()), batch);
+    // Eq 7: trend factor from consecutive time representations. Scaled by
+    // 1/d_tau so its magnitude is invariant to the embedding width.
+    ag::Variable e_t = time_encoder_->Encode(slots);          // [B, d_tau]
+    ag::Variable e_prev = time_encoder_->Encode(prev_slots);  // [B, d_tau]
+    ag::Variable eta = ag::MulScalar(
+        ag::Sum(ag::Mul(e_t, e_prev), 1, /*keepdim=*/true),
+        1.0f / static_cast<float>(time_encoder_->dim()));  // [B, 1]
+    eta = ag::Unsqueeze(eta, 2);  // [B, 1, 1]
+    base = ag::Add(base, eta);    // broadcast -> [B, N, N]
+  }
+
+  if (options_.use_pdf) {
+    // Eq 8: the periodic discriminant maps the current node states to a
+    // bounded pattern matrix. The inner product is scaled by 1/sqrt(C)
+    // (paper uses raw <X, X^T>; the scaling keeps tanh out of saturation
+    // for z-scored features without changing its discriminative role).
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(x_t.size(2)));
+    ag::Variable a_rho = ag::Tanh(ag::MulScalar(
+        ag::Matmul(x_t, ag::Transpose(x_t, -2, -1)), scale));  // [B, N, N]
+    // Eq 9: (1 + alpha * sigmoid(A_rho)) expands the graph weights of the
+    // identified period.
+    ag::Variable gate =
+        ag::AddScalar(ag::MulScalar(ag::Sigmoid(a_rho), options_.alpha),
+                      1.0f);
+    base = ag::Mul(gate, base);
+  } else if (base.value().dim() == 3 && base.size(0) == 1 && batch > 1) {
+    // Keep the output batch-shaped even without batch-dependent terms.
+    base = ag::BroadcastTo(base, {batch, options_.num_nodes,
+                                  options_.num_nodes});
+  }
+  return base;
+}
+
+ag::Variable TagSL::BuildGraph(const ag::Variable& x_t,
+                               const std::vector<int64_t>& slots,
+                               const std::vector<int64_t>& prev_slots) const {
+  // Eq 11: Norm = row-softmax over relu, yielding a row-stochastic
+  // aggregation operator.
+  return ag::Softmax(ag::Relu(BuildRawGraph(x_t, slots, prev_slots)), -1);
+}
+
+}  // namespace core
+}  // namespace tgcrn

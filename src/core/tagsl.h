@@ -1,0 +1,64 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Time-aware Graph Structure Learning (TagSL), Section III-A of the paper.
+// Builds the per-time-step adjacency
+//
+//   A_nu    = <E_nu, E_nu^T>                       (Eq 6,  static correlation)
+//   eta_t   = <E_tau(t), E_tau(t-1)>               (Eq 7,  trend factor)
+//   A_rho   = tanh(<X_t, X_t^T>)                   (Eq 8,  periodic discriminant)
+//   A^t     = (1 + alpha * sigmoid(A_rho)) .* (A_nu + eta_t)   (Eq 9)
+//
+// followed by Norm(A^t) = row-softmax over relu(A^t) (Eq 11, the AGCRN
+// convention the paper builds on). Ablation switches disable the time term
+// (yielding the pure self-learning graph of AGCRN, the paper's "w/o tagsl")
+// and the periodic discriminant ("w/o PDF").
+#ifndef TGCRN_CORE_TAGSL_H_
+#define TGCRN_CORE_TAGSL_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "core/time_encoders.h"
+#include "nn/module.h"
+
+namespace tgcrn {
+namespace core {
+
+class TagSL : public nn::Module {
+ public:
+  struct Options {
+    int64_t num_nodes = 0;
+    int64_t node_dim = 12;       // d_nu
+    float alpha = 0.3f;          // saturation factor of the PDF (Eq 9)
+    bool use_time = true;        // include eta_t (false => self-learning)
+    bool use_pdf = true;         // include the periodic discriminant
+  };
+
+  // `time_encoder` is borrowed (owned by the enclosing model) and may be
+  // null when options.use_time is false.
+  TagSL(const Options& options, const TimeEncoder* time_encoder, Rng* rng);
+
+  // Builds the normalized time-aware adjacency [B, N, N].
+  // x_t:   [B, N, C] node states at this step (layer input).
+  // slots / prev_slots: per-sample slot-of-day ids at t and t-1.
+  ag::Variable BuildGraph(const ag::Variable& x_t,
+                          const std::vector<int64_t>& slots,
+                          const std::vector<int64_t>& prev_slots) const;
+
+  // Pre-normalization A^t of Eq 9 (for the Fig 11 visualizations).
+  ag::Variable BuildRawGraph(const ag::Variable& x_t,
+                             const std::vector<int64_t>& slots,
+                             const std::vector<int64_t>& prev_slots) const;
+
+  const ag::Variable& node_embedding() const { return node_embedding_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  const TimeEncoder* time_encoder_;
+  ag::Variable node_embedding_;  // E_nu [N, d_nu]
+};
+
+}  // namespace core
+}  // namespace tgcrn
+
+#endif  // TGCRN_CORE_TAGSL_H_

@@ -1,0 +1,230 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "core/tgcrn.h"
+
+namespace tgcrn {
+namespace core {
+
+TGCRN::TGCRN(const TGCRNConfig& config, Rng* rng)
+    : config_(config), sampling_rng_(config.sampling_seed) {
+  TGCRN_CHECK_GT(config_.num_nodes, 0);
+  TGCRN_CHECK_GE(config_.num_layers, 1);
+
+  if (UsesTime()) {
+    switch (config_.time_encoder) {
+      case TGCRNConfig::TimeEncoderKind::kDiscrete:
+        time_encoder_ = std::make_unique<DiscreteTimeEmbedding>(
+            config_.steps_per_day, config_.time_embed_dim, rng);
+        break;
+      case TGCRNConfig::TimeEncoderKind::kTime2vec:
+        time_encoder_ = std::make_unique<Time2vecEncoder>(
+            config_.time_embed_dim, config_.steps_per_day, rng);
+        break;
+      case TGCRNConfig::TimeEncoderKind::kContinuous:
+        time_encoder_ = std::make_unique<ContinuousTimeEncoder>(
+            config_.time_embed_dim, config_.steps_per_day, rng);
+        break;
+    }
+    RegisterModule("time_encoder", time_encoder_.get());
+  }
+
+  TagSL::Options tagsl_options;
+  tagsl_options.num_nodes = config_.num_nodes;
+  tagsl_options.node_dim = config_.node_embed_dim;
+  tagsl_options.alpha = config_.alpha;
+  tagsl_options.use_time = UsesTime();
+  tagsl_options.use_pdf = config_.use_tagsl && config_.use_pdf;
+  tagsl_ = std::make_unique<TagSL>(tagsl_options, time_encoder_.get(), rng);
+  RegisterModule("tagsl", tagsl_.get());
+
+  const int64_t time_dim = UsesTime() ? config_.time_embed_dim : 0;
+  embed_dim_ = config_.node_embed_dim + time_dim;
+
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    const int64_t enc_in = l == 0 ? config_.input_dim : config_.hidden_dim;
+    encoder_cells_.push_back(std::make_unique<GCGRUCell>(
+        enc_in, config_.hidden_dim, config_.node_embed_dim, time_dim, rng));
+    RegisterModule("encoder_cell" + std::to_string(l),
+                   encoder_cells_.back().get());
+  }
+  if (config_.use_encoder_decoder) {
+    for (int64_t l = 0; l < config_.num_layers; ++l) {
+      const int64_t dec_in = l == 0 ? config_.output_dim : config_.hidden_dim;
+      decoder_cells_.push_back(std::make_unique<GCGRUCell>(
+          dec_in, config_.hidden_dim, config_.node_embed_dim, time_dim,
+          rng));
+      RegisterModule("decoder_cell" + std::to_string(l),
+                     decoder_cells_.back().get());
+    }
+    output_layer_ = std::make_unique<nn::Linear>(config_.hidden_dim,
+                                                 config_.output_dim, rng);
+    RegisterModule("output_layer", output_layer_.get());
+  } else {
+    direct_head_ = std::make_unique<nn::Linear>(
+        config_.hidden_dim, config_.horizon * config_.output_dim, rng);
+    RegisterModule("direct_head", direct_head_.get());
+  }
+}
+
+std::vector<int64_t> TGCRN::SlotColumn(
+    const std::vector<std::vector<int64_t>>& rows, int64_t t) {
+  std::vector<int64_t> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    TGCRN_CHECK_LT(t, static_cast<int64_t>(row.size()));
+    out.push_back(row[t]);
+  }
+  return out;
+}
+
+std::vector<int64_t> TGCRN::PrevSlots(const std::vector<int64_t>& slots,
+                                      int64_t steps_per_day) {
+  std::vector<int64_t> out;
+  out.reserve(slots.size());
+  for (int64_t s : slots) {
+    out.push_back((s + steps_per_day - 1) % steps_per_day);
+  }
+  return out;
+}
+
+ag::Variable TGCRN::BuildEmbed(int64_t batch,
+                               const std::vector<int64_t>& slots) const {
+  // The per-step time representation E_tau,t of Eq 12 ([B, d_tau]); the
+  // node half E_nu is passed to GCGRU separately (the factorized form of
+  // the concatenation - see gcgru.h).
+  (void)batch;
+  if (!UsesTime()) return {};
+  return time_encoder_->Encode(slots);
+}
+
+ag::Variable TGCRN::Forward(const data::Batch& batch) {
+  const int64_t b = batch.batch_size();
+  const int64_t n = config_.num_nodes;
+  const int64_t p = batch.x.size(1);
+  TGCRN_CHECK_EQ(batch.x.size(2), n);
+
+  // --- Encoder ---------------------------------------------------------------
+  std::vector<ag::Variable> hidden(config_.num_layers);
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    hidden[l] = ag::Variable(Tensor::Zeros({b, n, config_.hidden_dim}));
+  }
+  ag::Variable x_all{batch.x};  // constant input [B, P, N, d]
+  const int64_t refresh = std::max<int64_t>(config_.graph_refresh_interval,
+                                            1);
+  std::vector<ag::Variable> cached_adj(config_.num_layers);
+  for (int64_t t = 0; t < p; ++t) {
+    const std::vector<int64_t> slots = SlotColumn(batch.x_slots, t);
+    const std::vector<int64_t> prev =
+        t == 0 ? PrevSlots(slots, config_.steps_per_day)
+               : SlotColumn(batch.x_slots, t - 1);
+    ag::Variable input =
+        ag::Squeeze(ag::Slice(x_all, 1, t, t + 1), 1);  // [B, N, d]
+    ag::Variable time_embed = BuildEmbed(b, slots);
+    for (int64_t l = 0; l < config_.num_layers; ++l) {
+      // Each layer learns its own time-aware graph from its own input
+      // state (Section III-C: X^i = h^{i-1}); with refresh > 1 the graph
+      // is rebuilt lazily (paper Section IV-C3's proposed optimization).
+      if (t % refresh == 0 || !cached_adj[l].defined()) {
+        cached_adj[l] = tagsl_->BuildGraph(input, slots, prev);
+      }
+      input = encoder_cells_[l]->Forward(input, hidden[l], cached_adj[l],
+                                         tagsl_->node_embedding(),
+                                         time_embed);
+      if (config_.inter_layer_dropout > 0.0f &&
+          l + 1 < config_.num_layers) {
+        input = ag::Dropout(input, config_.inter_layer_dropout, training(),
+                            &sampling_rng_);
+      }
+      hidden[l] = input;
+    }
+  }
+
+  if (!config_.use_encoder_decoder) {
+    // Table VII "w/o enc-dec": a fully connected head maps the last hidden
+    // state directly to all Q steps.
+    ag::Variable flat = direct_head_->Forward(hidden.back());  // [B,N,Q*d]
+    ag::Variable shaped = ag::Reshape(
+        flat, {b, n, config_.horizon, config_.output_dim});
+    return ag::Permute(shaped, {0, 2, 1, 3});  // [B, Q, N, d]
+  }
+
+  // --- Decoder ---------------------------------------------------------------
+  // Hidden states initialized from the encoder; inputs are the model's own
+  // previous predictions (recursive multi-step decoding).
+  ag::Variable dec_input{Tensor::Zeros({b, n, config_.output_dim})};
+  std::vector<ag::Variable> outputs;
+  std::vector<int64_t> prev_slots = SlotColumn(batch.x_slots, p - 1);
+  for (int64_t q = 0; q < config_.horizon; ++q) {
+    const std::vector<int64_t> slots = SlotColumn(batch.y_slots, q);
+    ag::Variable time_embed = BuildEmbed(b, slots);
+    ag::Variable input = dec_input;
+    for (int64_t l = 0; l < config_.num_layers; ++l) {
+      if (q % refresh == 0 || !cached_adj[l].defined()) {
+        cached_adj[l] = tagsl_->BuildGraph(input, slots, prev_slots);
+      }
+      input = decoder_cells_[l]->Forward(input, hidden[l], cached_adj[l],
+                                         tagsl_->node_embedding(),
+                                         time_embed);
+      hidden[l] = input;
+    }
+    ag::Variable y = output_layer_->Forward(hidden.back());  // [B, N, d_out]
+    outputs.push_back(y);
+    // Scheduled sampling: while training, with probability
+    // teacher_forcing_ the decoder is fed the ground truth for this step
+    // (detached from the graph) instead of its own prediction.
+    if (training() && teacher_forcing_ > 0.0f &&
+        sampling_rng_.NextDouble() < teacher_forcing_) {
+      dec_input = ag::Variable(
+          batch.y_scaled.Slice(1, q, q + 1).Squeeze(1).Clone());
+    } else {
+      dec_input = y;
+    }
+    prev_slots = slots;
+  }
+  return ag::Stack(outputs, 1);  // [B, Q, N, d_out]
+}
+
+ag::Variable TGCRN::AuxiliaryLoss(const data::Batch& batch, Rng* rng) {
+  if (!config_.use_tdl || !UsesTime() ||
+      config_.time_encoder != TGCRNConfig::TimeEncoderKind::kDiscrete) {
+    return {};
+  }
+  // Rows are the windows' full P+Q slot sequences; gamma = P/2 (paper:
+  // "we set gamma_triangle half of the length of the input time steps").
+  std::vector<std::vector<int64_t>> rows;
+  rows.reserve(batch.x_slots.size());
+  for (size_t i = 0; i < batch.x_slots.size(); ++i) {
+    std::vector<int64_t> row = batch.x_slots[i];
+    row.insert(row.end(), batch.y_slots[i].begin(), batch.y_slots[i].end());
+    rows.push_back(std::move(row));
+  }
+  const int64_t gamma =
+      std::max<int64_t>(1, static_cast<int64_t>(batch.x_slots[0].size()) / 2);
+  return TimeDiscrepancyLossFromRows(*time_encoder_, rows, gamma,
+                                     config_.steps_per_day, rng);
+}
+
+Tensor TGCRN::LearnedAdjacency(const Tensor& x_t,
+                               const std::vector<int64_t>& slots) const {
+  ag::Variable x{x_t.dim() == 2 ? x_t.Unsqueeze(0) : x_t};
+  ag::Variable adj = tagsl_->BuildGraph(
+      x, slots, PrevSlots(slots, config_.steps_per_day));
+  return adj.value().Mean(0);
+}
+
+Tensor TGCRN::LearnedRawAdjacency(const Tensor& x_t,
+                                  const std::vector<int64_t>& slots) const {
+  ag::Variable x{x_t.dim() == 2 ? x_t.Unsqueeze(0) : x_t};
+  ag::Variable adj = tagsl_->BuildRawGraph(
+      x, slots, PrevSlots(slots, config_.steps_per_day));
+  return adj.value().dim() == 3 ? adj.value().Mean(0) : adj.value();
+}
+
+Tensor TGCRN::TimeEmbeddingTable() const {
+  auto* discrete = dynamic_cast<DiscreteTimeEmbedding*>(time_encoder_.get());
+  TGCRN_CHECK(discrete != nullptr)
+      << "time embedding table only exists for the discrete encoder";
+  return discrete->weight().value();
+}
+
+}  // namespace core
+}  // namespace tgcrn

@@ -1,0 +1,118 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "core/time_discrepancy.h"
+
+#include <algorithm>
+
+namespace tgcrn {
+namespace core {
+
+int64_t CircularSlotDistance(int64_t a, int64_t b, int64_t steps_per_day) {
+  const int64_t diff = std::abs(a - b) % steps_per_day;
+  return std::min(diff, steps_per_day - diff);
+}
+
+TimeDistanceSamples SampleTimeDistances(
+    const std::vector<std::vector<int64_t>>& slot_rows,
+    int64_t adjacent_range, Rng* rng) {
+  TGCRN_CHECK(!slot_rows.empty());
+  TGCRN_CHECK_GE(adjacent_range, 1);
+  const int64_t b = static_cast<int64_t>(slot_rows.size());
+  TimeDistanceSamples out;
+  for (int64_t i = 0; i < b; ++i) {
+    const auto& row = slot_rows[i];
+    const int64_t len = static_cast<int64_t>(row.size());
+    TGCRN_CHECK_GE(len, 2);
+    // Anchor: random position in this row (Algorithm 1 line 3).
+    const int64_t anchor_pos = rng->UniformInt(0, len - 1);
+    out.anchor.push_back(row[anchor_pos]);
+    // Adjacent: a different position within +-adjacent_range (line 5).
+    int64_t adj_pos = anchor_pos;
+    for (int attempt = 0; attempt < 8 && adj_pos == anchor_pos; ++attempt) {
+      adj_pos = std::clamp<int64_t>(
+          anchor_pos + rng->UniformInt(-adjacent_range, adjacent_range), 0,
+          len - 1);
+    }
+    if (adj_pos == anchor_pos) adj_pos = anchor_pos == 0 ? 1 : anchor_pos - 1;
+    out.adjacent.push_back(row[adj_pos]);
+    // Mid-distance: a position outside the adjacent range (line 7). When
+    // the window is too short to have one, take the farthest position.
+    std::vector<int64_t> mid_candidates;
+    for (int64_t p = 0; p < len; ++p) {
+      if (std::abs(p - anchor_pos) > adjacent_range) {
+        mid_candidates.push_back(p);
+      }
+    }
+    int64_t mid_pos;
+    if (mid_candidates.empty()) {
+      mid_pos = anchor_pos < len / 2 ? len - 1 : 0;
+    } else {
+      mid_pos = mid_candidates[rng->UniformInt(
+          0, static_cast<int64_t>(mid_candidates.size()) - 1)];
+    }
+    out.mid.push_back(row[mid_pos]);
+    // Distant: any slot from another row (lines 9-11).
+    int64_t other_row = i;
+    if (b > 1) {
+      other_row = rng->UniformInt(0, b - 2);
+      if (other_row >= i) ++other_row;
+    }
+    const auto& other = slot_rows[other_row];
+    out.distant.push_back(
+        other[rng->UniformInt(0, static_cast<int64_t>(other.size()) - 1)]);
+  }
+  return out;
+}
+
+namespace {
+
+// Euclidean distance between each group embedding and the anchor embedding
+// (Eq 4), divided elementwise by the slot distances (Eq 5).
+ag::Variable DistanceRatio(const TimeEncoder& encoder,
+                           const std::vector<int64_t>& anchor,
+                           const std::vector<int64_t>& group,
+                           int64_t steps_per_day) {
+  ag::Variable ea = encoder.Encode(anchor);  // [B, d]
+  ag::Variable eg = encoder.Encode(group);   // [B, d]
+  ag::Variable diff = ag::Sub(eg, ea);
+  // Epsilon inside the sqrt keeps the gradient finite when the two slots
+  // coincide (zeta == 0).
+  ag::Variable zeta = ag::Sqrt(
+      ag::AddScalar(ag::Sum(ag::Mul(diff, diff), 1), 1e-8f));  // [B]
+  Tensor inv_d(Shape{static_cast<int64_t>(anchor.size())});
+  for (size_t i = 0; i < anchor.size(); ++i) {
+    const int64_t d = std::max<int64_t>(
+        CircularSlotDistance(anchor[i], group[i], steps_per_day), 1);
+    inv_d.set_flat(static_cast<int64_t>(i), 1.0f / static_cast<float>(d));
+  }
+  return ag::Mul(zeta, ag::Variable(inv_d));
+}
+
+}  // namespace
+
+ag::Variable TimeDiscrepancyLoss(const TimeEncoder& encoder,
+                                 const TimeDistanceSamples& samples,
+                                 int64_t steps_per_day) {
+  ag::Variable r_adj =
+      DistanceRatio(encoder, samples.anchor, samples.adjacent, steps_per_day);
+  ag::Variable r_mid =
+      DistanceRatio(encoder, samples.anchor, samples.mid, steps_per_day);
+  ag::Variable r_dist =
+      DistanceRatio(encoder, samples.anchor, samples.distant, steps_per_day);
+  // Eq 3: all three pairwise ratio consistencies.
+  ag::Variable loss = ag::MeanAll(ag::Abs(ag::Sub(r_adj, r_mid)));
+  loss = ag::Add(loss, ag::MeanAll(ag::Abs(ag::Sub(r_adj, r_dist))));
+  loss = ag::Add(loss, ag::MeanAll(ag::Abs(ag::Sub(r_mid, r_dist))));
+  return loss;
+}
+
+ag::Variable TimeDiscrepancyLossFromRows(
+    const TimeEncoder& encoder,
+    const std::vector<std::vector<int64_t>>& slot_rows,
+    int64_t adjacent_range, int64_t steps_per_day, Rng* rng) {
+  const TimeDistanceSamples samples =
+      SampleTimeDistances(slot_rows, adjacent_range, rng);
+  return TimeDiscrepancyLoss(encoder, samples, steps_per_day);
+}
+
+}  // namespace core
+}  // namespace tgcrn

@@ -1,0 +1,53 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Time Discrepancy Learning (Section III-A2): the self-supervised
+// regularizer that makes distances between time representations
+// proportional to distances between time steps. Implements the
+// time-distance sampling of Algorithm 1 and the ratio loss of Eq 3-5.
+#ifndef TGCRN_CORE_TIME_DISCREPANCY_H_
+#define TGCRN_CORE_TIME_DISCREPANCY_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "core/time_encoders.h"
+
+namespace tgcrn {
+namespace core {
+
+// The four sample groups of Algorithm 1, one entry per batch row.
+struct TimeDistanceSamples {
+  std::vector<int64_t> anchor;    // X_tau_O
+  std::vector<int64_t> adjacent;  // X_tau_triangle (within gamma of anchor)
+  std::vector<int64_t> mid;       // X_tau_diamond  (outside adjacent range)
+  std::vector<int64_t> distant;   // X_tau_nabla    (from another row)
+};
+
+// Runs Algorithm 1 over `slot_rows` (one row of consecutive slot ids per
+// batch sample, the window's P+Q slots). `adjacent_range` is gamma_triangle;
+// the paper sets it to half the input length.
+TimeDistanceSamples SampleTimeDistances(
+    const std::vector<std::vector<int64_t>>& slot_rows,
+    int64_t adjacent_range, Rng* rng);
+
+// Circular distance between two slot ids on a day of `steps_per_day` slots
+// (the embedding table domain is the day, so 23:45 and 00:00 are adjacent).
+int64_t CircularSlotDistance(int64_t a, int64_t b, int64_t steps_per_day);
+
+// Eq 3: L_time = sum over group pairs of || zeta_i/d_i - zeta_j/d_j ||_1,
+// where zeta is the Euclidean embedding distance to the anchor (Eq 4) and d
+// the slot distance (Eq 5). Returns a scalar Variable wired into E_tau.
+ag::Variable TimeDiscrepancyLoss(const TimeEncoder& encoder,
+                                 const TimeDistanceSamples& samples,
+                                 int64_t steps_per_day);
+
+// Convenience: sampling + loss from a batch's slot rows.
+ag::Variable TimeDiscrepancyLossFromRows(
+    const TimeEncoder& encoder,
+    const std::vector<std::vector<int64_t>>& slot_rows,
+    int64_t adjacent_range, int64_t steps_per_day, Rng* rng);
+
+}  // namespace core
+}  // namespace tgcrn
+
+#endif  // TGCRN_CORE_TIME_DISCREPANCY_H_

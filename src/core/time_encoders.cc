@@ -1,0 +1,45 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "core/time_encoders.h"
+
+namespace tgcrn {
+namespace core {
+
+ag::Variable Time2vecEncoder::SinOp(const ag::Variable& x) {
+  Tensor y = x.value().Map([](float v) { return std::sin(v); });
+  auto xn = x.node();
+  return ag::MakeOpNode(std::move(y), {x}, [xn](const Tensor& g) {
+    Tensor cosx = xn->value.Map([](float v) { return std::cos(v); });
+    xn->AccumulateGrad(g.Mul(cosx));
+  });
+}
+
+ag::Variable ContinuousTimeEncoder::Encode(
+    const std::vector<int64_t>& slots) const {
+  const int64_t b = static_cast<int64_t>(slots.size());
+  const int64_t half = dim_ / 2;
+  Tensor t(Shape{b, 1});
+  for (int64_t i = 0; i < b; ++i) {
+    t.set_flat(i, 2.0f * static_cast<float>(M_PI) *
+                      static_cast<float>(slots[i]) / steps_per_day_);
+  }
+  ag::Variable arg = ag::Mul(ag::Variable(t), freq_);  // [B, half]
+  // cos/sin via MakeOpNode closures sharing the arg node.
+  auto an = arg.node();
+  Tensor cos_val = arg.value().Map([](float v) { return std::cos(v); });
+  ag::Variable cos_part =
+      ag::MakeOpNode(std::move(cos_val), {arg}, [an](const Tensor& g) {
+        Tensor d = an->value.Map([](float v) { return -std::sin(v); });
+        an->AccumulateGrad(g.Mul(d));
+      });
+  Tensor sin_val = arg.value().Map([](float v) { return std::sin(v); });
+  ag::Variable sin_part =
+      ag::MakeOpNode(std::move(sin_val), {arg}, [an](const Tensor& g) {
+        Tensor d = an->value.Map([](float v) { return std::cos(v); });
+        an->AccumulateGrad(g.Mul(d));
+      });
+  const float norm = std::sqrt(1.0f / static_cast<float>(half));
+  return ag::MulScalar(ag::Concat({cos_part, sin_part}, 1), norm);
+}
+
+}  // namespace core
+}  // namespace tgcrn

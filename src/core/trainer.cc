@@ -1,0 +1,166 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "core/trainer.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+#include "optim/optimizer.h"
+
+namespace tgcrn {
+namespace core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Collects raw-space predictions and targets for a whole split.
+void PredictSplit(ForecastModel* model, const data::ForecastDataset& dataset,
+                  data::ForecastDataset::Split split, int64_t batch_size,
+                  std::vector<Tensor>* preds, std::vector<Tensor>* targets) {
+  model->SetTraining(false);
+  const auto batches = dataset.EpochBatches(split, batch_size,
+                                            /*rng=*/nullptr);
+  for (const auto& ids : batches) {
+    const data::Batch batch = dataset.MakeBatch(split, ids);
+    ag::Variable pred = model->Forward(batch);
+    preds->push_back(dataset.scaler().InverseTransform(pred.value()));
+    targets->push_back(batch.y);
+  }
+  model->SetTraining(true);
+}
+
+double SplitMae(ForecastModel* model, const data::ForecastDataset& dataset,
+                data::ForecastDataset::Split split,
+                const metrics::MetricsOptions& options, int64_t batch_size) {
+  std::vector<Tensor> preds, targets;
+  PredictSplit(model, dataset, split, batch_size, &preds, &targets);
+  const metrics::Metrics m = metrics::Evaluate(
+      Tensor::Concat(preds, 0), Tensor::Concat(targets, 0), options);
+  return m.mae;
+}
+
+}  // namespace
+
+std::vector<metrics::Metrics> EvaluateModel(
+    ForecastModel* model, const data::ForecastDataset& dataset,
+    data::ForecastDataset::Split split,
+    const metrics::MetricsOptions& options, int64_t batch_size) {
+  std::vector<Tensor> preds, targets;
+  PredictSplit(model, dataset, split, batch_size, &preds, &targets);
+  return metrics::EvaluatePerHorizon(Tensor::Concat(preds, 0),
+                                     Tensor::Concat(targets, 0), options);
+}
+
+TrainResult TrainAndEvaluate(ForecastModel* model,
+                             const data::ForecastDataset& dataset,
+                             const TrainConfig& config) {
+  TrainResult result;
+  result.num_parameters = model->NumParameters();
+
+  Rng rng(config.seed);
+  optim::Adam adam(model->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+                   config.weight_decay);
+  optim::MultiStepLR scheduler(&adam, config.lr_milestones, config.lr_gamma);
+  optim::EarlyStopper stopper(config.patience);
+
+  // Best-weights snapshot (values only).
+  std::vector<Tensor> best_values;
+  auto snapshot = [&]() {
+    best_values.clear();
+    for (const auto& p : model->Parameters()) {
+      best_values.push_back(p.value().Clone());
+    }
+  };
+  auto restore = [&]() {
+    if (best_values.empty()) return;
+    auto params = model->Parameters();
+    TGCRN_CHECK_EQ(params.size(), best_values.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].SetValue(best_values[i].Clone());
+    }
+  };
+
+  const auto train_start = Clock::now();
+  double epoch_seconds_sum = 0.0;
+  int64_t global_step = 0;
+  model->SetTraining(true);
+
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto epoch_start = Clock::now();
+    auto batches = dataset.EpochBatches(data::ForecastDataset::Split::kTrain,
+                                        config.batch_size, &rng);
+    if (config.max_batches_per_epoch > 0 &&
+        static_cast<int64_t>(batches.size()) > config.max_batches_per_epoch) {
+      batches.resize(config.max_batches_per_epoch);
+    }
+    double loss_sum = 0.0;
+    for (const auto& ids : batches) {
+      const data::Batch batch =
+          dataset.MakeBatch(data::ForecastDataset::Split::kTrain, ids);
+      if (config.scheduled_sampling_tau > 0.0) {
+        const double tau = config.scheduled_sampling_tau;
+        const double p =
+            tau / (tau + std::exp(static_cast<double>(global_step) / tau));
+        model->SetTeacherForcingProbability(static_cast<float>(p));
+      }
+      ++global_step;
+      model->ZeroGrad();
+      ag::Variable pred = model->Forward(batch);
+      ag::Variable loss = ag::MaeLoss(pred, ag::Variable(batch.y_scaled));
+      const float aux_weight = model->auxiliary_weight();
+      if (aux_weight > 0.0f) {
+        ag::Variable aux = model->AuxiliaryLoss(batch, &rng);
+        if (aux.defined()) {
+          loss = ag::Add(loss, ag::MulScalar(aux, aux_weight));
+        }
+      }
+      loss.Backward();
+      optim::ClipGradNorm(adam.params(), config.clip_norm);
+      adam.Step();
+      loss_sum += loss.value().item();
+    }
+    const double train_loss =
+        batches.empty() ? 0.0 : loss_sum / static_cast<double>(batches.size());
+    result.train_loss_history.push_back(train_loss);
+    epoch_seconds_sum += SecondsSince(epoch_start);
+
+    const double val_mae =
+        SplitMae(model, dataset, data::ForecastDataset::Split::kVal,
+                 config.metric_options, config.batch_size);
+    result.val_mae_history.push_back(val_mae);
+    scheduler.Step(epoch);
+    ++result.epochs_run;
+
+    if (stopper.Update(static_cast<float>(val_mae))) snapshot();
+    if (config.verbose) {
+      TGCRN_LOG(Info) << model->name() << " epoch " << epoch
+                      << " train_loss=" << train_loss
+                      << " val_mae=" << val_mae << " lr=" << adam.lr();
+    }
+    if (stopper.ShouldStop()) {
+      if (config.verbose) {
+        TGCRN_LOG(Info) << model->name() << " early stop at epoch " << epoch;
+      }
+      break;
+    }
+  }
+  restore();
+
+  result.total_seconds = SecondsSince(train_start);
+  result.seconds_per_epoch =
+      result.epochs_run > 0 ? epoch_seconds_sum / result.epochs_run : 0.0;
+  result.per_horizon =
+      EvaluateModel(model, dataset, data::ForecastDataset::Split::kTest,
+                    config.metric_options, config.batch_size);
+  result.average = metrics::AverageMetrics(result.per_horizon);
+  return result;
+}
+
+}  // namespace core
+}  // namespace tgcrn

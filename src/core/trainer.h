@@ -1,0 +1,67 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Model-agnostic training/evaluation harness implementing the paper's
+// recipe (Section IV-A4): Adam with L2 penalty 1e-4, initial LR 1e-3 with
+// multi-step decay 0.3 at {5,20,40,70,90}, batch 16, early stopping with
+// patience, best-weights restoration, and per-horizon test metrics computed
+// in the original (inverse-transformed) data space.
+#ifndef TGCRN_CORE_TRAINER_H_
+#define TGCRN_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/forecast_model.h"
+#include "data/dataset.h"
+#include "metrics/metrics.h"
+
+namespace tgcrn {
+namespace core {
+
+struct TrainConfig {
+  int64_t epochs = 8;
+  int64_t batch_size = 16;
+  float lr = 1e-3f;
+  float weight_decay = 1e-4f;
+  std::vector<int64_t> lr_milestones = {5, 20, 40, 70, 90};
+  float lr_gamma = 0.3f;
+  float clip_norm = 5.0f;
+  int64_t patience = 15;
+  uint64_t seed = 99;
+  // Caps the number of training batches per epoch (0 = no cap); used by the
+  // bench harness to keep wall-clock budgets on one CPU core.
+  int64_t max_batches_per_epoch = 0;
+  // Scheduled sampling (curriculum learning a la DCRNN): the decoder's
+  // teacher-forcing probability decays with the inverse sigmoid
+  // tau / (tau + exp(step / tau)) over global training steps. 0 disables.
+  double scheduled_sampling_tau = 0.0;
+  bool verbose = true;
+  metrics::MetricsOptions metric_options;
+};
+
+struct TrainResult {
+  std::vector<metrics::Metrics> per_horizon;  // test metrics per step
+  metrics::Metrics average;                   // mean over horizons
+  double seconds_per_epoch = 0.0;
+  double total_seconds = 0.0;
+  int64_t num_parameters = 0;
+  int64_t epochs_run = 0;
+  std::vector<double> val_mae_history;
+  std::vector<double> train_loss_history;
+};
+
+// Trains `model` on the dataset's train split, early-stops on validation
+// MAE, restores the best weights, and evaluates on the test split.
+TrainResult TrainAndEvaluate(ForecastModel* model,
+                             const data::ForecastDataset& dataset,
+                             const TrainConfig& config);
+
+// Evaluates (no training) on a split; predictions are inverse-transformed
+// before metric computation.
+std::vector<metrics::Metrics> EvaluateModel(
+    ForecastModel* model, const data::ForecastDataset& dataset,
+    data::ForecastDataset::Split split,
+    const metrics::MetricsOptions& options, int64_t batch_size = 16);
+
+}  // namespace core
+}  // namespace tgcrn
+
+#endif  // TGCRN_CORE_TRAINER_H_

@@ -1,0 +1,157 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "datagen/demand_sim.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tgcrn {
+namespace datagen {
+namespace {
+
+double Bump(double hour, double center, double width) {
+  const double z = (hour - center) / width;
+  return std::exp(-0.5 * z * z);
+}
+
+}  // namespace
+
+double DemandProfile(ZoneType type, double hour, bool weekend) {
+  const double morning = Bump(hour, 8.5, 1.3);
+  const double evening = Bump(hour, 18.0, 1.5);
+  const double midday = Bump(hour, 13.0, 2.5);
+  const double night = Bump(hour, 22.0, 1.8);
+  const double base = 0.08;
+  switch (type) {
+    case ZoneType::kResidentialZone:
+      return weekend ? base + 0.5 * midday + 0.35 * night
+                     : base + 1.2 * morning + 0.6 * evening;
+    case ZoneType::kCommercial:
+      return weekend ? base + 0.25 * midday
+                     : base + 0.8 * morning + 1.1 * evening + 0.5 * midday;
+    case ZoneType::kEntertainment:
+      return weekend ? base + 0.8 * midday + 1.4 * night
+                     : base + 0.3 * midday + 0.9 * night;
+    case ZoneType::kTransitHub:
+      return weekend ? base + 0.4 * midday + 0.4 * night
+                     : base + 1.3 * morning + 1.3 * evening + 0.3 * midday;
+  }
+  return base;
+}
+
+DemandSimOutput SimulateDemand(const DemandSimConfig& config) {
+  TGCRN_CHECK_GE(config.num_zones, 4);
+  TGCRN_CHECK_GE(config.num_days, 7);
+  Rng rng(config.seed);
+  const int64_t n = config.num_zones;
+  const int64_t spd = config.steps_per_day;
+  const int64_t total = config.num_days * spd;
+
+  DemandSimOutput out;
+  out.zone_types.resize(n);
+  out.communities.resize(n);
+  std::vector<float> xs(n), ys(n), sizes(n);
+  for (int64_t i = 0; i < n; ++i) {
+    out.communities[i] = rng.UniformInt(0, config.num_communities - 1);
+    // Cluster zones of a community spatially.
+    const float cx = 2.5f + 5.0f * (out.communities[i] % 2);
+    const float cy = 2.5f + 5.0f * (out.communities[i] / 2 % 2);
+    xs[i] = cx + static_cast<float>(rng.Gaussian(0.0, 1.4));
+    ys[i] = cy + static_cast<float>(rng.Gaussian(0.0, 1.4));
+    sizes[i] = std::exp(static_cast<float>(rng.Gaussian(0.0, 0.4)));
+    out.zone_types[i] = static_cast<ZoneType>(rng.UniformInt(0, 3));
+  }
+  out.distances = Tensor::Zeros({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const float dx = xs[i] - xs[j];
+      const float dy = ys[i] - ys[j];
+      out.distances.set_flat(i * n + j, std::sqrt(dx * dx + dy * dy));
+    }
+  }
+
+  // Trip destination mixing matrix: trips from zone i land in zone j with
+  // probability ~ size_j * exp(-dist/4); rows normalized.
+  Tensor mix = Tensor::Zeros({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double w =
+          sizes[j] * std::exp(-out.distances.flat(i * n + j) / 4.0);
+      mix.set_flat(i * n + j, static_cast<float>(w));
+      row += w;
+    }
+    for (int64_t j = 0; j < n; ++j) {
+      mix.set_flat(i * n + j,
+                   static_cast<float>(mix.flat(i * n + j) / row));
+    }
+  }
+
+  // Calibration: average profile value -> scale factor.
+  double profile_sum = 0.0;
+  for (int64_t t = 0; t < total; ++t) {
+    const int64_t slot = t % spd;
+    const double hour = 24.0 * static_cast<double>(slot) / spd;
+    const bool weekend = ((t / spd) % 7) >= 5;
+    for (int64_t i = 0; i < n; ++i) {
+      profile_sum += sizes[i] * DemandProfile(out.zone_types[i], hour,
+                                              weekend);
+    }
+  }
+  const double scale =
+      config.target_mean_demand / std::max(profile_sum / (total * n), 1e-9);
+
+  out.data.values = Tensor::Zeros({total, n, 2});
+  out.data.slot_of_day.resize(total);
+  out.data.day_of_week.resize(total);
+  out.data.steps_per_day = spd;
+  float* values = out.data.values.mutable_data();
+
+  std::vector<double> community_factor(config.num_communities, 0.0);
+  std::vector<double> day_scale(n, 1.0);
+  const int64_t lag = 1;  // 30-minute average trip duration
+
+  for (int64_t t = 0; t < total; ++t) {
+    const int64_t slot = t % spd;
+    const double hour = 24.0 * static_cast<double>(slot) / spd;
+    const int64_t dow = (t / spd) % 7;
+    const bool weekend = dow >= 5;
+    out.data.slot_of_day[t] = slot;
+    out.data.day_of_week[t] = dow;
+    if (slot == 0) {
+      for (int64_t i = 0; i < n; ++i) {
+        day_scale[i] = std::exp(rng.Gaussian(0.0, config.day_noise_sigma));
+      }
+    }
+    for (int64_t c = 0; c < config.num_communities; ++c) {
+      community_factor[c] =
+          config.community_persistence * community_factor[c] +
+          rng.Gaussian(0.0, config.community_noise_sigma);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const double lambda =
+          scale * sizes[i] * DemandProfile(out.zone_types[i], hour, weekend) *
+          day_scale[i] *
+          std::exp(community_factor[out.communities[i]]);
+      const int64_t pickups = rng.Poisson(lambda);
+      values[(t * n + i) * 2 + 0] = static_cast<float>(pickups);
+      if (pickups > 0 && t + lag < total) {
+        // Spread the resulting drop-offs over destination zones.
+        for (int64_t j = 0; j < n; ++j) {
+          const float share = mix.flat(i * n + j);
+          if (share <= 0.0f) continue;
+          const int64_t dropoffs = rng.Poisson(pickups * share);
+          values[((t + lag) * n + j) * 2 + 1] +=
+              static_cast<float>(dropoffs);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace tgcrn

@@ -1,0 +1,88 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "datagen/electricity_sim.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tgcrn {
+namespace datagen {
+namespace {
+
+double Bump(double hour, double center, double width) {
+  const double z = (hour - center) / width;
+  return std::exp(-0.5 * z * z);
+}
+
+}  // namespace
+
+double LoadProfile(ClientClass cls, double hour, bool weekend) {
+  switch (cls) {
+    case ClientClass::kHousehold: {
+      const double morning = Bump(hour, 7.5, 1.2);
+      const double evening = Bump(hour, 20.0, 2.2);
+      return weekend ? 0.45 + 0.5 * Bump(hour, 12.0, 4.0) + 0.6 * evening
+                     : 0.35 + 0.6 * morning + 0.9 * evening;
+    }
+    case ClientClass::kOffice: {
+      const double workday = Bump(hour, 13.0, 3.5);
+      return weekend ? 0.25 + 0.1 * workday : 0.3 + 1.2 * workday;
+    }
+    case ClientClass::kFactory:
+      // Two-shift operation: high, flat load on workdays.
+      return weekend ? 0.5 : 0.6 + 0.7 * Bump(hour, 12.0, 6.5);
+  }
+  return 0.3;
+}
+
+ElectricitySimOutput SimulateElectricity(const ElectricitySimConfig& config) {
+  TGCRN_CHECK_GE(config.num_clients, 2);
+  Rng rng(config.seed);
+  const int64_t n = config.num_clients;
+  const int64_t spd = config.steps_per_day;
+  const int64_t total = config.num_days * spd;
+
+  ElectricitySimOutput out;
+  out.classes.resize(n);
+  std::vector<double> base(n), weather_sensitivity(n);
+  for (int64_t i = 0; i < n; ++i) {
+    out.classes[i] = static_cast<ClientClass>(rng.UniformInt(0, 2));
+    base[i] = std::exp(rng.Gaussian(3.0, 0.6));  // kWh scale, heavy tailed
+    weather_sensitivity[i] = 0.3 + 0.7 * rng.NextDouble();
+  }
+
+  out.data.values = Tensor::Zeros({total, n, 1});
+  out.data.slot_of_day.resize(total);
+  out.data.day_of_week.resize(total);
+  out.data.steps_per_day = spd;
+  out.weather.resize(total);
+  float* values = out.data.values.mutable_data();
+
+  // Weather: slow AR(1) (persists across days) + diurnal cycle.
+  double weather_state = 0.0;
+  for (int64_t t = 0; t < total; ++t) {
+    const int64_t slot = t % spd;
+    const double hour = 24.0 * static_cast<double>(slot) / spd;
+    const int64_t dow = (t / spd) % 7;
+    const bool weekend = dow >= 5;
+    out.data.slot_of_day[t] = slot;
+    out.data.day_of_week[t] = dow;
+    weather_state =
+        0.995 * weather_state + rng.Gaussian(0.0, config.weather_sigma);
+    const double weather =
+        weather_state + 0.3 * Bump(hour, 15.0, 4.0);  // afternoon heat
+    out.weather[t] = weather;
+    for (int64_t i = 0; i < n; ++i) {
+      const double load =
+          base[i] * LoadProfile(out.classes[i], hour, weekend) *
+          std::exp(weather_sensitivity[i] * weather) *
+          std::exp(rng.Gaussian(0.0, 0.05));
+      values[t * n + i] = static_cast<float>(load);
+    }
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace tgcrn

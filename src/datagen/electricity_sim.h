@@ -1,0 +1,42 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Electricity-consumption simulator: the stand-in for the UCI
+// ElectricityLoadDiagrams dataset (Table VI). Hourly per-client consumption
+// built from a base load, client-class daily/weekly shapes, and a shared
+// weather process (heating/cooling demand) that correlates clients - the
+// latent spatial structure for graph learners to discover.
+#ifndef TGCRN_DATAGEN_ELECTRICITY_SIM_H_
+#define TGCRN_DATAGEN_ELECTRICITY_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace tgcrn {
+namespace datagen {
+
+enum class ClientClass { kHousehold = 0, kOffice = 1, kFactory = 2 };
+
+struct ElectricitySimConfig {
+  int64_t num_clients = 32;
+  int64_t num_days = 120;      // starts on a Monday
+  int64_t steps_per_day = 24;  // hourly
+  uint64_t seed = 21;
+  double weather_sigma = 0.12;
+};
+
+struct ElectricitySimOutput {
+  data::SpatioTemporalData data;  // [T, N, 1] consumption in kWh
+  std::vector<ClientClass> classes;
+  std::vector<double> weather;  // shared weather factor per step
+};
+
+ElectricitySimOutput SimulateElectricity(const ElectricitySimConfig& config);
+
+// Hourly load shape for a client class (exposed for tests).
+double LoadProfile(ClientClass cls, double hour, bool weekend);
+
+}  // namespace datagen
+}  // namespace tgcrn
+
+#endif  // TGCRN_DATAGEN_ELECTRICITY_SIM_H_

@@ -1,0 +1,94 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Metro-system simulator: the stand-in for the proprietary HZMetro/SHMetro
+// AFC transaction datasets. It generates passenger Origin-Destination flows
+// whose spatial correlations exhibit exactly the phenomena the paper builds
+// on (Section II-B, Figs 1-2):
+//
+//  * Spatial trend    - OD intensities ramp up and down smoothly within a
+//                       day (morning commute residential->business, evening
+//                       reverse, leisure flows toward shopping areas).
+//  * Spatial periodicity - weekday and weekend days follow distinct OD
+//                       patterns (commuting collapses on weekends, leisure
+//                       flows grow), and the pattern recurs every week.
+//
+// Because the generator is explicit about the time-varying OD intensity
+// matrix Lambda(t), the *ground-truth dynamic graph* is available - so the
+// paper's qualitative Fig 11 comparison (learned adjacency vs OD transfer)
+// becomes a quantitative experiment here.
+#ifndef TGCRN_DATAGEN_METRO_SIM_H_
+#define TGCRN_DATAGEN_METRO_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace tgcrn {
+namespace datagen {
+
+// Functional area of a station, driving its origin/attraction profiles.
+enum class AreaType { kResidential = 0, kBusiness = 1, kShopping = 2,
+                      kMixed = 3 };
+
+struct MetroSimConfig {
+  int64_t num_stations = 20;
+  int64_t num_days = 28;       // starts on a Monday
+  int64_t steps_per_day = 72;  // 15-min slots covering 06:00-24:00
+  uint64_t seed = 1;
+  // Mean tap-in count per station-slot after calibration; HZMetro averages
+  // roughly 400, scaled down a little to keep Poisson sampling cheap.
+  double target_mean_inflow = 320.0;
+  // Day-to-day multiplicative noise (lognormal sigma) and within-day AR(1)
+  // noise scale; raise for harder datasets.
+  double day_noise_sigma = 0.18;
+  double ar_noise_sigma = 0.15;
+  // Strength of the pair-specific diurnal phase term: each OD pair's
+  // intensity is modulated by (1 + s * sin(2*pi*hour/24 + phi_ij)) with a
+  // pair-dependent phase phi_ij. This makes the time variation of the
+  // correlation *non-separable* across node pairs - individual edges have
+  // their own trends, the phenomenon TagSL is designed to capture (a purely
+  // separable o_i(t) * a_j(t) structure could be explained by node states
+  // alone).
+  double pair_phase_strength = 0.35;
+  // Whether to retain the per-step expected OD matrices (ground truth).
+  bool keep_od_ground_truth = true;
+  // Failure injection: expected number of station-closure events over the
+  // whole horizon (0 disables). A closure zeroes one station's flows for
+  // 2-8 hours - the missing-data pattern real AFC feeds exhibit - so
+  // downstream code must rely on masked losses / null-aware metrics.
+  double expected_closures = 0.0;
+};
+
+struct MetroSimOutput {
+  // Inflow/outflow counts per station: values [T, N, 2].
+  data::SpatioTemporalData data;
+  // Station pairwise distances [N, N] (for pre-defined graph baselines).
+  Tensor distances;
+  // Per-station functional area labels.
+  std::vector<AreaType> area_types;
+  // Expected OD intensity matrices Lambda(t), [T] entries of [N, N];
+  // empty when keep_od_ground_truth is false.
+  std::vector<Tensor> od_ground_truth;
+  // Injected closures as (station, first_step, last_step) triples.
+  struct Closure {
+    int64_t station;
+    int64_t first_step;
+    int64_t last_step;  // inclusive
+  };
+  std::vector<Closure> closures;
+};
+
+// Runs the simulator. Deterministic for a fixed config.
+MetroSimOutput SimulateMetro(const MetroSimConfig& config);
+
+// Origin intensity profile of an area type at `hour` (0-24) on a weekday or
+// weekend day. Exposed for tests and for the Fig 2 analysis bench.
+double MetroOriginProfile(AreaType type, double hour, bool weekend);
+// Attraction (destination) profile, symmetric role.
+double MetroAttractionProfile(AreaType type, double hour, bool weekend);
+
+}  // namespace datagen
+}  // namespace tgcrn
+
+#endif  // TGCRN_DATAGEN_METRO_SIM_H_

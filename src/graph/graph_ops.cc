@@ -1,0 +1,174 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "graph/graph_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace tgcrn {
+namespace graph {
+
+namespace {
+
+void CheckSquare(const Tensor& adj) {
+  TGCRN_CHECK_EQ(adj.dim(), 2);
+  TGCRN_CHECK_EQ(adj.size(0), adj.size(1));
+}
+
+}  // namespace
+
+Tensor RandomWalkNormalize(const Tensor& adj) {
+  CheckSquare(adj);
+  const int64_t n = adj.size(0);
+  Tensor out = adj.Clone();
+  float* p = out.mutable_data();
+  for (int64_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) row_sum += p[i * n + j];
+    if (row_sum > 1e-12) {
+      const float inv = static_cast<float>(1.0 / row_sum);
+      for (int64_t j = 0; j < n; ++j) p[i * n + j] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor SymmetricNormalize(const Tensor& adj, bool add_self_loops) {
+  CheckSquare(adj);
+  const int64_t n = adj.size(0);
+  Tensor a = add_self_loops ? adj.Add(Tensor::Eye(n)) : adj.Clone();
+  std::vector<float> inv_sqrt_deg(n, 0.0f);
+  const float* p = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (int64_t j = 0; j < n; ++j) deg += p[i * n + j];
+    inv_sqrt_deg[i] =
+        deg > 1e-12 ? static_cast<float>(1.0 / std::sqrt(deg)) : 0.0f;
+  }
+  Tensor out = a.Clone();
+  float* q = out.mutable_data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      q[i * n + j] *= inv_sqrt_deg[i] * inv_sqrt_deg[j];
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> DiffusionSupports(const Tensor& adj, int64_t max_step,
+                                      bool bidirectional) {
+  CheckSquare(adj);
+  const int64_t n = adj.size(0);
+  std::vector<Tensor> supports;
+  supports.push_back(Tensor::Eye(n));
+  auto push_powers = [&](const Tensor& base) {
+    Tensor walk = RandomWalkNormalize(base);
+    Tensor power = walk.Clone();
+    for (int64_t k = 0; k < max_step; ++k) {
+      supports.push_back(power.Clone());
+      if (k + 1 < max_step) power = power.Matmul(walk);
+    }
+  };
+  push_powers(adj);
+  if (bidirectional) push_powers(adj.Transpose(0, 1));
+  return supports;
+}
+
+Tensor GaussianKernelGraph(const Tensor& distances, float threshold) {
+  CheckSquare(distances);
+  const int64_t n = distances.size(0);
+  // sigma = std of all pairwise distances.
+  const float mean = distances.MeanAll();
+  Tensor centered = distances.AddScalar(-mean);
+  const float var = centered.Mul(centered).MeanAll();
+  const float sigma_sq = std::max(var, 1e-12f);
+  Tensor out(Shape{n, n});
+  const float* d = distances.data();
+  float* p = out.mutable_data();
+  for (int64_t i = 0; i < n * n; ++i) {
+    const float w = std::exp(-(d[i] * d[i]) / sigma_sq);
+    p[i] = w >= threshold ? w : 0.0f;
+  }
+  return out;
+}
+
+Tensor CorrelationGraph(const Tensor& series, float threshold) {
+  TGCRN_CHECK_EQ(series.dim(), 2);
+  const int64_t n = series.size(0);
+  const int64_t t = series.size(1);
+  TGCRN_CHECK_GT(t, 1);
+  // Standardize each row.
+  std::vector<double> means(n), stds(n);
+  const float* s = series.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < t; ++j) sum += s[i * t + j];
+    means[i] = sum / t;
+    double sq = 0.0;
+    for (int64_t j = 0; j < t; ++j) {
+      const double dv = s[i * t + j] - means[i];
+      sq += dv * dv;
+    }
+    stds[i] = std::sqrt(sq / t);
+  }
+  Tensor out(Shape{n, n});
+  float* p = out.mutable_data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double cov = 0.0;
+      for (int64_t k = 0; k < t; ++k) {
+        cov += (s[i * t + k] - means[i]) * (s[j * t + k] - means[j]);
+      }
+      cov /= t;
+      const double denom = stds[i] * stds[j];
+      const float r =
+          denom > 1e-12 ? static_cast<float>(cov / denom) : 0.0f;
+      const float w = std::fabs(r) >= threshold ? r : 0.0f;
+      p[i * n + j] = w;
+      p[j * n + i] = w;
+    }
+  }
+  return out;
+}
+
+Tensor KnnSparsify(const Tensor& adj, int64_t k) {
+  CheckSquare(adj);
+  const int64_t n = adj.size(0);
+  TGCRN_CHECK_GE(k, 0);
+  Tensor out = Tensor::Zeros({n, n});
+  const float* p = adj.data();
+  float* q = out.mutable_data();
+  std::vector<int64_t> order(n);
+  for (int64_t i = 0; i < n; ++i) {
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(),
+                      order.begin() + std::min(k, n), order.end(),
+                      [&](int64_t a, int64_t b) {
+                        return p[i * n + a] > p[i * n + b];
+                      });
+    for (int64_t j = 0; j < std::min(k, n); ++j) {
+      q[i * n + order[j]] = p[i * n + order[j]];
+    }
+  }
+  return out;
+}
+
+bool IsRowStochastic(const Tensor& adj, float atol) {
+  CheckSquare(adj);
+  const int64_t n = adj.size(0);
+  const float* p = adj.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (p[i * n + j] < -atol) return false;
+      row += p[i * n + j];
+    }
+    if (std::fabs(row - 1.0) > atol && std::fabs(row) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace graph
+}  // namespace tgcrn

@@ -1,0 +1,48 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Graph-structure utilities shared by the pre-defined-graph baselines
+// (DCRNN, PVCGN) and analysis code: adjacency normalizations, diffusion
+// supports, and graph construction from distances / similarities.
+#ifndef TGCRN_GRAPH_GRAPH_OPS_H_
+#define TGCRN_GRAPH_GRAPH_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tgcrn {
+namespace graph {
+
+// Row-normalizes A into a random-walk transition matrix D^-1 A.
+// Rows that sum to zero are left as zero.
+Tensor RandomWalkNormalize(const Tensor& adj);
+
+// Symmetric normalization D^-1/2 A D^-1/2 (with self-loops optionally
+// added first), as in Kipf & Welling GCN / Eq (10)'s L_sym.
+Tensor SymmetricNormalize(const Tensor& adj, bool add_self_loops = true);
+
+// Builds the k-step diffusion supports [I, P, P^2, ..., P^k] where
+// P = D^-1 A, used by DCRNN's diffusion convolution. The reverse-direction
+// supports use A^T.
+std::vector<Tensor> DiffusionSupports(const Tensor& adj, int64_t max_step,
+                                      bool bidirectional);
+
+// Thresholded Gaussian kernel graph from pairwise distances (the standard
+// construction for DCRNN's pre-defined sensor graph):
+// A_ij = exp(-d_ij^2 / sigma^2) if below that exceeds `threshold`, else 0.
+// sigma is the standard deviation of all distances.
+Tensor GaussianKernelGraph(const Tensor& distances, float threshold);
+
+// Pearson-correlation graph between the rows of `series` ([N, T]); entries
+// below `threshold` (absolute value) are zeroed. Diagonal is zero.
+Tensor CorrelationGraph(const Tensor& series, float threshold);
+
+// k-nearest-neighbour binarization: keeps the k largest entries per row.
+Tensor KnnSparsify(const Tensor& adj, int64_t k);
+
+// True if every row sums to ~1 (or exactly 0 for isolated rows).
+bool IsRowStochastic(const Tensor& adj, float atol = 1e-4f);
+
+}  // namespace graph
+}  // namespace tgcrn
+
+#endif  // TGCRN_GRAPH_GRAPH_OPS_H_

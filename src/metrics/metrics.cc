@@ -1,0 +1,122 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "metrics/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tgcrn {
+namespace metrics {
+
+std::string Metrics::ToString() const {
+  std::ostringstream out;
+  out << "MAE=" << mae << " RMSE=" << rmse << " MAPE=" << mape
+      << "% PCC=" << pcc;
+  return out.str();
+}
+
+Metrics Evaluate(const Tensor& pred, const Tensor& target,
+                 const MetricsOptions& options) {
+  TGCRN_CHECK(pred.SameShape(target))
+      << ShapeToString(pred.shape()) << " vs " << ShapeToString(target.shape());
+  Metrics m;
+  const float* p = pred.data();
+  const float* y = target.data();
+  const int64_t n = pred.numel();
+
+  double abs_sum = 0.0, sq_sum = 0.0, mape_sum = 0.0;
+  int64_t count = 0, mape_count = 0;
+  // For PCC.
+  double sum_p = 0.0, sum_y = 0.0, sum_pp = 0.0, sum_yy = 0.0, sum_py = 0.0;
+
+  for (int64_t i = 0; i < n; ++i) {
+    const double yi = y[i];
+    const double pi = p[i];
+    if (options.null_threshold >= 0.0 &&
+        std::fabs(yi) <= options.null_threshold) {
+      continue;
+    }
+    const double err = pi - yi;
+    abs_sum += std::fabs(err);
+    sq_sum += err * err;
+    ++count;
+    sum_p += pi;
+    sum_y += yi;
+    sum_pp += pi * pi;
+    sum_yy += yi * yi;
+    sum_py += pi * yi;
+    if (std::fabs(yi) > options.mape_threshold) {
+      mape_sum += std::fabs(err / yi);
+      ++mape_count;
+    }
+  }
+  m.count = count;
+  if (count > 0) {
+    m.mae = abs_sum / count;
+    m.mse = sq_sum / count;
+    m.rmse = std::sqrt(m.mse);
+    const double cov = sum_py / count - (sum_p / count) * (sum_y / count);
+    const double var_p = sum_pp / count - (sum_p / count) * (sum_p / count);
+    const double var_y = sum_yy / count - (sum_y / count) * (sum_y / count);
+    const double denom = std::sqrt(var_p * var_y);
+    m.pcc = denom > 1e-12 ? cov / denom : 0.0;
+  }
+  if (mape_count > 0) {
+    m.mape = 100.0 * mape_sum / mape_count;
+  }
+  return m;
+}
+
+std::vector<Metrics> EvaluatePerHorizon(const Tensor& pred,
+                                        const Tensor& target,
+                                        const MetricsOptions& options) {
+  TGCRN_CHECK_GE(pred.dim(), 2);
+  TGCRN_CHECK(pred.SameShape(target));
+  const int64_t q = pred.size(1);
+  std::vector<Metrics> out;
+  out.reserve(q);
+  for (int64_t h = 0; h < q; ++h) {
+    out.push_back(Evaluate(pred.Slice(1, h, h + 1), target.Slice(1, h, h + 1),
+                           options));
+  }
+  return out;
+}
+
+std::vector<Metrics> EvaluatePerNode(const Tensor& pred,
+                                     const Tensor& target,
+                                     const MetricsOptions& options) {
+  TGCRN_CHECK_EQ(pred.dim(), 4);
+  TGCRN_CHECK(pred.SameShape(target));
+  const int64_t n = pred.size(2);
+  std::vector<Metrics> out;
+  out.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    out.push_back(Evaluate(pred.Slice(2, i, i + 1),
+                           target.Slice(2, i, i + 1), options));
+  }
+  return out;
+}
+
+Metrics AverageMetrics(const std::vector<Metrics>& all) {
+  Metrics avg;
+  if (all.empty()) return avg;
+  for (const auto& m : all) {
+    avg.mae += m.mae;
+    avg.rmse += m.rmse;
+    avg.mse += m.mse;
+    avg.mape += m.mape;
+    avg.pcc += m.pcc;
+    avg.count += m.count;
+  }
+  const double k = static_cast<double>(all.size());
+  avg.mae /= k;
+  avg.rmse /= k;
+  avg.mse /= k;
+  avg.mape /= k;
+  avg.pcc /= k;
+  return avg;
+}
+
+}  // namespace metrics
+}  // namespace tgcrn

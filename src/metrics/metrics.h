@@ -1,0 +1,59 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Evaluation metrics used across the paper's tables: MAE, RMSE, MAPE (with
+// the traffic convention of masking near-zero targets), MSE, and Pearson
+// correlation (PCC). All are computed in double precision.
+#ifndef TGCRN_METRICS_METRICS_H_
+#define TGCRN_METRICS_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tgcrn {
+namespace metrics {
+
+struct Metrics {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mse = 0.0;
+  double mape = 0.0;  // percent; targets with |y| <= mape_threshold excluded
+  double pcc = 0.0;
+  int64_t count = 0;  // elements included in mae/rmse/mse
+
+  std::string ToString() const;
+};
+
+struct MetricsOptions {
+  // Targets with |y| <= mape_threshold are excluded from MAPE only
+  // (standard practice for flow data where zero flow makes MAPE undefined).
+  double mape_threshold = 1.0;
+  // If >= 0, targets with |y| <= null_threshold are excluded from all
+  // metrics (missing-data mask). -1 disables.
+  double null_threshold = -1.0;
+};
+
+// Computes all metrics between prediction and target (same shape).
+Metrics Evaluate(const Tensor& pred, const Tensor& target,
+                 const MetricsOptions& options = {});
+
+// Per-horizon evaluation: inputs are [B, Q, ...]; returns Q metric sets
+// (horizon q evaluated over all batches/nodes/features).
+std::vector<Metrics> EvaluatePerHorizon(const Tensor& pred,
+                                        const Tensor& target,
+                                        const MetricsOptions& options = {});
+
+// Per-node evaluation: inputs are [B, Q, N, d]; returns N metric sets
+// (node i evaluated over all batches/horizons/features). Used by the
+// operator-facing analyses (which stations forecast poorly?).
+std::vector<Metrics> EvaluatePerNode(const Tensor& pred,
+                                     const Tensor& target,
+                                     const MetricsOptions& options = {});
+
+// Averages a set of metric structs (simple mean of each field; counts sum).
+Metrics AverageMetrics(const std::vector<Metrics>& all);
+
+}  // namespace metrics
+}  // namespace tgcrn
+
+#endif  // TGCRN_METRICS_METRICS_H_

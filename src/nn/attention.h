@@ -1,0 +1,85 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Multi-head scaled dot-product attention for the transformer baselines
+// (Informer-lite / Crossformer-lite). Full attention is used in place of
+// Informer's ProbSparse mechanism: at the sequence lengths of this
+// reproduction (T <= 12) ProbSparse degenerates to full attention anyway;
+// full attention is a strict superset in accuracy.
+#ifndef TGCRN_NN_ATTENTION_H_
+#define TGCRN_NN_ATTENTION_H_
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace tgcrn {
+namespace nn {
+
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int64_t d_model, int64_t num_heads, Rng* rng)
+      : d_model_(d_model),
+        num_heads_(num_heads),
+        d_head_(d_model / num_heads),
+        wq_(d_model, d_model, rng),
+        wk_(d_model, d_model, rng),
+        wv_(d_model, d_model, rng),
+        wo_(d_model, d_model, rng) {
+    TGCRN_CHECK_EQ(d_model % num_heads, 0);
+    RegisterModule("wq", &wq_);
+    RegisterModule("wk", &wk_);
+    RegisterModule("wv", &wv_);
+    RegisterModule("wo", &wo_);
+  }
+
+  // query: [B, Tq, d_model], key/value: [B, Tk, d_model].
+  // If causal, position t of the query may only attend to key positions
+  // <= t (requires Tq == Tk).
+  ag::Variable Forward(const ag::Variable& query, const ag::Variable& key,
+                       const ag::Variable& value, bool causal = false) const {
+    const int64_t batch = query.size(0);
+    const int64_t tq = query.size(1);
+    const int64_t tk = key.size(1);
+    ag::Variable q = SplitHeads(wq_.Forward(query), batch, tq);
+    ag::Variable k = SplitHeads(wk_.Forward(key), batch, tk);
+    ag::Variable v = SplitHeads(wv_.Forward(value), batch, tk);
+    // scores: [B, H, Tq, Tk]
+    ag::Variable scores =
+        ag::MulScalar(ag::Matmul(q, ag::Transpose(k, -2, -1)),
+                      1.0f / std::sqrt(static_cast<float>(d_head_)));
+    if (causal) {
+      TGCRN_CHECK_EQ(tq, tk);
+      Tensor mask = Tensor::Zeros({tq, tk});
+      for (int64_t i = 0; i < tq; ++i) {
+        for (int64_t j = i + 1; j < tk; ++j) {
+          mask.set({i, j}, -1e9f);
+        }
+      }
+      scores = ag::Add(scores, ag::Variable(mask));
+    }
+    ag::Variable attn = ag::Softmax(scores, -1);
+    ag::Variable out = ag::Matmul(attn, v);  // [B, H, Tq, dh]
+    out = ag::Permute(out, {0, 2, 1, 3});    // [B, Tq, H, dh]
+    out = ag::Reshape(out, {batch, tq, d_model_});
+    return wo_.Forward(out);
+  }
+
+ private:
+  // [B, T, d_model] -> [B, H, T, d_head]
+  ag::Variable SplitHeads(const ag::Variable& x, int64_t batch,
+                          int64_t t) const {
+    ag::Variable r = ag::Reshape(x, {batch, t, num_heads_, d_head_});
+    return ag::Permute(r, {0, 2, 1, 3});
+  }
+
+  int64_t d_model_;
+  int64_t num_heads_;
+  int64_t d_head_;
+  Linear wq_, wk_, wv_, wo_;
+};
+
+}  // namespace nn
+}  // namespace tgcrn
+
+#endif  // TGCRN_NN_ATTENTION_H_

@@ -1,0 +1,45 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Learnable lookup table: maps integer ids to dense vectors. Used for the
+// paper's node embeddings E_nu and discretized time embeddings E_tau.
+#ifndef TGCRN_NN_EMBEDDING_H_
+#define TGCRN_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "nn/module.h"
+
+namespace tgcrn {
+namespace nn {
+
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num_embeddings, int64_t dim, Rng* rng,
+            float init_stddev = 0.1f)
+      : num_embeddings_(num_embeddings), dim_(dim) {
+    weight_ = RegisterParameter(
+        "weight", NormalInit({num_embeddings, dim}, init_stddev, rng));
+  }
+
+  // Rows for the given ids: [ids.size(), dim].
+  ag::Variable Forward(const std::vector<int64_t>& ids) const {
+    return ag::EmbeddingLookup(weight_, ids);
+  }
+
+  // The whole table as a Variable [num_embeddings, dim] (gradients flow).
+  const ag::Variable& weight() const { return weight_; }
+
+  int64_t num_embeddings() const { return num_embeddings_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t num_embeddings_;
+  int64_t dim_;
+  ag::Variable weight_;
+};
+
+}  // namespace nn
+}  // namespace tgcrn
+
+#endif  // TGCRN_NN_EMBEDDING_H_

@@ -1,0 +1,41 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Weight initialization schemes. All take an explicit Rng for determinism.
+#ifndef TGCRN_NN_INIT_H_
+#define TGCRN_NN_INIT_H_
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace tgcrn {
+namespace nn {
+
+// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+inline Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out,
+                            Rng* rng) {
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandUniform(std::move(shape), -a, a, rng);
+}
+
+// Xavier uniform inferring fans from a 2-D weight [in, out].
+inline Tensor XavierUniform2d(int64_t in, int64_t out, Rng* rng) {
+  return XavierUniform({in, out}, in, out, rng);
+}
+
+// PyTorch nn.Linear default: U(-1/sqrt(fan_in), 1/sqrt(fan_in)).
+inline Tensor KaimingUniform(Shape shape, int64_t fan_in, Rng* rng) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  return Tensor::RandUniform(std::move(shape), -bound, bound, rng);
+}
+
+// Small-scale normal, the usual choice for embedding tables.
+inline Tensor NormalInit(Shape shape, float stddev, Rng* rng) {
+  return Tensor::RandNormal(std::move(shape), 0.0f, stddev, rng);
+}
+
+}  // namespace nn
+}  // namespace tgcrn
+
+#endif  // TGCRN_NN_INIT_H_

@@ -1,0 +1,38 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Layer normalization over the last axis, composed from autograd ops.
+#ifndef TGCRN_NN_LAYER_NORM_H_
+#define TGCRN_NN_LAYER_NORM_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace tgcrn {
+namespace nn {
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f) : eps_(eps) {
+    gamma_ = RegisterParameter("gamma", Tensor::Ones({dim}));
+    beta_ = RegisterParameter("beta", Tensor::Zeros({dim}));
+  }
+
+  ag::Variable Forward(const ag::Variable& x) const {
+    ag::Variable mean = ag::Mean(x, -1, /*keepdim=*/true);
+    ag::Variable centered = ag::Sub(x, mean);
+    ag::Variable var =
+        ag::Mean(ag::Mul(centered, centered), -1, /*keepdim=*/true);
+    ag::Variable inv_std = ag::Pow(ag::AddScalar(var, eps_), -0.5f);
+    ag::Variable normed = ag::Mul(centered, inv_std);
+    return ag::Add(ag::Mul(normed, gamma_), beta_);
+  }
+
+ private:
+  float eps_;
+  ag::Variable gamma_;
+  ag::Variable beta_;
+};
+
+}  // namespace nn
+}  // namespace tgcrn
+
+#endif  // TGCRN_NN_LAYER_NORM_H_

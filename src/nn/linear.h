@@ -1,0 +1,54 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Affine layer y = x W + b applied to the last axis of an arbitrary-rank
+// input: [..., in_features] -> [..., out_features].
+#ifndef TGCRN_NN_LINEAR_H_
+#define TGCRN_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "nn/module.h"
+
+namespace tgcrn {
+namespace nn {
+
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool bias = true)
+      : in_features_(in_features), out_features_(out_features) {
+    weight_ = RegisterParameter(
+        "weight", KaimingUniform({in_features, out_features}, in_features,
+                                 rng));
+    if (bias) {
+      bias_ = RegisterParameter(
+          "bias", KaimingUniform({out_features}, in_features, rng));
+    }
+  }
+
+  ag::Variable Forward(const ag::Variable& x) const {
+    TGCRN_CHECK_GE(x.value().dim(), 1);
+    ag::Variable input = x;
+    // Matmul requires rank >= 2; lift a vector input temporarily.
+    const bool was_vector = x.value().dim() == 1;
+    if (was_vector) input = ag::Unsqueeze(input, 0);
+    ag::Variable out = ag::Matmul(input, weight_);
+    if (bias_.defined()) out = ag::Add(out, bias_);
+    if (was_vector) out = ag::Squeeze(out, 0);
+    return out;
+  }
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const ag::Variable& weight() const { return weight_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  ag::Variable weight_;
+  ag::Variable bias_;
+};
+
+}  // namespace nn
+}  // namespace tgcrn
+
+#endif  // TGCRN_NN_LINEAR_H_

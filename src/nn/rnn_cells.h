@@ -1,0 +1,98 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Plain (non-graph) recurrent cells used by the FC-LSTM baseline and by
+// graph learners that evolve node states over time (ESG). The graph
+// convolutional GRU of the paper lives in src/core/gcgru.h.
+#ifndef TGCRN_NN_RNN_CELLS_H_
+#define TGCRN_NN_RNN_CELLS_H_
+
+#include <utility>
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace tgcrn {
+namespace nn {
+
+// Gated recurrent unit over the last axis: works on [..., features].
+class GRUCell : public Module {
+ public:
+  GRUCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+      : hidden_dim_(hidden_dim),
+        gates_(input_dim + hidden_dim, 2 * hidden_dim, rng),
+        candidate_(input_dim + hidden_dim, hidden_dim, rng) {
+    RegisterModule("gates", &gates_);
+    RegisterModule("candidate", &candidate_);
+  }
+
+  // x: [..., input_dim], h: [..., hidden_dim] -> new hidden state.
+  ag::Variable Forward(const ag::Variable& x, const ag::Variable& h) const {
+    ag::Variable xh = ag::Concat({x, h}, -1);
+    ag::Variable zr = ag::Sigmoid(gates_.Forward(xh));
+    const int64_t last = zr.value().dim() - 1;
+    ag::Variable z = ag::Slice(zr, last, 0, hidden_dim_);
+    ag::Variable r = ag::Slice(zr, last, hidden_dim_, 2 * hidden_dim_);
+    ag::Variable xrh = ag::Concat({x, ag::Mul(r, h)}, -1);
+    ag::Variable cand = ag::Tanh(candidate_.Forward(xrh));
+    // h' = (1 - z) * h + z * cand
+    ag::Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+    return ag::Add(ag::Mul(one_minus_z, h), ag::Mul(z, cand));
+  }
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  Linear gates_;
+  Linear candidate_;
+};
+
+// LSTM cell over the last axis.
+class LSTMCell : public Module {
+ public:
+  LSTMCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+      : hidden_dim_(hidden_dim),
+        gates_(input_dim + hidden_dim, 4 * hidden_dim, rng) {
+    RegisterModule("gates", &gates_);
+  }
+
+  struct State {
+    ag::Variable h;
+    ag::Variable c;
+  };
+
+  // Returns the next (h, c).
+  State Forward(const ag::Variable& x, const State& state) const {
+    ag::Variable xh = ag::Concat({x, state.h}, -1);
+    ag::Variable all = gates_.Forward(xh);
+    const int64_t last = all.value().dim() - 1;
+    ag::Variable i = ag::Sigmoid(ag::Slice(all, last, 0, hidden_dim_));
+    ag::Variable f =
+        ag::Sigmoid(ag::Slice(all, last, hidden_dim_, 2 * hidden_dim_));
+    ag::Variable g =
+        ag::Tanh(ag::Slice(all, last, 2 * hidden_dim_, 3 * hidden_dim_));
+    ag::Variable o =
+        ag::Sigmoid(ag::Slice(all, last, 3 * hidden_dim_, 4 * hidden_dim_));
+    ag::Variable c = ag::Add(ag::Mul(f, state.c), ag::Mul(i, g));
+    ag::Variable h = ag::Mul(o, ag::Tanh(c));
+    return {h, c};
+  }
+
+  // Zero state matching a leading shape (e.g. {B, N}).
+  State InitialState(Shape leading) const {
+    Shape s = std::move(leading);
+    s.push_back(hidden_dim_);
+    return {ag::Variable(Tensor::Zeros(s)), ag::Variable(Tensor::Zeros(s))};
+  }
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  Linear gates_;
+};
+
+}  // namespace nn
+}  // namespace tgcrn
+
+#endif  // TGCRN_NN_RNN_CELLS_H_

@@ -1,0 +1,764 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace tgcrn {
+namespace {
+
+// Row-major strides for a shape.
+std::vector<int64_t> StridesFor(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int64_t i = static_cast<int64_t>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+// Iterates the cartesian product of `out_shape`, tracking flat offsets into
+// two broadcast operands, and calls fn(out_flat, a_off, b_off).
+template <typename Fn>
+void BroadcastIterate(const Shape& out_shape, const Shape& a_shape,
+                      const Shape& b_shape, Fn fn) {
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  const int64_t n = ShapeNumel(out_shape);
+  if (rank == 0) {
+    fn(0, 0, 0);
+    return;
+  }
+  // Effective strides: 0 where the operand dimension is broadcast.
+  const auto a_strides_full = StridesFor(a_shape);
+  const auto b_strides_full = StridesFor(b_shape);
+  std::vector<int64_t> a_strides(rank, 0), b_strides(rank, 0);
+  const int64_t a_off_rank = rank - static_cast<int64_t>(a_shape.size());
+  const int64_t b_off_rank = rank - static_cast<int64_t>(b_shape.size());
+  for (int64_t d = 0; d < rank; ++d) {
+    if (d >= a_off_rank && a_shape[d - a_off_rank] != 1) {
+      a_strides[d] = a_strides_full[d - a_off_rank];
+    }
+    if (d >= b_off_rank && b_shape[d - b_off_rank] != 1) {
+      b_strides[d] = b_strides_full[d - b_off_rank];
+    }
+  }
+  std::vector<int64_t> index(rank, 0);
+  int64_t a_off = 0, b_off = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    fn(flat, a_off, b_off);
+    // Increment the multi-index from the last axis, updating offsets.
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++index[d];
+      a_off += a_strides[d];
+      b_off += b_strides[d];
+      if (index[d] < out_shape[d]) break;
+      index[d] = 0;
+      a_off -= a_strides[d] * out_shape[d];
+      b_off -= b_strides[d] * out_shape[d];
+    }
+  }
+}
+
+}  // namespace
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+int64_t ShapeNumel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    TGCRN_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const size_t rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (size_t i = 0; i < rank; ++i) {
+    const int64_t da =
+        i < rank - a.size() ? 1 : a[i - (rank - a.size())];
+    const int64_t db =
+        i < rank - b.size() ? 1 : b[i - (rank - b.size())];
+    TGCRN_CHECK(da == db || da == 1 || db == 1)
+        << "incompatible broadcast: " << ShapeToString(a) << " vs "
+        << ShapeToString(b);
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor::Tensor() : Tensor(Shape{0}) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(ShapeNumel(shape_), 0.0f)) {}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.FillInplace(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t{Shape{}};
+  (*t.data_).assign(1, value);
+  return t;
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
+  TGCRN_CHECK_EQ(ShapeNumel(shape), static_cast<int64_t>(values.size()));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  std::vector<float> values(n);
+  std::iota(values.begin(), values.end(), 0.0f);
+  return FromVector({n}, std::move(values));
+}
+
+Tensor Tensor::Eye(int64_t n) {
+  Tensor t(Shape{n, n});
+  for (int64_t i = 0; i < n; ++i) t.set_flat(i * n + i, 1.0f);
+  return t;
+}
+
+Tensor Tensor::RandUniform(Shape shape, float lo, float hi, Rng* rng) {
+  TGCRN_CHECK(rng != nullptr);
+  Tensor t(std::move(shape));
+  for (auto& v : *t.data_) v = rng->Uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::RandNormal(Shape shape, float mean, float stddev, Rng* rng) {
+  TGCRN_CHECK(rng != nullptr);
+  Tensor t(std::move(shape));
+  for (auto& v : *t.data_) {
+    v = static_cast<float>(rng->Gaussian(mean, stddev));
+  }
+  return t;
+}
+
+int64_t Tensor::size(int64_t axis) const {
+  if (axis < 0) axis += dim();
+  TGCRN_CHECK_GE(axis, 0);
+  TGCRN_CHECK_LT(axis, dim());
+  return shape_[axis];
+}
+
+int64_t Tensor::FlatIndex(const std::vector<int64_t>& index) const {
+  TGCRN_CHECK_EQ(static_cast<int64_t>(index.size()), dim());
+  int64_t flat = 0;
+  for (int64_t d = 0; d < dim(); ++d) {
+    TGCRN_CHECK_GE(index[d], 0);
+    TGCRN_CHECK_LT(index[d], shape_[d]);
+    flat = flat * shape_[d] + index[d];
+  }
+  return flat;
+}
+
+float Tensor::at(const std::vector<int64_t>& index) const {
+  return (*data_)[FlatIndex(index)];
+}
+
+void Tensor::set(const std::vector<int64_t>& index, float value) {
+  (*data_)[FlatIndex(index)] = value;
+}
+
+float Tensor::item() const {
+  TGCRN_CHECK_EQ(numel(), 1);
+  return (*data_)[0];
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  return t;
+}
+
+namespace {
+
+template <typename Fn>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn fn) {
+  // Fast path: identical shapes.
+  if (a.SameShape(b)) {
+    Tensor out(a.shape());
+    float* o = out.mutable_data();
+    const float* pa = a.data();
+    const float* pb = b.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) o[i] = fn(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out(out_shape);
+  float* o = out.mutable_data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  BroadcastIterate(out_shape, a.shape(), b.shape(),
+                   [&](int64_t of, int64_t ia, int64_t ib) {
+                     o[of] = fn(pa[ia], pb[ib]);
+                   });
+  return out;
+}
+
+}  // namespace
+
+Tensor Tensor::Add(const Tensor& other) const {
+  return BinaryOp(*this, other, [](float x, float y) { return x + y; });
+}
+Tensor Tensor::Sub(const Tensor& other) const {
+  return BinaryOp(*this, other, [](float x, float y) { return x - y; });
+}
+Tensor Tensor::Mul(const Tensor& other) const {
+  return BinaryOp(*this, other, [](float x, float y) { return x * y; });
+}
+Tensor Tensor::Div(const Tensor& other) const {
+  return BinaryOp(*this, other, [](float x, float y) { return x / y; });
+}
+Tensor Tensor::Maximum(const Tensor& other) const {
+  return BinaryOp(*this, other,
+                  [](float x, float y) { return std::max(x, y); });
+}
+Tensor Tensor::Minimum(const Tensor& other) const {
+  return BinaryOp(*this, other,
+                  [](float x, float y) { return std::min(x, y); });
+}
+
+Tensor Tensor::AddScalar(float value) const {
+  return Map([value](float x) { return x + value; });
+}
+Tensor Tensor::MulScalar(float value) const {
+  return Map([value](float x) { return x * value; });
+}
+
+Tensor Tensor::Map(const std::function<float(float)>& fn) const {
+  Tensor out(shape_);
+  float* o = out.mutable_data();
+  const float* p = data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) o[i] = fn(p[i]);
+  return out;
+}
+
+Tensor Tensor::Exp() const {
+  return Map([](float x) { return std::exp(x); });
+}
+Tensor Tensor::Log() const {
+  return Map([](float x) { return std::log(x); });
+}
+Tensor Tensor::Sqrt() const {
+  return Map([](float x) { return std::sqrt(x); });
+}
+Tensor Tensor::Abs() const {
+  return Map([](float x) { return std::fabs(x); });
+}
+Tensor Tensor::Tanh() const {
+  return Map([](float x) { return std::tanh(x); });
+}
+Tensor Tensor::Sigmoid() const {
+  return Map([](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Tensor::Relu() const {
+  return Map([](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor Tensor::Pow(float exponent) const {
+  return Map([exponent](float x) { return std::pow(x, exponent); });
+}
+
+void Tensor::AddInplace(const Tensor& other) {
+  TGCRN_CHECK(SameShape(other))
+      << ShapeToString(shape_) << " vs " << ShapeToString(other.shape_);
+  float* p = mutable_data();
+  const float* q = other.data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) p[i] += q[i];
+}
+
+void Tensor::AddSliceInplace(int64_t axis, int64_t start,
+                             const Tensor& other) {
+  if (axis < 0) axis += dim();
+  TGCRN_CHECK_EQ(other.dim(), dim());
+  for (int64_t d = 0; d < dim(); ++d) {
+    if (d != axis) TGCRN_CHECK_EQ(other.shape()[d], shape_[d]);
+  }
+  const int64_t span = other.shape()[axis];
+  TGCRN_CHECK_GE(start, 0);
+  TGCRN_CHECK_LE(start + span, shape_[axis]);
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= shape_[d];
+  for (int64_t d = axis + 1; d < dim(); ++d) inner *= shape_[d];
+  const int64_t axis_len = shape_[axis];
+  float* p = mutable_data();
+  const float* q = other.data();
+  for (int64_t ou = 0; ou < outer; ++ou) {
+    float* dst = p + (ou * axis_len + start) * inner;
+    const float* src = q + ou * span * inner;
+    for (int64_t i = 0; i < span * inner; ++i) dst[i] += src[i];
+  }
+}
+
+void Tensor::IndexAdd0Inplace(const std::vector<int64_t>& indices,
+                              const Tensor& other) {
+  TGCRN_CHECK_GE(dim(), 1);
+  TGCRN_CHECK_EQ(other.dim(), dim());
+  TGCRN_CHECK_EQ(other.shape()[0], static_cast<int64_t>(indices.size()));
+  int64_t inner = 1;
+  for (int64_t d = 1; d < dim(); ++d) {
+    TGCRN_CHECK_EQ(other.shape()[d], shape_[d]);
+    inner *= shape_[d];
+  }
+  float* p = mutable_data();
+  const float* q = other.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t row = indices[i];
+    TGCRN_CHECK_GE(row, 0);
+    TGCRN_CHECK_LT(row, shape_[0]);
+    float* dst = p + row * inner;
+    const float* src = q + i * inner;
+    for (int64_t j = 0; j < inner; ++j) dst[j] += src[j];
+  }
+}
+
+void Tensor::ScaleInplace(float value) {
+  for (auto& v : *data_) v *= value;
+}
+
+void Tensor::FillInplace(float value) {
+  std::fill(data_->begin(), data_->end(), value);
+}
+
+Tensor Tensor::Matmul(const Tensor& other) const {
+  TGCRN_CHECK_GE(dim(), 2);
+  TGCRN_CHECK_GE(other.dim(), 2);
+  const int64_t m = shape_[dim() - 2];
+  const int64_t k = shape_[dim() - 1];
+  const int64_t k2 = other.shape_[other.dim() - 2];
+  const int64_t n = other.shape_[other.dim() - 1];
+  TGCRN_CHECK_EQ(k, k2) << "matmul inner-dim mismatch: "
+                        << ShapeToString(shape_) << " x "
+                        << ShapeToString(other.shape_);
+  // Broadcast the batch dims.
+  Shape a_batch(shape_.begin(), shape_.end() - 2);
+  Shape b_batch(other.shape_.begin(), other.shape_.end() - 2);
+  Shape batch = BroadcastShapes(a_batch, b_batch);
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out(out_shape);
+
+  const int64_t batch_n = ShapeNumel(batch);
+  // Effective batch strides in units of matrices.
+  const int64_t rank = static_cast<int64_t>(batch.size());
+  auto batch_strides = [&](const Shape& s) {
+    std::vector<int64_t> strides(rank, 0);
+    const auto full = StridesFor(s);
+    const int64_t off = rank - static_cast<int64_t>(s.size());
+    for (int64_t d = 0; d < rank; ++d) {
+      if (d >= off && s[d - off] != 1) strides[d] = full[d - off];
+    }
+    return strides;
+  };
+  const auto a_strides = batch_strides(a_batch);
+  const auto b_strides = batch_strides(b_batch);
+
+  const float* pa = data();
+  const float* pb = other.data();
+  float* po = out.mutable_data();
+  std::vector<int64_t> index(rank, 0);
+  int64_t a_mat = 0, b_mat = 0;
+  for (int64_t bi = 0; bi < batch_n; ++bi) {
+    const float* A = pa + a_mat * m * k;
+    const float* B = pb + b_mat * k * n;
+    float* C = po + bi * m * n;
+    // i-k-j loop order: streams B and C rows, good cache behaviour.
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = C + i * n;
+      std::fill(crow, crow + n, 0.0f);
+      const float* arow = A + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float a_val = arow[kk];
+        if (a_val == 0.0f) continue;
+        const float* brow = B + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += a_val * brow[j];
+      }
+    }
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++index[d];
+      a_mat += a_strides[d];
+      b_mat += b_strides[d];
+      if (index[d] < batch[d]) break;
+      index[d] = 0;
+      a_mat -= a_strides[d] * batch[d];
+      b_mat -= b_strides[d] * batch[d];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  // Resolve a single -1 dimension.
+  int64_t known = 1;
+  int64_t infer = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      TGCRN_CHECK_EQ(infer, -1) << "at most one -1 dim";
+      infer = static_cast<int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer >= 0) {
+    TGCRN_CHECK(known != 0 && numel() % known == 0)
+        << "cannot infer dim for reshape " << ShapeToString(shape_) << " -> "
+        << ShapeToString(new_shape);
+    new_shape[infer] = numel() / known;
+  }
+  TGCRN_CHECK_EQ(ShapeNumel(new_shape), numel())
+      << "reshape " << ShapeToString(shape_) << " -> "
+      << ShapeToString(new_shape);
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;  // storage shared; reshape is a view of contiguous data
+  return out;
+}
+
+Tensor Tensor::Transpose(int64_t axis0, int64_t axis1) const {
+  if (axis0 < 0) axis0 += dim();
+  if (axis1 < 0) axis1 += dim();
+  std::vector<int64_t> perm(dim());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::swap(perm[axis0], perm[axis1]);
+  return Permute(perm);
+}
+
+Tensor Tensor::Permute(const std::vector<int64_t>& perm) const {
+  TGCRN_CHECK_EQ(static_cast<int64_t>(perm.size()), dim());
+  Shape out_shape(dim());
+  for (int64_t d = 0; d < dim(); ++d) out_shape[d] = shape_[perm[d]];
+  Tensor out(out_shape);
+  if (numel() == 0) return out;
+  const auto in_strides = StridesFor(shape_);
+  std::vector<int64_t> permuted_strides(dim());
+  for (int64_t d = 0; d < dim(); ++d) {
+    permuted_strides[d] = in_strides[perm[d]];
+  }
+  const float* p = data();
+  float* o = out.mutable_data();
+  std::vector<int64_t> index(dim(), 0);
+  int64_t in_off = 0;
+  const int64_t n = numel();
+  for (int64_t flat = 0; flat < n; ++flat) {
+    o[flat] = p[in_off];
+    for (int64_t d = dim() - 1; d >= 0; --d) {
+      ++index[d];
+      in_off += permuted_strides[d];
+      if (index[d] < out_shape[d]) break;
+      index[d] = 0;
+      in_off -= permuted_strides[d] * out_shape[d];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Unsqueeze(int64_t axis) const {
+  if (axis < 0) axis += dim() + 1;
+  TGCRN_CHECK_GE(axis, 0);
+  TGCRN_CHECK_LE(axis, dim());
+  Shape s = shape_;
+  s.insert(s.begin() + axis, 1);
+  return Reshape(std::move(s));
+}
+
+Tensor Tensor::Squeeze(int64_t axis) const {
+  if (axis < 0) axis += dim();
+  TGCRN_CHECK_EQ(shape_[axis], 1);
+  Shape s = shape_;
+  s.erase(s.begin() + axis);
+  return Reshape(std::move(s));
+}
+
+Tensor Tensor::Slice(int64_t axis, int64_t start, int64_t end) const {
+  if (axis < 0) axis += dim();
+  TGCRN_CHECK_GE(axis, 0);
+  TGCRN_CHECK_LT(axis, dim());
+  TGCRN_CHECK_GE(start, 0);
+  TGCRN_CHECK_LE(end, shape_[axis]);
+  TGCRN_CHECK_LE(start, end);
+  Shape out_shape = shape_;
+  out_shape[axis] = end - start;
+  Tensor out(out_shape);
+  // View the tensor as [outer, axis_len, inner].
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= shape_[d];
+  for (int64_t d = axis + 1; d < dim(); ++d) inner *= shape_[d];
+  const int64_t axis_len = shape_[axis];
+  const int64_t span = end - start;
+  const float* p = data();
+  float* o = out.mutable_data();
+  for (int64_t ou = 0; ou < outer; ++ou) {
+    const float* src = p + (ou * axis_len + start) * inner;
+    float* dst = o + ou * span * inner;
+    std::copy(src, src + span * inner, dst);
+  }
+  return out;
+}
+
+Tensor Tensor::BroadcastTo(const Shape& target) const {
+  const Shape check = BroadcastShapes(shape_, target);
+  TGCRN_CHECK(check == target)
+      << "cannot broadcast " << ShapeToString(shape_) << " to "
+      << ShapeToString(target);
+  Tensor out(target);
+  float* o = out.mutable_data();
+  const float* p = data();
+  BroadcastIterate(target, shape_, Shape{},  // second operand unused
+                   [&](int64_t of, int64_t ia, int64_t) { o[of] = p[ia]; });
+  return out;
+}
+
+Tensor Tensor::IndexSelect0(const std::vector<int64_t>& indices) const {
+  TGCRN_CHECK_GE(dim(), 1);
+  int64_t inner = 1;
+  for (int64_t d = 1; d < dim(); ++d) inner *= shape_[d];
+  Shape out_shape = shape_;
+  out_shape[0] = static_cast<int64_t>(indices.size());
+  Tensor out(out_shape);
+  const float* p = data();
+  float* o = out.mutable_data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t row = indices[i];
+    TGCRN_CHECK_GE(row, 0);
+    TGCRN_CHECK_LT(row, shape_[0]);
+    std::copy(p + row * inner, p + (row + 1) * inner, o + i * inner);
+  }
+  return out;
+}
+
+Tensor Tensor::Concat(const std::vector<Tensor>& tensors, int64_t axis) {
+  TGCRN_CHECK(!tensors.empty());
+  int64_t rank = tensors[0].dim();
+  if (axis < 0) axis += rank;
+  TGCRN_CHECK_GE(axis, 0);
+  TGCRN_CHECK_LT(axis, rank);
+  Shape out_shape = tensors[0].shape();
+  int64_t total = 0;
+  for (const auto& t : tensors) {
+    TGCRN_CHECK_EQ(t.dim(), rank);
+    for (int64_t d = 0; d < rank; ++d) {
+      if (d != axis) {
+        TGCRN_CHECK_EQ(t.shape()[d], out_shape[d])
+            << "concat shape mismatch on axis " << d;
+      }
+    }
+    total += t.shape()[axis];
+  }
+  out_shape[axis] = total;
+  Tensor out(out_shape);
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= out_shape[d];
+  for (int64_t d = axis + 1; d < rank; ++d) inner *= out_shape[d];
+  float* o = out.mutable_data();
+  int64_t written = 0;
+  for (const auto& t : tensors) {
+    const int64_t span = t.shape()[axis];
+    const float* p = t.data();
+    for (int64_t ou = 0; ou < outer; ++ou) {
+      std::copy(p + ou * span * inner, p + (ou + 1) * span * inner,
+                o + (ou * total + written) * inner);
+    }
+    written += span;
+  }
+  return out;
+}
+
+Tensor Tensor::Stack(const std::vector<Tensor>& tensors, int64_t axis) {
+  TGCRN_CHECK(!tensors.empty());
+  std::vector<Tensor> expanded;
+  expanded.reserve(tensors.size());
+  for (const auto& t : tensors) expanded.push_back(t.Unsqueeze(axis));
+  return Concat(expanded, axis);
+}
+
+float Tensor::SumAll() const {
+  double sum = 0.0;
+  for (float v : *data_) sum += v;
+  return static_cast<float>(sum);
+}
+
+float Tensor::MeanAll() const {
+  TGCRN_CHECK_GT(numel(), 0);
+  return SumAll() / static_cast<float>(numel());
+}
+
+float Tensor::MaxAll() const {
+  TGCRN_CHECK_GT(numel(), 0);
+  return *std::max_element(data_->begin(), data_->end());
+}
+
+float Tensor::MinAll() const {
+  TGCRN_CHECK_GT(numel(), 0);
+  return *std::min_element(data_->begin(), data_->end());
+}
+
+namespace {
+
+// Reduces `t` along `axis` with init/accumulate/finalize functors.
+template <typename Acc, typename Fin>
+Tensor ReduceAxis(const Tensor& t, int64_t axis, bool keepdim, float init,
+                  Acc acc, Fin fin) {
+  int64_t rank = t.dim();
+  if (axis < 0) axis += rank;
+  TGCRN_CHECK_GE(axis, 0);
+  TGCRN_CHECK_LT(axis, rank);
+  Shape out_shape = t.shape();
+  out_shape[axis] = 1;
+  Tensor out(out_shape);
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= t.shape()[d];
+  for (int64_t d = axis + 1; d < rank; ++d) inner *= t.shape()[d];
+  const int64_t span = t.shape()[axis];
+  const float* p = t.data();
+  float* o = out.mutable_data();
+  for (int64_t ou = 0; ou < outer; ++ou) {
+    for (int64_t in = 0; in < inner; ++in) {
+      float a = init;
+      for (int64_t s = 0; s < span; ++s) {
+        a = acc(a, p[(ou * span + s) * inner + in]);
+      }
+      o[ou * inner + in] = fin(a, span);
+    }
+  }
+  if (!keepdim) return out.Squeeze(axis);
+  return out;
+}
+
+}  // namespace
+
+Tensor Tensor::Sum(int64_t axis, bool keepdim) const {
+  return ReduceAxis(
+      *this, axis, keepdim, 0.0f, [](float a, float v) { return a + v; },
+      [](float a, int64_t) { return a; });
+}
+
+Tensor Tensor::Mean(int64_t axis, bool keepdim) const {
+  return ReduceAxis(
+      *this, axis, keepdim, 0.0f, [](float a, float v) { return a + v; },
+      [](float a, int64_t n) { return a / static_cast<float>(n); });
+}
+
+Tensor Tensor::Max(int64_t axis, bool keepdim) const {
+  return ReduceAxis(
+      *this, axis, keepdim, -std::numeric_limits<float>::infinity(),
+      [](float a, float v) { return std::max(a, v); },
+      [](float a, int64_t) { return a; });
+}
+
+Tensor Tensor::ReduceTo(const Shape& target) const {
+  if (shape_ == target) return *this;
+  Tensor result = *this;
+  // Sum away extra leading dims.
+  while (result.dim() > static_cast<int64_t>(target.size())) {
+    result = result.Sum(0, /*keepdim=*/false);
+  }
+  // Sum over broadcast (size-1) dims.
+  for (int64_t d = 0; d < result.dim(); ++d) {
+    if (target[d] == 1 && result.shape()[d] != 1) {
+      result = result.Sum(d, /*keepdim=*/true);
+    } else {
+      TGCRN_CHECK_EQ(target[d], result.shape()[d])
+          << "ReduceTo mismatch " << ShapeToString(shape_) << " -> "
+          << ShapeToString(target);
+    }
+  }
+  return result;
+}
+
+Tensor Tensor::Softmax(int64_t axis) const {
+  int64_t rank = dim();
+  if (axis < 0) axis += rank;
+  // Fast path for the last axis (the overwhelmingly common case: row
+  // softmax of adjacency matrices and attention scores): single pass per
+  // contiguous row instead of three broadcast kernels.
+  if (axis == rank - 1 && rank >= 1) {
+    const int64_t span = shape_[axis];
+    const int64_t rows = span > 0 ? numel() / span : 0;
+    Tensor out(shape_);
+    const float* p = data();
+    float* o = out.mutable_data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* src = p + r * span;
+      float* dst = o + r * span;
+      float max_val = src[0];
+      for (int64_t j = 1; j < span; ++j) max_val = std::max(max_val, src[j]);
+      float sum = 0.0f;
+      for (int64_t j = 0; j < span; ++j) {
+        dst[j] = std::exp(src[j] - max_val);
+        sum += dst[j];
+      }
+      const float inv = 1.0f / sum;
+      for (int64_t j = 0; j < span; ++j) dst[j] *= inv;
+    }
+    return out;
+  }
+  Tensor shifted = Sub(Max(axis, /*keepdim=*/true));
+  Tensor exps = shifted.Exp();
+  return exps.Div(exps.Sum(axis, /*keepdim=*/true));
+}
+
+float Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  TGCRN_CHECK(a.SameShape(b))
+      << ShapeToString(a.shape_) << " vs " << ShapeToString(b.shape_);
+  float max_diff = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(pa[i] - pb[i]));
+  }
+  return max_diff;
+}
+
+bool Tensor::AllClose(const Tensor& other, float atol) const {
+  if (!SameShape(other)) return false;
+  return MaxAbsDiff(*this, other) <= atol;
+}
+
+bool Tensor::HasNonFinite() const {
+  for (float v : *data_) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+std::string Tensor::ToString(int64_t max_elements) const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape_) << " {";
+  const int64_t n = std::min(numel(), max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << (*data_)[i];
+  }
+  if (n < numel()) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace tgcrn

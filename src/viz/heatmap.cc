@@ -1,0 +1,91 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "viz/heatmap.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tgcrn {
+namespace viz {
+
+namespace {
+
+// Max over off-diagonal (or all) cells.
+float MatrixMax(const Tensor& m, bool mask_diagonal) {
+  const int64_t n = m.size(0);
+  float max_val = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (mask_diagonal && i == j) continue;
+      max_val = std::max(max_val, m.at({i, j}));
+    }
+  }
+  return max_val;
+}
+
+char Glyph(float value, float max_val, const std::string& ramp) {
+  if (max_val <= 0.0f) return ramp.front();
+  const float unit = std::clamp(value / max_val, 0.0f, 1.0f);
+  const size_t idx = std::min(
+      ramp.size() - 1,
+      static_cast<size_t>(unit * static_cast<float>(ramp.size())));
+  return ramp[idx];
+}
+
+}  // namespace
+
+std::string RenderHeatmap(const Tensor& matrix,
+                          const HeatmapOptions& options) {
+  TGCRN_CHECK_EQ(matrix.dim(), 2);
+  TGCRN_CHECK_EQ(matrix.size(0), matrix.size(1));
+  return RenderHeatmapRow({matrix}, {""}, options);
+}
+
+std::string RenderHeatmapRow(const std::vector<Tensor>& matrices,
+                             const std::vector<std::string>& titles,
+                             const HeatmapOptions& options) {
+  TGCRN_CHECK(!matrices.empty());
+  TGCRN_CHECK_EQ(matrices.size(), titles.size());
+  const int64_t n = matrices[0].size(0);
+  for (const auto& m : matrices) {
+    TGCRN_CHECK_EQ(m.dim(), 2);
+    TGCRN_CHECK_EQ(m.size(0), n);
+    TGCRN_CHECK_EQ(m.size(1), n);
+  }
+  float global_max = 0.0f;
+  for (const auto& m : matrices) {
+    global_max = std::max(global_max, MatrixMax(m, options.mask_diagonal));
+  }
+
+  std::ostringstream out;
+  // Title line.
+  for (size_t k = 0; k < matrices.size(); ++k) {
+    std::string title = titles[k];
+    title.resize(static_cast<size_t>(n) + 2, ' ');
+    out << title << " ";
+  }
+  out << "\n";
+  for (int64_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < matrices.size(); ++k) {
+      const float max_val = options.per_matrix_scale
+                                ? MatrixMax(matrices[k],
+                                            options.mask_diagonal)
+                                : global_max;
+      out << "|";
+      for (int64_t j = 0; j < n; ++j) {
+        if (options.mask_diagonal && i == j) {
+          out << '/';
+        } else {
+          out << Glyph(matrices[k].at({i, j}), max_val, options.ramp);
+        }
+      }
+      out << "|  ";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace viz
+}  // namespace tgcrn

@@ -1,0 +1,40 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// ASCII heat-map rendering for adjacency/OD matrices, so the bench
+// harnesses can show the qualitative picture the paper's Fig 11 heat maps
+// convey directly in terminal output.
+#ifndef TGCRN_VIZ_HEATMAP_H_
+#define TGCRN_VIZ_HEATMAP_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tgcrn {
+namespace viz {
+
+struct HeatmapOptions {
+  // Glyph ramp from weakest to strongest cell.
+  std::string ramp = " .:-=+*#%@";
+  // If true, each matrix is normalized by its own max; otherwise all
+  // matrices rendered in one call share the global max (comparable cells).
+  bool per_matrix_scale = false;
+  // Zero out the diagonal before scaling (self-weights usually dominate
+  // and wash out the structure).
+  bool mask_diagonal = true;
+};
+
+// Renders one [N, N] matrix as N lines of N glyphs.
+std::string RenderHeatmap(const Tensor& matrix,
+                          const HeatmapOptions& options = {});
+
+// Renders several matrices side by side with titles - the layout of the
+// paper's Fig 11 panels. All matrices must be square and equally sized.
+std::string RenderHeatmapRow(const std::vector<Tensor>& matrices,
+                             const std::vector<std::string>& titles,
+                             const HeatmapOptions& options = {});
+
+}  // namespace viz
+}  // namespace tgcrn
+
+#endif  // TGCRN_VIZ_HEATMAP_H_

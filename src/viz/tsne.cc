@@ -1,0 +1,285 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace tgcrn {
+namespace viz {
+
+namespace {
+
+// Row-wise conditional probabilities with per-point bandwidth chosen by
+// binary search so the row entropy matches log(perplexity).
+std::vector<double> ConditionalP(const std::vector<double>& sq_dist,
+                                 int64_t n, double perplexity) {
+  std::vector<double> p(n * n, 0.0);
+  const double target_entropy = std::log(perplexity);
+  for (int64_t i = 0; i < n; ++i) {
+    double beta_lo = 0.0, beta_hi = 1e12, beta = 1.0;
+    for (int iter = 0; iter < 60; ++iter) {
+      double sum = 0.0, weighted = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double w = std::exp(-beta * sq_dist[i * n + j]);
+        p[i * n + j] = w;
+        sum += w;
+        weighted += w * sq_dist[i * n + j];
+      }
+      if (sum <= 1e-300) {
+        beta_hi = beta;
+        beta = 0.5 * (beta_lo + beta_hi);
+        continue;
+      }
+      // H = log(sum) + beta * E[d]
+      const double entropy = std::log(sum) + beta * weighted / sum;
+      if (std::fabs(entropy - target_entropy) < 1e-5) break;
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = beta_hi > 1e11 ? beta * 2.0 : 0.5 * (beta_lo + beta_hi);
+      } else {
+        beta_hi = beta;
+        beta = 0.5 * (beta_lo + beta_hi);
+      }
+    }
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) sum += p[i * n + j];
+    if (sum > 0) {
+      for (int64_t j = 0; j < n; ++j) p[i * n + j] /= sum;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+Tensor Tsne(const Tensor& points, const TsneOptions& options) {
+  TGCRN_CHECK_EQ(points.dim(), 2);
+  const int64_t n = points.size(0);
+  const int64_t d = points.size(1);
+  TGCRN_CHECK_GE(n, 3);
+
+  // Pairwise squared distances in input space.
+  std::vector<double> sq_dist(n * n, 0.0);
+  const float* x = points.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (int64_t c = 0; c < d; ++c) {
+        const double diff = x[i * d + c] - x[j * d + c];
+        s += diff * diff;
+      }
+      sq_dist[i * n + j] = s;
+      sq_dist[j * n + i] = s;
+    }
+  }
+  // Symmetrized joint probabilities.
+  const auto cond = ConditionalP(sq_dist, n,
+                                 std::min<double>(options.perplexity,
+                                                  (n - 1) / 3.0));
+  std::vector<double> p(n * n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      p[i * n + j] =
+          std::max((cond[i * n + j] + cond[j * n + i]) / (2.0 * n), 1e-12);
+    }
+  }
+
+  // Gradient descent on the 2-D embedding.
+  Rng rng(options.seed);
+  std::vector<double> y(n * 2), velocity(n * 2, 0.0);
+  for (auto& v : y) v = rng.Gaussian(0.0, 1e-2);
+  std::vector<double> q(n * n), num(n * n);
+
+  for (int64_t iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+    // Student-t affinities in embedding space.
+    double q_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        const double dy0 = y[i * 2] - y[j * 2];
+        const double dy1 = y[i * 2 + 1] - y[j * 2 + 1];
+        const double v = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        num[i * n + j] = v;
+        num[j * n + i] = v;
+        q_sum += 2.0 * v;
+      }
+      num[i * n + i] = 0.0;
+    }
+    for (int64_t k = 0; k < n * n; ++k) {
+      q[k] = std::max(num[k] / q_sum, 1e-12);
+    }
+    // Gradient and update.
+    for (int64_t i = 0; i < n; ++i) {
+      double g0 = 0.0, g1 = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double coeff =
+            (exaggeration * p[i * n + j] - q[i * n + j]) * num[i * n + j];
+        g0 += coeff * (y[i * 2] - y[j * 2]);
+        g1 += coeff * (y[i * 2 + 1] - y[j * 2 + 1]);
+      }
+      velocity[i * 2] =
+          options.momentum * velocity[i * 2] - options.learning_rate * g0;
+      velocity[i * 2 + 1] = options.momentum * velocity[i * 2 + 1] -
+                            options.learning_rate * g1;
+    }
+    for (int64_t k = 0; k < n * 2; ++k) y[k] += velocity[k];
+  }
+
+  Tensor out(Shape{n, 2});
+  for (int64_t k = 0; k < n * 2; ++k) {
+    out.set_flat(k, static_cast<float>(y[k]));
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<double> Ranks(const std::vector<double>& values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int64_t a, int64_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  for (int64_t r = 0; r < n; ++r) {
+    ranks[order[r]] = static_cast<double>(r);
+  }
+  return ranks;
+}
+
+double Pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  const int64_t n = static_cast<int64_t>(a.size());
+  double ma = 0, mb = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  const double denom = std::sqrt(va * vb);
+  return denom > 1e-12 ? cov / denom : 0.0;
+}
+
+}  // namespace
+
+double SpearmanRank(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  TGCRN_CHECK_EQ(a.size(), b.size());
+  TGCRN_CHECK_GE(a.size(), 3u);
+  return Pearson(Ranks(a), Ranks(b));
+}
+
+double OrderConsistency(const Tensor& embedding) {
+  TGCRN_CHECK_EQ(embedding.dim(), 2);
+  const int64_t n = embedding.size(0);
+  const int64_t k = embedding.size(1);
+  // First principal axis via a few power iterations on the covariance.
+  std::vector<double> mean(k, 0.0);
+  const float* e = embedding.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < k; ++c) mean[c] += e[i * k + c];
+  }
+  for (auto& m : mean) m /= n;
+  std::vector<double> cov(k * k, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t a = 0; a < k; ++a) {
+      for (int64_t b = 0; b < k; ++b) {
+        cov[a * k + b] +=
+            (e[i * k + a] - mean[a]) * (e[i * k + b] - mean[b]);
+      }
+    }
+  }
+  std::vector<double> axis(k, 1.0 / std::sqrt(static_cast<double>(k)));
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<double> next(k, 0.0);
+    for (int64_t a = 0; a < k; ++a) {
+      for (int64_t b = 0; b < k; ++b) next[a] += cov[a * k + b] * axis[b];
+    }
+    double norm = 0.0;
+    for (double v : next) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) break;
+    for (int64_t a = 0; a < k; ++a) axis[a] = next[a] / norm;
+  }
+  std::vector<double> projection(n), index(n);
+  for (int64_t i = 0; i < n; ++i) {
+    double dot = 0.0;
+    for (int64_t c = 0; c < k; ++c) {
+      dot += (e[i * k + c] - mean[c]) * axis[c];
+    }
+    projection[i] = dot;
+    index[i] = static_cast<double>(i);
+  }
+  return std::fabs(SpearmanRank(projection, index));
+}
+
+double DistanceProportionality(const Tensor& embedding,
+                               int64_t circular_period) {
+  TGCRN_CHECK_EQ(embedding.dim(), 2);
+  const int64_t n = embedding.size(0);
+  const int64_t k = embedding.size(1);
+  const float* e = embedding.data();
+  std::vector<double> emb_dist, idx_dist;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (int64_t c = 0; c < k; ++c) {
+        const double diff = e[i * k + c] - e[j * k + c];
+        s += diff * diff;
+      }
+      emb_dist.push_back(std::sqrt(s));
+      int64_t d = j - i;
+      if (circular_period > 0) {
+        d = std::min(d, circular_period - d);
+      }
+      idx_dist.push_back(static_cast<double>(d));
+    }
+  }
+  return Pearson(emb_dist, idx_dist);
+}
+
+double NeighborOrderPreservation(const Tensor& embedding,
+                                 int64_t circular_period) {
+  TGCRN_CHECK_EQ(embedding.dim(), 2);
+  const int64_t n = embedding.size(0);
+  const int64_t k = embedding.size(1);
+  TGCRN_CHECK_GE(n, 3);
+  const float* e = embedding.data();
+  int64_t hits = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int64_t best_j = -1;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double s = 0.0;
+      for (int64_t c = 0; c < k; ++c) {
+        const double diff = e[i * k + c] - e[j * k + c];
+        s += diff * diff;
+      }
+      if (s < best) {
+        best = s;
+        best_j = j;
+      }
+    }
+    int64_t d = std::abs(best_j - i);
+    if (circular_period > 0) d = std::min(d, circular_period - d);
+    if (d == 1) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace viz
+}  // namespace tgcrn

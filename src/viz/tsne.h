@@ -1,0 +1,61 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Exact t-SNE (van der Maaten & Hinton, 2008) for the paper's Fig 12
+// visualization of time representations. O(n^2) per iteration - fine for
+// the <= a few hundred points this repository embeds. Also provides the
+// order-consistency statistics used to quantify what the paper shows
+// visually (time slots forming an ordered 1-D ribbon in 2-D space).
+#ifndef TGCRN_VIZ_TSNE_H_
+#define TGCRN_VIZ_TSNE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace tgcrn {
+namespace viz {
+
+struct TsneOptions {
+  double perplexity = 12.0;
+  int64_t iterations = 400;
+  double learning_rate = 50.0;
+  double early_exaggeration = 4.0;
+  int64_t exaggeration_iters = 80;
+  double momentum = 0.8;
+  uint64_t seed = 1;
+};
+
+// Embeds the rows of `points` ([n, d]) into 2-D; returns [n, 2].
+Tensor Tsne(const Tensor& points, const TsneOptions& options = {});
+
+// Spearman rank correlation between two sequences (|rho| near 1 means a
+// monotone relationship).
+double SpearmanRank(const std::vector<double>& a,
+                    const std::vector<double>& b);
+
+// Order consistency of an embedding with the natural index order: projects
+// the rows of `embedding` ([n, k]) onto their first principal axis and
+// returns |Spearman(projection, 0..n-1)|. A time embedding that lays the
+// day out as an ordered curve scores near 1; an unstructured one near 0.
+double OrderConsistency(const Tensor& embedding);
+
+// Pearson correlation between pairwise embedding distances and pairwise
+// index distances - a second, projection-free view of Fig 12's claim that
+// embedding distances track time distances. With `circular_period` > 0 the
+// index distance is circular (min(|i-j|, period-|i-j|)), the right notion
+// when the rows are slots of a wrapping day: a well-trained time embedding
+// forms a closed ribbon, which linear index distance under-credits.
+double DistanceProportionality(const Tensor& embedding,
+                               int64_t circular_period = 0);
+
+// Fraction of rows whose nearest neighbour in embedding space is an
+// adjacent index (circularly when period > 0). A perfectly ordered ribbon
+// scores 1; random embeddings score ~2/(n-1).
+double NeighborOrderPreservation(const Tensor& embedding,
+                                 int64_t circular_period = 0);
+
+}  // namespace viz
+}  // namespace tgcrn
+
+#endif  // TGCRN_VIZ_TSNE_H_

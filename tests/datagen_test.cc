@@ -1,0 +1,328 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Simulator tests: the synthetic datasets must actually exhibit the
+// statistical structure the paper studies - daily trends, weekday/weekend
+// periodicity, and spatially correlated dynamics - since the whole
+// reproduction argument rests on that.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/demand_sim.h"
+#include "datagen/electricity_sim.h"
+#include "datagen/metro_sim.h"
+#include "metrics/metrics.h"
+
+namespace tgcrn {
+namespace {
+
+datagen::MetroSimConfig SmallMetroConfig() {
+  datagen::MetroSimConfig config;
+  config.num_stations = 10;
+  config.num_days = 14;
+  config.steps_per_day = 72;
+  config.seed = 3;
+  config.target_mean_inflow = 80.0;
+  return config;
+}
+
+TEST(MetroSimTest, ShapesAndDeterminism) {
+  const auto config = SmallMetroConfig();
+  const auto a = datagen::SimulateMetro(config);
+  const auto b = datagen::SimulateMetro(config);
+  EXPECT_EQ(a.data.values.shape(), (Shape{14 * 72, 10, 2}));
+  EXPECT_TRUE(a.data.values.AllClose(b.data.values, 0.0f));
+  EXPECT_EQ(a.od_ground_truth.size(), 14u * 72u);
+  EXPECT_EQ(a.area_types.size(), 10u);
+  auto c_config = config;
+  c_config.seed = 4;
+  const auto c = datagen::SimulateMetro(c_config);
+  EXPECT_FALSE(a.data.values.AllClose(c.data.values, 1e-3f));
+}
+
+TEST(MetroSimTest, CalibratedMeanInflow) {
+  const auto out = datagen::SimulateMetro(SmallMetroConfig());
+  // Mean inflow (channel 0) should be near the calibration target.
+  Tensor inflow = out.data.values.Slice(2, 0, 1);
+  EXPECT_NEAR(inflow.MeanAll(), 80.0f, 12.0f);
+}
+
+TEST(MetroSimTest, FlowConservation) {
+  // Every sampled trip taps in exactly once and taps out at most once
+  // (trips near the end of the horizon may not arrive): total outflow is
+  // close to but not more than total inflow.
+  const auto out = datagen::SimulateMetro(SmallMetroConfig());
+  const float total_in = out.data.values.Slice(2, 0, 1).SumAll();
+  const float total_out = out.data.values.Slice(2, 1, 2).SumAll();
+  EXPECT_LE(total_out, total_in);
+  EXPECT_GT(total_out, 0.97f * total_in);
+}
+
+TEST(MetroSimTest, MorningPeakExistsOnWeekdays) {
+  const auto out = datagen::SimulateMetro(SmallMetroConfig());
+  const int64_t n = 10, spd = 72;
+  // Slot for 08:00 (day starts 06:00, 15-min slots): slot 8.
+  // Slot for 22:30: slot 66.
+  double peak = 0.0, late = 0.0;
+  int64_t days = 0;
+  for (int64_t day = 0; day < 14; ++day) {
+    if (day % 7 >= 5) continue;  // weekdays only
+    ++days;
+    for (int64_t i = 0; i < n; ++i) {
+      peak += out.data.values.at({day * spd + 8, i, 0});
+      late += out.data.values.at({day * spd + 66, i, 0});
+    }
+  }
+  ASSERT_GT(days, 0);
+  EXPECT_GT(peak, 2.0 * late) << "morning rush must dominate late night";
+}
+
+TEST(MetroSimTest, WeekdayWeekendPeriodicity) {
+  // The paper's Fig 2 evidence: the OD matrix at 08:00 is similar across
+  // weekdays, similar across weekend days, and different between the two.
+  const auto out = datagen::SimulateMetro(SmallMetroConfig());
+  const int64_t spd = 72;
+  auto od_at = [&](int64_t day) { return out.od_ground_truth[day * spd + 8]; };
+  auto cosine = [](const Tensor& a, const Tensor& b) {
+    double dot = 0, na = 0, nb = 0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      dot += a.flat(i) * b.flat(i);
+      na += a.flat(i) * a.flat(i);
+      nb += b.flat(i) * b.flat(i);
+    }
+    return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-12);
+  };
+  const double mon_tue = cosine(od_at(0), od_at(1));    // two weekdays
+  const double mon_mon = cosine(od_at(0), od_at(7));    // same weekday
+  const double sat_sun = cosine(od_at(5), od_at(6));    // two weekend days
+  const double mon_sat = cosine(od_at(0), od_at(5));    // across period types
+  EXPECT_GT(mon_tue, mon_sat);
+  EXPECT_GT(mon_mon, mon_sat);
+  EXPECT_GT(sat_sun, mon_sat);
+}
+
+TEST(MetroSimTest, IntraDayTrendIsSmooth) {
+  // Fig 2's trend: consecutive OD matrices are more similar than matrices
+  // hours apart.
+  const auto out = datagen::SimulateMetro(SmallMetroConfig());
+  const int64_t spd = 72;
+  auto l1 = [](const Tensor& a, const Tensor& b) {
+    return Tensor::MaxAbsDiff(a, b);
+  };
+  // 08:00 vs 08:15 vs 12:00 on day 1 (a weekday).
+  const Tensor& t0 = out.od_ground_truth[1 * spd + 8];
+  const Tensor& t1 = out.od_ground_truth[1 * spd + 9];
+  const Tensor& t2 = out.od_ground_truth[1 * spd + 24];
+  EXPECT_LT(l1(t0, t1), l1(t0, t2));
+}
+
+TEST(MetroSimTest, ProfilesDifferByAreaType) {
+  // Residential origins peak in the morning; business origins in the
+  // evening (workers leaving), on weekdays.
+  using datagen::AreaType;
+  const double res_m =
+      datagen::MetroOriginProfile(AreaType::kResidential, 8.0, false);
+  const double res_e =
+      datagen::MetroOriginProfile(AreaType::kResidential, 18.0, false);
+  EXPECT_GT(res_m, res_e);
+  const double biz_m =
+      datagen::MetroOriginProfile(AreaType::kBusiness, 8.0, false);
+  const double biz_e =
+      datagen::MetroOriginProfile(AreaType::kBusiness, 18.0, false);
+  EXPECT_GT(biz_e, biz_m);
+  // Attraction mirrors: business attracts in the morning.
+  EXPECT_GT(datagen::MetroAttractionProfile(AreaType::kBusiness, 8.25, false),
+            datagen::MetroAttractionProfile(AreaType::kBusiness, 18.0,
+                                            false));
+  // Weekends suppress the commute pattern.
+  EXPECT_LT(datagen::MetroOriginProfile(AreaType::kResidential, 8.0, true),
+            res_m);
+}
+
+TEST(MetroSimTest, FailureInjectionZeroesClosedStations) {
+  auto config = SmallMetroConfig();
+  config.expected_closures = 6.0;
+  const auto out = datagen::SimulateMetro(config);
+  ASSERT_FALSE(out.closures.empty());
+  for (const auto& closure : out.closures) {
+    EXPECT_GE(closure.station, 0);
+    EXPECT_LT(closure.station, config.num_stations);
+    EXPECT_GE(closure.first_step, 0);
+    EXPECT_LT(closure.last_step, out.data.num_steps());
+    // 2-8 hours of 15-min slots.
+    const int64_t duration = closure.last_step - closure.first_step;
+    EXPECT_GE(duration, 8);
+    EXPECT_LE(duration, 32);
+    for (int64_t t = closure.first_step; t <= closure.last_step; ++t) {
+      EXPECT_EQ(out.data.values.at({t, closure.station, 0}), 0.0f);
+      EXPECT_EQ(out.data.values.at({t, closure.station, 1}), 0.0f);
+    }
+  }
+}
+
+TEST(MetroSimTest, FailureInjectionOffByDefault) {
+  const auto out = datagen::SimulateMetro(SmallMetroConfig());
+  EXPECT_TRUE(out.closures.empty());
+}
+
+TEST(MetroSimTest, MaskedMetricsIgnoreClosures) {
+  // With null-aware metrics, a perfect forecast of the *uncorrupted* data
+  // scores zero error even though closures zeroed some targets.
+  auto config = SmallMetroConfig();
+  const auto clean = datagen::SimulateMetro(config);
+  config.expected_closures = 8.0;
+  const auto corrupted = datagen::SimulateMetro(config);
+  // Same seed => identical streams except the closure zeroing at the end.
+  metrics::MetricsOptions options;
+  options.null_threshold = 0.0;  // exclude exact zeros
+  const auto m = metrics::Evaluate(clean.data.values,
+                                   corrupted.data.values, options);
+  EXPECT_NEAR(m.mae, 0.0, 1e-9);
+  metrics::MetricsOptions unmasked;
+  const auto m2 = metrics::Evaluate(clean.data.values,
+                                    corrupted.data.values, unmasked);
+  EXPECT_GT(m2.mae, 0.0);
+}
+
+TEST(DemandSimTest, ShapesDeterminismAndScale) {
+  datagen::DemandSimConfig config;
+  config.num_zones = 12;
+  config.num_days = 14;
+  config.seed = 5;
+  config.target_mean_demand = 6.0;
+  const auto a = datagen::SimulateDemand(config);
+  const auto b = datagen::SimulateDemand(config);
+  EXPECT_EQ(a.data.values.shape(), (Shape{14 * 48, 12, 2}));
+  EXPECT_TRUE(a.data.values.AllClose(b.data.values, 0.0f));
+  EXPECT_NEAR(a.data.values.Slice(2, 0, 1).MeanAll(), 6.0f, 1.5f);
+  EXPECT_GE(a.data.values.MinAll(), 0.0f);
+}
+
+TEST(DemandSimTest, CommunityCorrelationExists) {
+  datagen::DemandSimConfig config;
+  config.num_zones = 16;
+  config.num_days = 28;
+  config.seed = 6;
+  const auto out = datagen::SimulateDemand(config);
+  // Average pairwise correlation of pickups within a community should beat
+  // the across-community average.
+  const int64_t total = out.data.num_steps();
+  const int64_t n = 16;
+  auto series = [&](int64_t zone) {
+    std::vector<double> v(total);
+    for (int64_t t = 0; t < total; ++t) {
+      v[t] = out.data.values.at({t, zone, 0});
+    }
+    return v;
+  };
+  auto corr = [&](const std::vector<double>& a,
+                  const std::vector<double>& b) {
+    double ma = 0, mb = 0;
+    for (int64_t t = 0; t < total; ++t) {
+      ma += a[t];
+      mb += b[t];
+    }
+    ma /= total;
+    mb /= total;
+    double cov = 0, va = 0, vb = 0;
+    for (int64_t t = 0; t < total; ++t) {
+      cov += (a[t] - ma) * (b[t] - mb);
+      va += (a[t] - ma) * (a[t] - ma);
+      vb += (b[t] - mb) * (b[t] - mb);
+    }
+    return cov / (std::sqrt(va * vb) + 1e-12);
+  };
+  double within = 0, across = 0;
+  int64_t within_n = 0, across_n = 0;
+  std::vector<std::vector<double>> all;
+  for (int64_t i = 0; i < n; ++i) all.push_back(series(i));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double c = corr(all[i], all[j]);
+      if (out.communities[i] == out.communities[j]) {
+        within += c;
+        ++within_n;
+      } else {
+        across += c;
+        ++across_n;
+      }
+    }
+  }
+  ASSERT_GT(within_n, 0);
+  ASSERT_GT(across_n, 0);
+  EXPECT_GT(within / within_n, across / across_n);
+}
+
+TEST(ElectricitySimTest, ShapesPositivityWeeklyPattern) {
+  datagen::ElectricitySimConfig config;
+  config.num_clients = 8;
+  config.num_days = 28;
+  config.seed = 8;
+  const auto out = datagen::SimulateElectricity(config);
+  EXPECT_EQ(out.data.values.shape(), (Shape{28 * 24, 8, 1}));
+  EXPECT_GT(out.data.values.MinAll(), 0.0f);
+
+  // Office clients: weekday consumption beats weekend consumption.
+  double weekday = 0, weekend = 0;
+  int64_t nd_weekday = 0, nd_weekend = 0;
+  for (int64_t t = 0; t < out.data.num_steps(); ++t) {
+    for (int64_t i = 0; i < 8; ++i) {
+      if (out.classes[i] != datagen::ClientClass::kOffice) continue;
+      if (out.data.day_of_week[t] >= 5) {
+        weekend += out.data.values.at({t, i, 0});
+        ++nd_weekend;
+      } else {
+        weekday += out.data.values.at({t, i, 0});
+        ++nd_weekday;
+      }
+    }
+  }
+  if (nd_weekday > 0 && nd_weekend > 0) {
+    EXPECT_GT(weekday / nd_weekday, 1.2 * (weekend / nd_weekend));
+  }
+}
+
+TEST(ElectricitySimTest, WeatherInducesCrossClientCorrelation) {
+  datagen::ElectricitySimConfig config;
+  config.num_clients = 6;
+  config.num_days = 60;
+  config.seed = 9;
+  config.weather_sigma = 0.2;
+  const auto out = datagen::SimulateElectricity(config);
+  // Daily totals of different clients should be positively correlated
+  // through the shared weather process.
+  const int64_t days = 60;
+  auto daily = [&](int64_t client) {
+    std::vector<double> v(days, 0.0);
+    for (int64_t t = 0; t < out.data.num_steps(); ++t) {
+      v[t / 24] += out.data.values.at({t, client, 0});
+    }
+    return v;
+  };
+  const auto a = daily(0);
+  const auto b = daily(1);
+  double ma = 0, mb = 0;
+  for (int64_t i = 0; i < days; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= days;
+  mb /= days;
+  double cov = 0, va = 0, vb = 0;
+  for (int64_t i = 0; i < days; ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  EXPECT_GT(cov / std::sqrt(va * vb), 0.3);
+}
+
+TEST(SimCalendarTest, SlotAndDayFeaturesConsistent) {
+  const auto out = datagen::SimulateMetro(SmallMetroConfig());
+  for (int64_t t = 0; t < out.data.num_steps(); ++t) {
+    EXPECT_EQ(out.data.slot_of_day[t], t % 72);
+    EXPECT_EQ(out.data.day_of_week[t], (t / 72) % 7);
+  }
+}
+
+}  // namespace
+}  // namespace tgcrn

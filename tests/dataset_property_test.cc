@@ -1,0 +1,115 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Property sweeps over the dataset pipeline: for a grid of (P, Q, split
+// fractions) the windowing/split/scaling invariants must hold on arbitrary
+// data - chronology, coverage, shape contracts, calendar alignment.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace tgcrn {
+namespace {
+
+data::SpatioTemporalData TimeCodedData(int64_t total, int64_t n, int64_t d,
+                                       int64_t spd) {
+  data::SpatioTemporalData data;
+  data.values = Tensor::Zeros({total, n, d});
+  for (int64_t t = 0; t < total; ++t) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t c = 0; c < d; ++c) {
+        // Encode the time step in the value so windows self-identify.
+        data.values.set({t, i, c}, static_cast<float>(t) + 0.001f * i);
+      }
+    }
+  }
+  data.steps_per_day = spd;
+  for (int64_t t = 0; t < total; ++t) {
+    data.slot_of_day.push_back(t % spd);
+    data.day_of_week.push_back((t / spd) % 7);
+  }
+  return data;
+}
+
+using Param = std::tuple<int64_t, int64_t, double, double>;  // P, Q, tf, vf
+
+class DatasetGridTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DatasetGridTest, WindowInvariantsHold) {
+  const auto& [p, q, train_frac, val_frac] = GetParam();
+  const int64_t total = 300, n = 3, d = 2, spd = 24;
+  data::ForecastDataset::Options options;
+  options.input_steps = p;
+  options.output_steps = q;
+  options.train_fraction = train_frac;
+  options.val_fraction = val_frac;
+  data::ForecastDataset dataset(TimeCodedData(total, n, d, spd), options);
+
+  // Coverage: every window lands in exactly one split.
+  EXPECT_EQ(dataset.NumTrainSamples() + dataset.NumValSamples() +
+                dataset.NumTestSamples(),
+            total - (p + q) + 1);
+
+  // Shape contracts and calendar alignment for a probe batch per split.
+  for (auto split : {data::ForecastDataset::Split::kTrain,
+                     data::ForecastDataset::Split::kVal,
+                     data::ForecastDataset::Split::kTest}) {
+    const auto batch = dataset.MakeBatch(split, {0});
+    ASSERT_EQ(batch.x.shape(), (Shape{1, p, n, d}));
+    ASSERT_EQ(batch.y.shape(), (Shape{1, q, n, d}));
+    // The y tensor's encoded time must be contiguous with x's and the
+    // slot features must match the encoded time.
+    const auto t0 = static_cast<int64_t>(batch.y.at({0, 0, 0, 0}));
+    for (int64_t h = 0; h < q; ++h) {
+      const auto th = static_cast<int64_t>(batch.y.at({0, h, 0, 0}));
+      EXPECT_EQ(th, t0 + h);
+      EXPECT_EQ(batch.y_slots[0][h], th % spd);
+      EXPECT_EQ(batch.y_days[0][h], (th / spd) % 7);
+    }
+  }
+
+  // Chronology across splits: last train target < first val target <
+  // first test target.
+  auto first_target = [&](data::ForecastDataset::Split split) {
+    return static_cast<int64_t>(
+        dataset.MakeBatch(split, {0}).y.at({0, 0, 0, 0}));
+  };
+  auto last_target = [&](data::ForecastDataset::Split split, int64_t count) {
+    const auto b = dataset.MakeBatch(split, {count - 1});
+    return static_cast<int64_t>(b.y.at({0, q - 1, 0, 0}));
+  };
+  EXPECT_LT(last_target(data::ForecastDataset::Split::kTrain,
+                        dataset.NumTrainSamples()),
+            first_target(data::ForecastDataset::Split::kVal) + q);
+  EXPECT_LT(first_target(data::ForecastDataset::Split::kVal),
+            first_target(data::ForecastDataset::Split::kTest));
+
+  // Scaling round trip on the probe batch.
+  const auto batch =
+      dataset.MakeBatch(data::ForecastDataset::Split::kTrain, {0});
+  EXPECT_TRUE(dataset.scaler()
+                  .InverseTransform(batch.y_scaled)
+                  .AllClose(batch.y, 0.5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DatasetGridTest,
+    ::testing::Values(Param{4, 4, 0.7, 0.1}, Param{12, 12, 0.7, 0.1},
+                      Param{4, 1, 0.6, 0.2}, Param{1, 4, 0.8, 0.1},
+                      Param{6, 3, 0.5, 0.25}, Param{12, 4, 0.7, 0.15}));
+
+TEST(DatasetEdgeCaseTest, MinimalWindowCounts) {
+  // Just enough data for one window per split.
+  data::ForecastDataset::Options options;
+  options.input_steps = 2;
+  options.output_steps = 2;
+  options.train_fraction = 0.6;
+  options.val_fraction = 0.2;
+  data::ForecastDataset dataset(TimeCodedData(20, 2, 1, 4), options);
+  EXPECT_GT(dataset.NumTrainSamples(), 0);
+  EXPECT_GT(dataset.NumValSamples(), 0);
+  EXPECT_GT(dataset.NumTestSamples(), 0);
+}
+
+}  // namespace
+}  // namespace tgcrn

@@ -1,0 +1,55 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Numerical gradient checking for autograd tests: compares the analytic
+// gradient of a scalar-valued function against central finite differences.
+#ifndef TGCRN_TESTS_GRADCHECK_H_
+#define TGCRN_TESTS_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace tgcrn {
+namespace testing {
+
+// Checks d(fn)/d(inputs[i]) for every input against central differences.
+// `fn` must return a scalar (rank-0 or single-element) Variable and must be
+// deterministic. Tolerances are loose-ish because the library is float32
+// while differences are taken in float32 arithmetic.
+inline void ExpectGradientsClose(
+    const std::function<ag::Variable(const std::vector<ag::Variable>&)>& fn,
+    std::vector<ag::Variable> inputs, float eps = 1e-2f, float rtol = 2e-2f,
+    float atol = 2e-2f) {
+  // Analytic gradients.
+  ag::Variable loss = fn(inputs);
+  ASSERT_EQ(loss.numel(), 1);
+  loss.Backward();
+
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (!inputs[i].requires_grad()) continue;
+    ASSERT_TRUE(inputs[i].has_grad()) << "input " << i << " got no gradient";
+    const Tensor analytic = inputs[i].grad().Clone();
+    Tensor& value = const_cast<Tensor&>(inputs[i].value());
+    for (int64_t j = 0; j < value.numel(); ++j) {
+      const float original = value.flat(j);
+      value.set_flat(j, original + eps);
+      const float plus = fn(inputs).value().item();
+      value.set_flat(j, original - eps);
+      const float minus = fn(inputs).value().item();
+      value.set_flat(j, original);
+      const float numeric = (plus - minus) / (2.0f * eps);
+      const float got = analytic.flat(j);
+      const float tol = atol + rtol * std::fabs(numeric);
+      EXPECT_NEAR(got, numeric, tol)
+          << "input " << i << " element " << j;
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace tgcrn
+
+#endif  // TGCRN_TESTS_GRADCHECK_H_

@@ -1,0 +1,106 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Graph utility tests: normalization invariants (property-swept over random
+// matrices), diffusion supports, graph constructions.
+#include "graph/graph_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tgcrn {
+namespace {
+
+TEST(GraphOpsTest, RandomWalkNormalizeRowsSumToOne) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 3, 0, 0});
+  Tensor p = graph::RandomWalkNormalize(a);
+  EXPECT_NEAR(p.at({0, 0}), 0.25f, 1e-6f);
+  EXPECT_NEAR(p.at({0, 1}), 0.75f, 1e-6f);
+  // All-zero row stays zero.
+  EXPECT_EQ(p.at({1, 0}), 0.0f);
+  EXPECT_TRUE(graph::IsRowStochastic(p));
+}
+
+// Property sweep: random nonnegative matrices normalize to row-stochastic.
+class RandomGraphTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphTest, NormalizationsAreWellFormed) {
+  Rng rng(GetParam());
+  const int64_t n = 4 + GetParam() % 5;
+  Tensor a = Tensor::RandUniform({n, n}, 0.0f, 2.0f, &rng);
+  EXPECT_TRUE(graph::IsRowStochastic(graph::RandomWalkNormalize(a)));
+  // Symmetric normalization of a symmetric matrix stays symmetric.
+  Tensor sym = a.Add(a.Transpose(0, 1));
+  Tensor norm = graph::SymmetricNormalize(sym);
+  EXPECT_TRUE(norm.AllClose(norm.Transpose(0, 1), 1e-5f));
+  // Eigen-bound sanity: entries finite, nonnegative.
+  EXPECT_FALSE(norm.HasNonFinite());
+  EXPECT_GE(norm.MinAll(), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(GraphOpsTest, DiffusionSupportsStructure) {
+  Rng rng(9);
+  Tensor a = Tensor::RandUniform({5, 5}, 0.0f, 1.0f, &rng);
+  const auto supports =
+      graph::DiffusionSupports(a, /*max_step=*/2, /*bidirectional=*/true);
+  // I + 2 forward powers + 2 backward powers.
+  ASSERT_EQ(supports.size(), 5u);
+  EXPECT_TRUE(supports[0].AllClose(Tensor::Eye(5)));
+  // P^2 == P @ P.
+  EXPECT_TRUE(supports[2].AllClose(supports[1].Matmul(supports[1]), 1e-5f));
+  // Every support is row-stochastic (powers of a stochastic matrix).
+  for (size_t i = 1; i < supports.size(); ++i) {
+    EXPECT_TRUE(graph::IsRowStochastic(supports[i])) << "support " << i;
+  }
+}
+
+TEST(GraphOpsTest, GaussianKernelGraphThresholdAndRange) {
+  Tensor d = Tensor::FromVector({2, 2}, {0, 3, 3, 0});
+  // sigma^2 = var(d) = 2.25, so w(3) = exp(-9/2.25) = exp(-4) ~ 0.018.
+  Tensor g = graph::GaussianKernelGraph(d, /*threshold=*/0.01f);
+  EXPECT_NEAR(g.at({0, 0}), 1.0f, 1e-6f);  // zero distance
+  EXPECT_GT(g.at({0, 1}), 0.0f);
+  EXPECT_LT(g.at({0, 1}), 1.0f);
+  // A very high threshold zeroes off-diagonal weights.
+  Tensor strict = graph::GaussianKernelGraph(d, 0.999f);
+  EXPECT_EQ(strict.at({0, 1}), 0.0f);
+}
+
+TEST(GraphOpsTest, CorrelationGraphFindsCorrelatedRows) {
+  // Rows 0 and 1 identical (r=1), row 2 is the negation (r=-1),
+  // row 3 independent noise.
+  Rng rng(10);
+  Tensor series(Shape{4, 40});
+  for (int64_t t = 0; t < 40; ++t) {
+    const float v = static_cast<float>(rng.Gaussian(0, 1));
+    series.set({0, t}, v);
+    series.set({1, t}, v);
+    series.set({2, t}, -v);
+    series.set({3, t}, static_cast<float>(rng.Gaussian(0, 1)));
+  }
+  Tensor g = graph::CorrelationGraph(series, /*threshold=*/0.8f);
+  EXPECT_NEAR(g.at({0, 1}), 1.0f, 1e-4f);
+  EXPECT_NEAR(g.at({0, 2}), -1.0f, 1e-4f);
+  EXPECT_EQ(g.at({0, 3}), 0.0f);  // below threshold
+  EXPECT_EQ(g.at({0, 0}), 0.0f);  // no self loops
+  // Symmetry.
+  EXPECT_TRUE(g.AllClose(g.Transpose(0, 1), 1e-6f));
+}
+
+TEST(GraphOpsTest, KnnSparsifyKeepsTopK) {
+  Tensor a = Tensor::FromVector({3, 3}, {0, 5, 1,
+                                         2, 0, 9,
+                                         4, 3, 0});
+  Tensor k1 = graph::KnnSparsify(a, 1);
+  EXPECT_EQ(k1.at({0, 1}), 5.0f);
+  EXPECT_EQ(k1.at({0, 2}), 0.0f);
+  EXPECT_EQ(k1.at({1, 2}), 9.0f);
+  EXPECT_EQ(k1.at({2, 0}), 4.0f);
+  // k >= n keeps everything.
+  EXPECT_TRUE(graph::KnnSparsify(a, 5).AllClose(a));
+}
+
+}  // namespace
+}  // namespace tgcrn

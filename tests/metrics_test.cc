@@ -1,0 +1,128 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Metric correctness: hand-computed values, identities, masking behaviour.
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tgcrn {
+namespace {
+
+TEST(MetricsTest, HandComputedValues) {
+  Tensor pred = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor target = Tensor::FromVector({4}, {2, 2, 5, 8});
+  const auto m = metrics::Evaluate(pred, target);
+  // errors: -1, 0, -2, -4
+  EXPECT_NEAR(m.mae, (1 + 0 + 2 + 4) / 4.0, 1e-9);
+  EXPECT_NEAR(m.mse, (1 + 0 + 4 + 16) / 4.0, 1e-9);
+  EXPECT_NEAR(m.rmse, std::sqrt(21.0 / 4.0), 1e-9);
+  // MAPE over |y| > 1: all four targets -> |e/y| = .5, 0, .4, .5
+  EXPECT_NEAR(m.mape, 100.0 * (0.5 + 0.0 + 0.4 + 0.5) / 4.0, 1e-4);
+  EXPECT_EQ(m.count, 4);
+}
+
+TEST(MetricsTest, PerfectPredictionIsZeroErrorUnitPcc) {
+  Rng rng(1);
+  Tensor t = Tensor::RandUniform({50}, 1, 10, &rng);
+  const auto m = metrics::Evaluate(t, t);
+  EXPECT_EQ(m.mae, 0.0);
+  EXPECT_EQ(m.rmse, 0.0);
+  EXPECT_NEAR(m.pcc, 1.0, 1e-9);
+}
+
+TEST(MetricsTest, PccIdentities) {
+  Rng rng(2);
+  Tensor y = Tensor::RandUniform({100}, 2, 10, &rng);
+  // Affine transform with positive slope: PCC == 1.
+  Tensor pos = y.MulScalar(3.0f).AddScalar(5.0f);
+  EXPECT_NEAR(metrics::Evaluate(pos, y).pcc, 1.0, 1e-5);
+  // Negative slope: PCC == -1.
+  Tensor neg = y.MulScalar(-2.0f);
+  EXPECT_NEAR(metrics::Evaluate(neg, y).pcc, -1.0, 1e-5);
+}
+
+TEST(MetricsTest, RmseSquaredIsMse) {
+  Rng rng(3);
+  Tensor pred = Tensor::RandUniform({64}, 0, 5, &rng);
+  Tensor target = Tensor::RandUniform({64}, 0, 5, &rng);
+  const auto m = metrics::Evaluate(pred, target);
+  EXPECT_NEAR(m.rmse * m.rmse, m.mse, 1e-9);
+  EXPECT_LE(m.mae, m.rmse + 1e-12);  // Jensen
+}
+
+TEST(MetricsTest, NullMaskExcludesMissingTargets) {
+  Tensor pred = Tensor::FromVector({4}, {10, 20, 30, 40});
+  Tensor target = Tensor::FromVector({4}, {0, 22, 0, 44});
+  metrics::MetricsOptions options;
+  options.null_threshold = 0.5;
+  const auto m = metrics::Evaluate(pred, target, options);
+  EXPECT_EQ(m.count, 2);
+  EXPECT_NEAR(m.mae, (2 + 4) / 2.0, 1e-9);
+}
+
+TEST(MetricsTest, MapeThresholdExcludesTinyTargets) {
+  Tensor pred = Tensor::FromVector({2}, {1.0f, 10.0f});
+  Tensor target = Tensor::FromVector({2}, {0.5f, 20.0f});
+  const auto m = metrics::Evaluate(pred, target);  // mape_threshold = 1
+  EXPECT_NEAR(m.mape, 100.0 * 0.5, 1e-6);  // only the 20 target counts
+}
+
+TEST(MetricsTest, PerHorizonSplitsAxisOne) {
+  // [B=1, Q=2, N=2]: horizon 0 perfect, horizon 1 off by 3.
+  Tensor pred = Tensor::FromVector({1, 2, 2}, {1, 2, 4, 7});
+  Tensor target = Tensor::FromVector({1, 2, 2}, {1, 2, 7, 4});
+  const auto per = metrics::EvaluatePerHorizon(pred, target);
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_NEAR(per[0].mae, 0.0, 1e-9);
+  EXPECT_NEAR(per[1].mae, 3.0, 1e-9);
+}
+
+TEST(MetricsTest, AverageMetrics) {
+  metrics::Metrics a, b;
+  a.mae = 2.0;
+  a.rmse = 4.0;
+  b.mae = 4.0;
+  b.rmse = 8.0;
+  const auto avg = metrics::AverageMetrics({a, b});
+  EXPECT_NEAR(avg.mae, 3.0, 1e-9);
+  EXPECT_NEAR(avg.rmse, 6.0, 1e-9);
+  EXPECT_EQ(metrics::AverageMetrics({}).mae, 0.0);
+}
+
+TEST(MetricsTest, PccInUnitRangeProperty) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tensor pred = Tensor::RandUniform({32}, -5, 5, &rng);
+    Tensor target = Tensor::RandUniform({32}, -5, 5, &rng);
+    const auto m = metrics::Evaluate(pred, target);
+    EXPECT_GE(m.pcc, -1.0 - 1e-9);
+    EXPECT_LE(m.pcc, 1.0 + 1e-9);
+  }
+}
+
+TEST(MetricsTest, PerNodeSplitsAxisTwo) {
+  // [B=1, Q=2, N=2, d=1]: node 0 perfect, node 1 off by 2.
+  Tensor pred = Tensor::FromVector({1, 2, 2, 1}, {1, 5, 2, 6});
+  Tensor target = Tensor::FromVector({1, 2, 2, 1}, {1, 7, 2, 8});
+  const auto per = metrics::EvaluatePerNode(pred, target);
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_NEAR(per[0].mae, 0.0, 1e-9);
+  EXPECT_NEAR(per[1].mae, 2.0, 1e-9);
+}
+
+TEST(MetricsTest, PerNodeAverageEqualsPooled) {
+  // With equal element counts per node and no masking, the mean of
+  // per-node MAEs equals the pooled MAE.
+  Rng rng(6);
+  Tensor pred = Tensor::RandUniform({3, 4, 5, 2}, 2, 9, &rng);
+  Tensor target = Tensor::RandUniform({3, 4, 5, 2}, 2, 9, &rng);
+  const auto per = metrics::EvaluatePerNode(pred, target);
+  const auto pooled = metrics::Evaluate(pred, target);
+  EXPECT_NEAR(metrics::AverageMetrics(per).mae, pooled.mae, 1e-6);
+}
+
+}  // namespace
+}  // namespace tgcrn

@@ -1,0 +1,160 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Optimizer tests: exact step arithmetic, convergence on convex problems,
+// scheduler milestones, clipping, early stopping.
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+
+namespace tgcrn {
+namespace {
+
+using ag::Variable;
+
+TEST(SGDTest, SingleStepMatchesHandComputation) {
+  Variable w(Tensor::FromVector({2}, {1.0f, -2.0f}), true);
+  // loss = sum(w^2) -> grad = 2w
+  ag::SumAll(ag::Mul(w, w)).Backward();
+  optim::SGD sgd({w}, /*lr=*/0.1f);
+  sgd.Step();
+  EXPECT_TRUE(w.value().AllClose(Tensor::FromVector({2}, {0.8f, -1.6f}),
+                                 1e-6f));
+}
+
+TEST(SGDTest, MomentumAccumulates) {
+  Variable w(Tensor::FromVector({1}, {1.0f}), true);
+  optim::SGD sgd({w}, 0.1f, /*momentum=*/0.9f);
+  // Constant gradient of 1.0 twice: v1 = 1, v2 = 1.9.
+  for (int i = 0; i < 2; ++i) {
+    w.ZeroGrad();
+    ag::SumAll(w).Backward();
+    sgd.Step();
+  }
+  EXPECT_NEAR(w.value().item(), 1.0f - 0.1f * 1.0f - 0.1f * 1.9f, 1e-6f);
+}
+
+TEST(AdamTest, FirstStepHasMagnitudeLr) {
+  // For any gradient, Adam's bias-corrected first step is ~lr * sign(g).
+  Variable w(Tensor::FromVector({2}, {5.0f, -3.0f}), true);
+  ag::SumAll(ag::Mul(w, w)).Backward();
+  optim::Adam adam({w}, /*lr=*/0.01f);
+  adam.Step();
+  EXPECT_NEAR(w.value().flat(0), 5.0f - 0.01f, 1e-4f);
+  EXPECT_NEAR(w.value().flat(1), -3.0f + 0.01f, 1e-4f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Rng rng(1);
+  Variable w(Tensor::RandUniform({4}, -2, 2, &rng), true);
+  Tensor target = Tensor::FromVector({4}, {1.0f, -1.0f, 0.5f, 2.0f});
+  optim::Adam adam({w}, 0.05f);
+  for (int i = 0; i < 400; ++i) {
+    w.ZeroGrad();
+    Variable diff = ag::Sub(w, ag::Variable(target));
+    ag::SumAll(ag::Mul(diff, diff)).Backward();
+    adam.Step();
+  }
+  EXPECT_TRUE(w.value().AllClose(target, 1e-2f));
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  // With zero loss gradient, weight decay alone must shrink the weight.
+  Variable w(Tensor::FromVector({1}, {2.0f}), true);
+  optim::Adam adam({w}, 0.01f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.1f);
+  for (int i = 0; i < 20; ++i) {
+    w.ZeroGrad();
+    ag::MulScalar(ag::SumAll(w), 0.0f).Backward();  // zero gradient
+    adam.Step();
+  }
+  EXPECT_LT(w.value().item(), 2.0f);
+  EXPECT_GT(w.value().item(), 0.0f);
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrad) {
+  Variable used(Tensor::FromVector({1}, {1.0f}), true);
+  Variable unused(Tensor::FromVector({1}, {7.0f}), true);
+  optim::Adam adam({used, unused}, 0.1f);
+  ag::SumAll(used).Backward();
+  adam.Step();
+  EXPECT_EQ(unused.value().item(), 7.0f);
+  EXPECT_NE(used.value().item(), 1.0f);
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  Variable w(Tensor::FromVector({2}, {0.0f, 0.0f}), true);
+  Variable target(Tensor::FromVector({2}, {30.0f, 40.0f}));
+  // grad of sum((w - t)^2)/1 = 2(w-t) = {-60, -80}, norm 100.
+  ag::SumAll(ag::Mul(ag::Sub(w, target), ag::Sub(w, target))).Backward();
+  const float pre_norm = optim::ClipGradNorm({w}, 5.0f);
+  EXPECT_NEAR(pre_norm, 100.0f, 1e-3f);
+  double norm_sq = 0;
+  for (int64_t i = 0; i < 2; ++i) {
+    norm_sq += w.grad().flat(i) * w.grad().flat(i);
+  }
+  EXPECT_NEAR(std::sqrt(norm_sq), 5.0f, 1e-4f);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Variable w(Tensor::FromVector({1}, {1.0f}), true);
+  ag::SumAll(w).Backward();  // grad = 1
+  optim::ClipGradNorm({w}, 5.0f);
+  EXPECT_NEAR(w.grad().item(), 1.0f, 1e-6f);
+}
+
+TEST(MultiStepLRTest, DecaysAtMilestones) {
+  Variable w(Tensor::FromVector({1}, {1.0f}), true);
+  optim::SGD sgd({w}, 1.0f);
+  optim::MultiStepLR sched(&sgd, {2, 4}, 0.5f);
+  sched.Step(0);  // after epoch 0
+  EXPECT_FLOAT_EQ(sgd.lr(), 1.0f);
+  sched.Step(1);  // epoch+1 == 2 -> decay
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.5f);
+  sched.Step(2);
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.5f);
+  sched.Step(3);  // epoch+1 == 4 -> decay
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.25f);
+}
+
+TEST(EarlyStopperTest, StopsAfterPatience) {
+  optim::EarlyStopper stopper(2);
+  EXPECT_TRUE(stopper.Update(1.0f));
+  EXPECT_FALSE(stopper.ShouldStop());
+  EXPECT_FALSE(stopper.Update(1.5f));
+  EXPECT_FALSE(stopper.ShouldStop());
+  EXPECT_FALSE(stopper.Update(1.4f));
+  EXPECT_TRUE(stopper.ShouldStop());
+  // An improvement resets the counter.
+  optim::EarlyStopper s2(2);
+  s2.Update(1.0f);
+  s2.Update(2.0f);
+  EXPECT_TRUE(s2.Update(0.5f));
+  EXPECT_FALSE(s2.ShouldStop());
+  EXPECT_FLOAT_EQ(s2.best(), 0.5f);
+}
+
+TEST(TrainingIntegrationTest, LinearRegressionRecoversWeights) {
+  // y = X w* + b*; train a Linear via Adam to recover them.
+  Rng rng(5);
+  Tensor w_true = Tensor::FromVector({3, 1}, {0.5f, -1.0f, 2.0f});
+  Tensor x = Tensor::RandUniform({64, 3}, -1, 1, &rng);
+  Tensor y = x.Matmul(w_true).AddScalar(0.7f);
+
+  Variable w(Tensor::Zeros({3, 1}), true);
+  Variable b(Tensor::Zeros({1}), true);
+  optim::Adam adam({w, b}, 0.05f);
+  for (int i = 0; i < 500; ++i) {
+    w.ZeroGrad();
+    b.ZeroGrad();
+    Variable pred = ag::Add(ag::Matmul(ag::Variable(x), w), b);
+    ag::MseLoss(pred, ag::Variable(y)).Backward();
+    adam.Step();
+  }
+  EXPECT_TRUE(w.value().AllClose(w_true, 5e-2f));
+  EXPECT_NEAR(b.value().item(), 0.7f, 5e-2f);
+}
+
+}  // namespace
+}  // namespace tgcrn

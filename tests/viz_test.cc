@@ -1,0 +1,197 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Tests for the visualization substrate: t-SNE embedding quality on known
+// structures and the order-consistency statistics used by Fig 12.
+#include "viz/tsne.h"
+
+#include "viz/heatmap.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tgcrn {
+namespace {
+
+TEST(SpearmanTest, PerfectAndInverseOrder) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {10, 20, 30, 40, 50};
+  EXPECT_NEAR(viz::SpearmanRank(a, b), 1.0, 1e-9);
+  std::vector<double> c = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(viz::SpearmanRank(a, c), -1.0, 1e-9);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsStillOne) {
+  std::vector<double> a, b;
+  for (int i = 1; i <= 20; ++i) {
+    a.push_back(i);
+    b.push_back(std::exp(0.3 * i));  // monotone, wildly nonlinear
+  }
+  EXPECT_NEAR(viz::SpearmanRank(a, b), 1.0, 1e-9);
+}
+
+TEST(OrderConsistencyTest, RulerEmbeddingScoresOne) {
+  // Points on a straight line in order.
+  Tensor ruler(Shape{20, 3});
+  for (int64_t i = 0; i < 20; ++i) {
+    ruler.set({i, 0}, static_cast<float>(i) * 0.7f);
+    ruler.set({i, 1}, static_cast<float>(i) * -0.2f);
+    ruler.set({i, 2}, 1.0f);
+  }
+  EXPECT_NEAR(viz::OrderConsistency(ruler), 1.0, 1e-6);
+  EXPECT_NEAR(viz::DistanceProportionality(ruler), 1.0, 1e-5);
+}
+
+TEST(OrderConsistencyTest, ShuffledEmbeddingScoresLow) {
+  Rng rng(4);
+  Tensor random = Tensor::RandUniform({40, 4}, -1, 1, &rng);
+  EXPECT_LT(viz::OrderConsistency(random), 0.6);
+  EXPECT_LT(std::fabs(viz::DistanceProportionality(random)), 0.4);
+}
+
+TEST(TsneTest, SeparatesTwoClusters) {
+  // Two well-separated Gaussian blobs in 10-D must stay separated in 2-D.
+  Rng rng(5);
+  const int64_t per_cluster = 15;
+  Tensor points(Shape{2 * per_cluster, 10});
+  for (int64_t i = 0; i < 2 * per_cluster; ++i) {
+    const float center = i < per_cluster ? 0.0f : 8.0f;
+    for (int64_t d = 0; d < 10; ++d) {
+      points.set({i, d},
+                 center + static_cast<float>(rng.Gaussian(0.0, 0.3)));
+    }
+  }
+  viz::TsneOptions options;
+  options.iterations = 250;
+  options.seed = 6;
+  const Tensor embedding = viz::Tsne(points, options);
+  ASSERT_EQ(embedding.shape(), (Shape{2 * per_cluster, 2}));
+  // Mean intra-cluster distance << mean inter-cluster distance.
+  auto dist = [&](int64_t a, int64_t b) {
+    const float dx = embedding.at({a, 0}) - embedding.at({b, 0});
+    const float dy = embedding.at({a, 1}) - embedding.at({b, 1});
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  double intra = 0, inter = 0;
+  int64_t n_intra = 0, n_inter = 0;
+  for (int64_t i = 0; i < 2 * per_cluster; ++i) {
+    for (int64_t j = i + 1; j < 2 * per_cluster; ++j) {
+      if ((i < per_cluster) == (j < per_cluster)) {
+        intra += dist(i, j);
+        ++n_intra;
+      } else {
+        inter += dist(i, j);
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_LT(intra / n_intra, 0.5 * (inter / n_inter));
+}
+
+TEST(TsneTest, PreservesLineOrdering) {
+  // A 1-D manifold (line in 8-D) should embed with high order consistency.
+  Rng rng(7);
+  Tensor line(Shape{30, 8});
+  for (int64_t i = 0; i < 30; ++i) {
+    for (int64_t d = 0; d < 8; ++d) {
+      line.set({i, d}, 0.5f * static_cast<float>(i) * (d % 3 == 0 ? 1.f :
+                       0.3f) + static_cast<float>(rng.Gaussian(0, 0.05)));
+    }
+  }
+  viz::TsneOptions options;
+  options.iterations = 300;
+  const Tensor embedding = viz::Tsne(line, options);
+  EXPECT_GT(viz::OrderConsistency(embedding), 0.9);
+}
+
+TEST(TsneTest, DeterministicPerSeed) {
+  Rng rng(8);
+  Tensor points = Tensor::RandUniform({12, 5}, -1, 1, &rng);
+  viz::TsneOptions options;
+  options.iterations = 50;
+  const Tensor a = viz::Tsne(points, options);
+  const Tensor b = viz::Tsne(points, options);
+  EXPECT_TRUE(a.AllClose(b, 0.0f));
+}
+
+
+// --- Heatmap rendering ---------------------------------------------------
+
+TEST(HeatmapTest, GlyphIntensityOrdering) {
+  Tensor m = Tensor::FromVector({2, 2}, {0, 10, 1, 0});
+  viz::HeatmapOptions options;
+  options.mask_diagonal = true;
+  const std::string rendered = viz::RenderHeatmap(m, options);
+  // Strongest cell uses the densest glyph; diagonal masked as '/'.
+  EXPECT_NE(rendered.find('@'), std::string::npos);
+  EXPECT_NE(rendered.find('/'), std::string::npos);
+}
+
+TEST(HeatmapTest, RowLayoutDimensions) {
+  Tensor a = Tensor::FromVector({3, 3}, {0, 1, 2, 3, 0, 4, 5, 6, 0});
+  Tensor b = a.MulScalar(2.0f);
+  const std::string rendered =
+      viz::RenderHeatmapRow({a, b}, {"left", "right"});
+  // Title line + 3 matrix rows.
+  int64_t lines = 0;
+  for (char ch : rendered) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(rendered.find("left"), std::string::npos);
+  EXPECT_NE(rendered.find("right"), std::string::npos);
+}
+
+TEST(HeatmapTest, SharedScaleMakesWeakMatrixFainter) {
+  Tensor strong = Tensor::Full({2, 2}, 10.0f);
+  Tensor weak = Tensor::Full({2, 2}, 0.5f);
+  viz::HeatmapOptions options;
+  options.mask_diagonal = false;
+  options.per_matrix_scale = false;
+  const std::string shared =
+      viz::RenderHeatmapRow({strong, weak}, {"s", "w"}, options);
+  // Under a shared scale the weak matrix must not use the densest glyph.
+  const size_t second_panel = shared.find("|", shared.find("|  ") + 1);
+  EXPECT_NE(second_panel, std::string::npos);
+  // Per-matrix scale makes both maximally dense.
+  options.per_matrix_scale = true;
+  const std::string per =
+      viz::RenderHeatmapRow({strong, weak}, {"s", "w"}, options);
+  size_t dense_shared = 0, dense_per = 0;
+  for (char ch : shared) dense_shared += ch == '@';
+  for (char ch : per) dense_per += ch == '@';
+  EXPECT_GT(dense_per, dense_shared);
+}
+
+TEST(CircularMetricsTest, CircularDistanceProportionality) {
+  // Points on a circle, in index order: circular proportionality is high,
+  // linear proportionality is lower (the wrap-around pairs disagree).
+  const int64_t n = 24;
+  Tensor ring(Shape{n, 2});
+  for (int64_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * M_PI * i / n;
+    ring.set({i, 0}, static_cast<float>(std::cos(angle)));
+    ring.set({i, 1}, static_cast<float>(std::sin(angle)));
+  }
+  const double circ = viz::DistanceProportionality(ring, n);
+  const double lin = viz::DistanceProportionality(ring, 0);
+  EXPECT_GT(circ, 0.95);
+  EXPECT_GT(circ, lin);
+}
+
+TEST(CircularMetricsTest, NeighborOrderPreservation) {
+  const int64_t n = 20;
+  Tensor ring(Shape{n, 2});
+  for (int64_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * M_PI * i / n;
+    ring.set({i, 0}, static_cast<float>(std::cos(angle)));
+    ring.set({i, 1}, static_cast<float>(std::sin(angle)));
+  }
+  EXPECT_NEAR(viz::NeighborOrderPreservation(ring, n), 1.0, 1e-9);
+  // A shuffled embedding preserves almost nothing.
+  Rng rng(33);
+  Tensor random = Tensor::RandUniform({40, 2}, -1, 1, &rng);
+  EXPECT_LT(viz::NeighborOrderPreservation(random, 40), 0.35);
+}
+
+}  // namespace
+}  // namespace tgcrn
