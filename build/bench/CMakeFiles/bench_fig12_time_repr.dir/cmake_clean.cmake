@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_time_repr.dir/bench_fig12_time_repr.cc.o"
+  "CMakeFiles/bench_fig12_time_repr.dir/bench_fig12_time_repr.cc.o.d"
+  "bench_fig12_time_repr"
+  "bench_fig12_time_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_time_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_od_analysis.dir/bench_fig2_od_analysis.cc.o"
+  "CMakeFiles/bench_fig2_od_analysis.dir/bench_fig2_od_analysis.cc.o.d"
+  "bench_fig2_od_analysis"
+  "bench_fig2_od_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_od_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_multistep.dir/bench_fig8_multistep.cc.o"
+  "CMakeFiles/bench_fig8_multistep.dir/bench_fig8_multistep.cc.o.d"
+  "bench_fig8_multistep"
+  "bench_fig8_multistep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_multistep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

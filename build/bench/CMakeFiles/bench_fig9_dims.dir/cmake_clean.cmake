@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dims.dir/bench_fig9_dims.cc.o"
+  "CMakeFiles/bench_fig9_dims.dir/bench_fig9_dims.cc.o.d"
+  "bench_fig9_dims"
+  "bench_fig9_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

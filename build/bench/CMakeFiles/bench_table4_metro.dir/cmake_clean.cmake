@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_metro.dir/bench_table4_metro.cc.o"
+  "CMakeFiles/bench_table4_metro.dir/bench_table4_metro.cc.o.d"
+  "bench_table4_metro"
+  "bench_table4_metro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_metro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

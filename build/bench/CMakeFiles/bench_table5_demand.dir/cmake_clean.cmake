@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_demand.dir/bench_table5_demand.cc.o"
+  "CMakeFiles/bench_table5_demand.dir/bench_table5_demand.cc.o.d"
+  "bench_table5_demand"
+  "bench_table5_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_electricity.dir/bench_table6_electricity.cc.o"
+  "CMakeFiles/bench_table6_electricity.dir/bench_table6_electricity.cc.o.d"
+  "bench_table6_electricity"
+  "bench_table6_electricity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_electricity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

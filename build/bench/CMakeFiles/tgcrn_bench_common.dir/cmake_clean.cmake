@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgcrn_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/tgcrn_bench_common.dir/bench_common.cc.o.d"
+  "libtgcrn_bench_common.a"
+  "libtgcrn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgcrn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtgcrn_bench_common.a"
+)

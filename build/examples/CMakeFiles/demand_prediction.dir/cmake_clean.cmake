@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demand_prediction.dir/demand_prediction.cpp.o"
+  "CMakeFiles/demand_prediction.dir/demand_prediction.cpp.o.d"
+  "demand_prediction"
+  "demand_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demand_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

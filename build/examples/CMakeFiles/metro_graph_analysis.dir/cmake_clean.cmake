@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metro_graph_analysis.dir/metro_graph_analysis.cpp.o"
+  "CMakeFiles/metro_graph_analysis.dir/metro_graph_analysis.cpp.o.d"
+  "metro_graph_analysis"
+  "metro_graph_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metro_graph_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

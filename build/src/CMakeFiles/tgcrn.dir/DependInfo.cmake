@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/tgcrn.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/tgcrn.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/autograd/variable.cc.o.d"
+  "/root/repo/src/baselines/gbdt.cc" "src/CMakeFiles/tgcrn.dir/baselines/gbdt.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/baselines/gbdt.cc.o.d"
+  "/root/repo/src/baselines/ha.cc" "src/CMakeFiles/tgcrn.dir/baselines/ha.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/baselines/ha.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tgcrn.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/tgcrn.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/core/gcgru.cc" "src/CMakeFiles/tgcrn.dir/core/gcgru.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/core/gcgru.cc.o.d"
+  "/root/repo/src/core/tagsl.cc" "src/CMakeFiles/tgcrn.dir/core/tagsl.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/core/tagsl.cc.o.d"
+  "/root/repo/src/core/tgcrn.cc" "src/CMakeFiles/tgcrn.dir/core/tgcrn.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/core/tgcrn.cc.o.d"
+  "/root/repo/src/core/time_discrepancy.cc" "src/CMakeFiles/tgcrn.dir/core/time_discrepancy.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/core/time_discrepancy.cc.o.d"
+  "/root/repo/src/core/time_encoders.cc" "src/CMakeFiles/tgcrn.dir/core/time_encoders.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/core/time_encoders.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/tgcrn.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/core/trainer.cc.o.d"
+  "/root/repo/src/data/csv_loader.cc" "src/CMakeFiles/tgcrn.dir/data/csv_loader.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/data/csv_loader.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/tgcrn.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/data/dataset.cc.o.d"
+  "/root/repo/src/datagen/demand_sim.cc" "src/CMakeFiles/tgcrn.dir/datagen/demand_sim.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/datagen/demand_sim.cc.o.d"
+  "/root/repo/src/datagen/electricity_sim.cc" "src/CMakeFiles/tgcrn.dir/datagen/electricity_sim.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/datagen/electricity_sim.cc.o.d"
+  "/root/repo/src/datagen/metro_sim.cc" "src/CMakeFiles/tgcrn.dir/datagen/metro_sim.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/datagen/metro_sim.cc.o.d"
+  "/root/repo/src/graph/graph_ops.cc" "src/CMakeFiles/tgcrn.dir/graph/graph_ops.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/graph/graph_ops.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/tgcrn.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/tgcrn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/nn/module.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/tgcrn.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/viz/heatmap.cc" "src/CMakeFiles/tgcrn.dir/viz/heatmap.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/viz/heatmap.cc.o.d"
+  "/root/repo/src/viz/tsne.cc" "src/CMakeFiles/tgcrn.dir/viz/tsne.cc.o" "gcc" "src/CMakeFiles/tgcrn.dir/viz/tsne.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_state_test.dir/optimizer_state_test.cc.o"
+  "CMakeFiles/optimizer_state_test.dir/optimizer_state_test.cc.o.d"
+  "optimizer_state_test"
+  "optimizer_state_test.pdb"
+  "optimizer_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/autograd_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/optim_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/viz_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_loader_test[1]_include.cmake")
+include("/root/repo/build/tests/autograd_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/reproduction_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_property_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_state_test[1]_include.cmake")
