@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "autograd/ops.h"
+#include "common/thread_pool.h"
 #include "core/gcgru.h"
 #include "core/tagsl.h"
 #include "core/time_encoders.h"
@@ -57,6 +58,58 @@ void BM_SoftmaxRows(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SoftmaxRows)->Arg(20)->Arg(64);
+
+// --- Thread-count sweeps ----------------------------------------------------
+// The same kernels at 1/2/4 threads. Results are bitwise identical across
+// the sweep (see tests/parallel_determinism_test.cc); only wall-clock
+// changes. Arg is the thread count.
+
+void BM_BatchedMatmulThreads(benchmark::State& state) {
+  common::ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  const int64_t b = 16, n = 64, c = 32, h = 32;
+  Rng rng(20);
+  Tensor lhs = Tensor::RandUniform({b, n, c}, -1, 1, &rng);
+  Tensor rhs = Tensor::RandUniform({b, c, h}, -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lhs.Matmul(rhs));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * b * n * c * h);
+}
+BENCHMARK(BM_BatchedMatmulThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ElementwiseMulThreads(benchmark::State& state) {
+  common::ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(21);
+  Tensor a = Tensor::RandUniform({64, 64, 64}, -1, 1, &rng);
+  Tensor b = Tensor::RandUniform({64, 64, 64}, -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Mul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * a.numel());
+}
+BENCHMARK(BM_ElementwiseMulThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SumAllThreads(benchmark::State& state) {
+  common::ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(22);
+  Tensor a = Tensor::RandUniform({64, 64, 64}, -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.SumAll());
+  }
+  state.SetItemsProcessed(state.iterations() * a.numel());
+}
+BENCHMARK(BM_SumAllThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SigmoidThreads(benchmark::State& state) {
+  common::ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(23);
+  Tensor a = Tensor::RandUniform({64, 64, 64}, -4, 4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Sigmoid());
+  }
+  state.SetItemsProcessed(state.iterations() * a.numel());
+}
+BENCHMARK(BM_SigmoidThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_AutogradMatmulForwardBackward(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/thread_pool.h"
 #include "paper_refs.h"
 
 namespace tgcrn {
@@ -15,18 +16,21 @@ namespace {
 
 core::TrainResult TimeOneEpoch(core::ForecastModel* model,
                                const DatasetBundle& bundle,
-                               const Scale& scale) {
+                               const Scale& scale, int num_threads = 0) {
   core::TrainConfig config;
   config.epochs = 1;
   config.batch_size = scale.batch_size;
   config.max_batches_per_epoch = scale.max_batches_per_epoch;
   config.verbose = false;
+  config.num_threads = num_threads;
   return core::TrainAndEvaluate(model, *bundle.dataset, config);
 }
 
 void Run() {
   const Scale scale = GetScale();
-  std::printf("Table VIII bench (cost), scale=%s\n", scale.name.c_str());
+  const int max_threads = common::GetNumThreads();
+  std::printf("Table VIII bench (cost), scale=%s, threads=%d\n",
+              scale.name.c_str(), max_threads);
   const DatasetBundle bundle = MakeHzSim(scale);
 
   TablePrinter table({"Model", "#Params (paper)", "s/epoch (paper)"});
@@ -93,6 +97,40 @@ void Run() {
               "PVCGN heaviest, dynamic-graph models\n costlier than static, "
               "TGCRN params grow with embedding dims)\n");
   EmitTable("table8_cost", table);
+
+  // Thread-scaling addendum: the same TGCRN epoch at 1 thread vs the
+  // current pool width. Losses are bitwise identical across the two runs;
+  // only wall-clock changes.
+  {
+    std::printf("\n=== thread scaling (TGCRN small emb, 1 epoch) ===\n");
+    core::TGCRNConfig config;
+    config.num_nodes = bundle.num_nodes;
+    config.input_dim = bundle.num_features;
+    config.output_dim = bundle.num_features;
+    config.horizon = bundle.dataset->options().output_steps;
+    config.hidden_dim = scale.hidden_dim;
+    config.node_embed_dim = scale.node_embed_dim / 2;
+    config.time_embed_dim = scale.node_embed_dim / 2;
+    config.steps_per_day = bundle.steps_per_day;
+    TablePrinter threads_table({"Threads", "s/epoch", "speedup"});
+    double single_thread_secs = 0.0;
+    for (const int t : {1, max_threads}) {
+      Rng rng(5003);
+      core::TGCRN model(config, &rng);
+      const auto result = TimeOneEpoch(&model, bundle, scale, t);
+      if (t == 1) single_thread_secs = result.seconds_per_epoch;
+      const double speedup =
+          result.seconds_per_epoch > 0.0
+              ? single_thread_secs / result.seconds_per_epoch
+              : 0.0;
+      threads_table.AddRow({std::to_string(t),
+                            Cell(result.seconds_per_epoch, -1.0, 3),
+                            Cell(speedup, -1.0, 2)});
+      if (max_threads == 1) break;  // nothing more to compare
+    }
+    EmitTable("table8_cost_threads", threads_table);
+    common::SetNumThreads(max_threads);  // restore for any later use
+  }
 }
 
 }  // namespace

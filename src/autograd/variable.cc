@@ -100,6 +100,13 @@ void Variable::Backward(const Tensor& grad_output) const {
   TGCRN_CHECK(defined());
   TGCRN_CHECK(node_->needs_grad)
       << "Backward() on a graph with no trainable leaves";
+  // The graph walk itself stays serial on purpose: firing independent
+  // branches concurrently would make the float accumulation order into
+  // shared parents depend on thread scheduling, breaking the bitwise
+  // determinism guarantee. Parallelism happens one level down instead —
+  // every backward_fn and AccumulateGrad bottoms out in the thread-pooled
+  // tensor kernels (matmul, elementwise, AddInplace), which keep a fixed
+  // accumulation order regardless of thread count.
   node_->AccumulateGrad(grad_output);
   const auto order = ReverseTopoOrder(node_.get());
   for (internal::Node* node : order) {

@@ -1,0 +1,80 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// A fixed-size thread pool (no work stealing) and the two parallel
+// primitives every hot kernel in the repository is built on:
+//
+//  * ParallelFor(begin, end, grain, fn) — splits [begin, end) into disjoint
+//    contiguous subranges and runs fn(sub_begin, sub_end) on the pool, with
+//    the calling thread participating. Used for kernels whose outputs are
+//    element-independent (elementwise ops, matmul rows, softmax rows):
+//    chunk boundaries cannot change any output value, so results are
+//    bitwise identical at every thread count.
+//  * DeterministicChunkedSum(n, grain, chunk_sum) — a reduction whose
+//    float semantics are fixed by construction: [0, n) is cut into
+//    ceil(n/grain) chunks (a function of n and grain only, never of the
+//    thread count), per-chunk partials are computed in parallel, and the
+//    partials are combined by a fixed pairwise tree. The same bits come
+//    out at 1, 2 or 64 threads.
+//
+// Thread count: defaults to TGCRN_NUM_THREADS if set, else
+// std::thread::hardware_concurrency(). SetNumThreads(1) gives exact legacy
+// single-threaded execution (no pool threads touch any data). Nested
+// ParallelFor calls (a parallel region entered from inside a chunk) degrade
+// to serial execution instead of deadlocking.
+#ifndef TGCRN_COMMON_THREAD_POOL_H_
+#define TGCRN_COMMON_THREAD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace tgcrn {
+namespace common {
+
+// Total number of threads participating in parallel regions, including the
+// calling thread. Always >= 1.
+int GetNumThreads();
+
+// Sets the parallel width. n <= 0 restores the default (TGCRN_NUM_THREADS
+// env var if set, else hardware concurrency). Not safe to call concurrently
+// with an active parallel region.
+void SetNumThreads(int n);
+
+// RAII guard for tests: sets the thread count and restores the previous
+// value on destruction.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n) : previous_(GetNumThreads()) {
+    SetNumThreads(n);
+  }
+  ~ScopedNumThreads() { SetNumThreads(previous_); }
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int previous_;
+};
+
+// Runs fn over disjoint contiguous subranges covering [begin, end). `grain`
+// is the minimum subrange length (>= 1); ranges shorter than `grain`, a
+// thread count of 1, and calls from inside a parallel region all run
+// fn(begin, end) serially on the calling thread. The first exception thrown
+// by any chunk is rethrown on the calling thread after all chunks finish.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+// Deterministic parallel reduction over [0, n): chunk_sum(c_begin, c_end)
+// returns the partial for one fixed chunk of at most `grain` elements;
+// partials are combined by a fixed pairwise tree. The chunking and the
+// combine order depend only on n and grain, so the result is bitwise
+// identical regardless of the thread count (including 1).
+double DeterministicChunkedSum(
+    int64_t n, int64_t grain,
+    const std::function<double(int64_t, int64_t)>& chunk_sum);
+
+// True while the calling thread is executing inside a ParallelFor chunk
+// (used by kernels that must pick the serial path when nested).
+bool InParallelRegion();
+
+}  // namespace common
+}  // namespace tgcrn
+
+#endif  // TGCRN_COMMON_THREAD_POOL_H_

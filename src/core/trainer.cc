@@ -6,6 +6,7 @@
 
 #include "autograd/ops.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "optim/optimizer.h"
 
 namespace tgcrn {
@@ -62,6 +63,8 @@ TrainResult TrainAndEvaluate(ForecastModel* model,
                              const TrainConfig& config) {
   TrainResult result;
   result.num_parameters = model->NumParameters();
+  if (config.num_threads > 0) common::SetNumThreads(config.num_threads);
+  result.num_threads = common::GetNumThreads();
 
   Rng rng(config.seed);
   optim::Adam adam(model->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,

@@ -33,6 +33,12 @@ struct TrainConfig {
   // teacher-forcing probability decays with the inverse sigmoid
   // tau / (tau + exp(step / tau)) over global training steps. 0 disables.
   double scheduled_sampling_tau = 0.0;
+  // Parallel width for the tensor kernels during this run: > 0 sets the
+  // global pool via common::SetNumThreads (1 = exact legacy serial
+  // execution), 0 leaves the current global setting (TGCRN_NUM_THREADS env
+  // var or hardware concurrency) untouched. Results are bitwise identical
+  // at every thread count.
+  int num_threads = 0;
   bool verbose = true;
   metrics::MetricsOptions metric_options;
 };
@@ -44,6 +50,7 @@ struct TrainResult {
   double total_seconds = 0.0;
   int64_t num_parameters = 0;
   int64_t epochs_run = 0;
+  int num_threads = 1;  // parallel width the run actually used
   std::vector<double> val_mae_history;
   std::vector<double> train_loss_history;
 };

@@ -13,22 +13,34 @@
 
 #include "autograd/variable.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace tgcrn {
 namespace optim {
+
+// Elements per chunk for the parallel parameter-update loops; parameter
+// tensors are independent rows of work, so chunking never changes results.
+inline constexpr int64_t kOptimizerGrain = 1024;
 
 // Scales all gradients so their global L2 norm is at most `max_norm`.
 // Returns the pre-clip norm. Parameters without gradients are skipped.
 inline float ClipGradNorm(const std::vector<ag::Variable>& params,
                           float max_norm) {
+  // Per-parameter partials via the deterministic chunked reduction, summed
+  // in parameter order: the norm is bitwise identical at any thread count.
   double total_sq = 0.0;
   for (const auto& p : params) {
     if (!p.has_grad()) continue;
     const Tensor& g = p.grad();
     const float* data = g.data();
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      total_sq += static_cast<double>(data[i]) * data[i];
-    }
+    total_sq += common::DeterministicChunkedSum(
+        g.numel(), kOptimizerGrain, [data](int64_t begin, int64_t end) {
+          double sq = 0.0;
+          for (int64_t i = begin; i < end; ++i) {
+            sq += static_cast<double>(data[i]) * data[i];
+          }
+          return sq;
+        });
   }
   const float norm = static_cast<float>(std::sqrt(total_sq));
   if (norm > max_norm && norm > 0.0f) {
@@ -123,24 +135,26 @@ class Adam : public Optimizer {
       if (weight_decay_ > 0.0f) {
         g = g.Add(p.value().MulScalar(weight_decay_));
       }
-      // m = b1 m + (1-b1) g ; v = b2 v + (1-b2) g^2 -- in place.
+      // m = b1 m + (1-b1) g ; v = b2 v + (1-b2) g^2 -- in place. Each
+      // element updates independently, so the chunked loop is exact.
       Tensor& m = m_[i];
       Tensor& v = v_[i];
       float* mp = m.mutable_data();
       float* vp = v.mutable_data();
       const float* gp = g.data();
       const int64_t n = g.numel();
-      for (int64_t j = 0; j < n; ++j) {
-        mp[j] = beta1_ * mp[j] + (1.0f - beta1_) * gp[j];
-        vp[j] = beta2_ * vp[j] + (1.0f - beta2_) * gp[j] * gp[j];
-      }
       Tensor value = p.value().Clone();
       float* w = value.mutable_data();
-      for (int64_t j = 0; j < n; ++j) {
-        const float m_hat = mp[j] / bias1;
-        const float v_hat = vp[j] / bias2;
-        w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-      }
+      const float beta1 = beta1_, beta2 = beta2_, eps = eps_, lr = lr_;
+      common::ParallelFor(0, n, kOptimizerGrain, [&](int64_t s, int64_t e) {
+        for (int64_t j = s; j < e; ++j) {
+          mp[j] = beta1 * mp[j] + (1.0f - beta1) * gp[j];
+          vp[j] = beta2 * vp[j] + (1.0f - beta2) * gp[j] * gp[j];
+          const float m_hat = mp[j] / bias1;
+          const float v_hat = vp[j] / bias2;
+          w[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+        }
+      });
       p.SetValue(std::move(value));
     }
   }

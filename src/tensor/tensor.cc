@@ -6,8 +6,20 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/thread_pool.h"
+
 namespace tgcrn {
 namespace {
+
+// Minimum elements per ParallelFor chunk for elementwise kernels; below
+// this the dispatch overhead outweighs the work.
+constexpr int64_t kElemwiseGrain = 1024;
+// Minimum multiply-accumulate operations per matmul chunk.
+constexpr int64_t kMatmulGrainFlops = 4096;
+// Fixed chunk length of DeterministicChunkedSum reductions. Part of the
+// numeric contract: changing it changes the bits of SumAll on tensors
+// larger than one chunk (but never the cross-thread-count determinism).
+constexpr int64_t kReductionChunk = 2048;
 
 // Row-major strides for a shape.
 std::vector<int64_t> StridesFor(const Shape& shape) {
@@ -18,34 +30,42 @@ std::vector<int64_t> StridesFor(const Shape& shape) {
   return strides;
 }
 
-// Iterates the cartesian product of `out_shape`, tracking flat offsets into
-// two broadcast operands, and calls fn(out_flat, a_off, b_off).
-template <typename Fn>
-void BroadcastIterate(const Shape& out_shape, const Shape& a_shape,
-                      const Shape& b_shape, Fn fn) {
+// Strides of operand `shape` viewed through broadcast target `out_shape`:
+// 0 where the operand dimension is absent or broadcast.
+std::vector<int64_t> EffectiveStrides(const Shape& out_shape,
+                                      const Shape& shape) {
   const int64_t rank = static_cast<int64_t>(out_shape.size());
-  const int64_t n = ShapeNumel(out_shape);
-  if (rank == 0) {
-    fn(0, 0, 0);
-    return;
-  }
-  // Effective strides: 0 where the operand dimension is broadcast.
-  const auto a_strides_full = StridesFor(a_shape);
-  const auto b_strides_full = StridesFor(b_shape);
-  std::vector<int64_t> a_strides(rank, 0), b_strides(rank, 0);
-  const int64_t a_off_rank = rank - static_cast<int64_t>(a_shape.size());
-  const int64_t b_off_rank = rank - static_cast<int64_t>(b_shape.size());
+  const auto full = StridesFor(shape);
+  std::vector<int64_t> strides(rank, 0);
+  const int64_t off = rank - static_cast<int64_t>(shape.size());
   for (int64_t d = 0; d < rank; ++d) {
-    if (d >= a_off_rank && a_shape[d - a_off_rank] != 1) {
-      a_strides[d] = a_strides_full[d - a_off_rank];
-    }
-    if (d >= b_off_rank && b_shape[d - b_off_rank] != 1) {
-      b_strides[d] = b_strides_full[d - b_off_rank];
-    }
+    if (d >= off && shape[d - off] != 1) strides[d] = full[d - off];
   }
+  return strides;
+}
+
+// Iterates flat output positions [begin, end) of the cartesian product of
+// `out_shape`, tracking offsets into two broadcast operands via their
+// effective strides, and calls fn(out_flat, a_off, b_off). Restricted to a
+// subrange so broadcast kernels can be chunked across threads: each chunk
+// reconstructs its starting multi-index by div/mod, then walks
+// incrementally.
+template <typename Fn>
+void BroadcastIterateRange(const Shape& out_shape,
+                           const std::vector<int64_t>& a_strides,
+                           const std::vector<int64_t>& b_strides,
+                           int64_t begin, int64_t end, Fn fn) {
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
   std::vector<int64_t> index(rank, 0);
   int64_t a_off = 0, b_off = 0;
-  for (int64_t flat = 0; flat < n; ++flat) {
+  int64_t rem = begin;
+  for (int64_t d = rank - 1; d >= 0; --d) {
+    index[d] = rem % out_shape[d];
+    rem /= out_shape[d];
+    a_off += index[d] * a_strides[d];
+    b_off += index[d] * b_strides[d];
+  }
+  for (int64_t flat = begin; flat < end; ++flat) {
     fn(flat, a_off, b_off);
     // Increment the multi-index from the last axis, updating offsets.
     for (int64_t d = rank - 1; d >= 0; --d) {
@@ -58,6 +78,21 @@ void BroadcastIterate(const Shape& out_shape, const Shape& a_shape,
       b_off -= b_strides[d] * out_shape[d];
     }
   }
+}
+
+// Parallel broadcast iteration over the whole output. Chunk boundaries
+// cannot change any output element, so results are bitwise identical at
+// every thread count.
+template <typename Fn>
+void BroadcastIterate(const Shape& out_shape, const Shape& a_shape,
+                      const Shape& b_shape, Fn fn) {
+  const int64_t n = ShapeNumel(out_shape);
+  if (n == 0) return;
+  const auto a_strides = EffectiveStrides(out_shape, a_shape);
+  const auto b_strides = EffectiveStrides(out_shape, b_shape);
+  common::ParallelFor(0, n, kElemwiseGrain, [&](int64_t s, int64_t e) {
+    BroadcastIterateRange(out_shape, a_strides, b_strides, s, e, fn);
+  });
 }
 
 }  // namespace
@@ -204,8 +239,12 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn fn) {
     float* o = out.mutable_data();
     const float* pa = a.data();
     const float* pb = b.data();
-    const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) o[i] = fn(pa[i], pb[i]);
+    common::ParallelFor(0, a.numel(), kElemwiseGrain,
+                        [&](int64_t s, int64_t e) {
+                          for (int64_t i = s; i < e; ++i) {
+                            o[i] = fn(pa[i], pb[i]);
+                          }
+                        });
     return out;
   }
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
@@ -254,8 +293,9 @@ Tensor Tensor::Map(const std::function<float(float)>& fn) const {
   Tensor out(shape_);
   float* o = out.mutable_data();
   const float* p = data();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) o[i] = fn(p[i]);
+  common::ParallelFor(0, numel(), kElemwiseGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) o[i] = fn(p[i]);
+  });
   return out;
 }
 
@@ -289,8 +329,9 @@ void Tensor::AddInplace(const Tensor& other) {
       << ShapeToString(shape_) << " vs " << ShapeToString(other.shape_);
   float* p = mutable_data();
   const float* q = other.data();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) p[i] += q[i];
+  common::ParallelFor(0, numel(), kElemwiseGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) p[i] += q[i];
+  });
 }
 
 void Tensor::AddSliceInplace(int64_t axis, int64_t start,
@@ -339,7 +380,10 @@ void Tensor::IndexAdd0Inplace(const std::vector<int64_t>& indices,
 }
 
 void Tensor::ScaleInplace(float value) {
-  for (auto& v : *data_) v *= value;
+  float* p = mutable_data();
+  common::ParallelFor(0, numel(), kElemwiseGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) p[i] *= value;
+  });
 }
 
 void Tensor::FillInplace(float value) {
@@ -368,39 +412,18 @@ Tensor Tensor::Matmul(const Tensor& other) const {
   const int64_t batch_n = ShapeNumel(batch);
   // Effective batch strides in units of matrices.
   const int64_t rank = static_cast<int64_t>(batch.size());
-  auto batch_strides = [&](const Shape& s) {
-    std::vector<int64_t> strides(rank, 0);
-    const auto full = StridesFor(s);
-    const int64_t off = rank - static_cast<int64_t>(s.size());
-    for (int64_t d = 0; d < rank; ++d) {
-      if (d >= off && s[d - off] != 1) strides[d] = full[d - off];
-    }
-    return strides;
-  };
-  const auto a_strides = batch_strides(a_batch);
-  const auto b_strides = batch_strides(b_batch);
+  const auto a_strides = EffectiveStrides(batch, a_batch);
+  const auto b_strides = EffectiveStrides(batch, b_batch);
 
-  const float* pa = data();
-  const float* pb = other.data();
-  float* po = out.mutable_data();
+  // Walk the broadcast batch index once up front, recording which operand
+  // matrix each output matrix reads; the row loop below is then free to run
+  // in any order across threads.
+  std::vector<int64_t> a_mats(batch_n), b_mats(batch_n);
   std::vector<int64_t> index(rank, 0);
   int64_t a_mat = 0, b_mat = 0;
   for (int64_t bi = 0; bi < batch_n; ++bi) {
-    const float* A = pa + a_mat * m * k;
-    const float* B = pb + b_mat * k * n;
-    float* C = po + bi * m * n;
-    // i-k-j loop order: streams B and C rows, good cache behaviour.
-    for (int64_t i = 0; i < m; ++i) {
-      float* crow = C + i * n;
-      std::fill(crow, crow + n, 0.0f);
-      const float* arow = A + i * k;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float a_val = arow[kk];
-        if (a_val == 0.0f) continue;
-        const float* brow = B + kk * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += a_val * brow[j];
-      }
-    }
+    a_mats[bi] = a_mat;
+    b_mats[bi] = b_mat;
     for (int64_t d = rank - 1; d >= 0; --d) {
       ++index[d];
       a_mat += a_strides[d];
@@ -411,6 +434,34 @@ Tensor Tensor::Matmul(const Tensor& other) const {
       b_mat -= b_strides[d] * batch[d];
     }
   }
+
+  const float* pa = data();
+  const float* pb = other.data();
+  float* po = out.mutable_data();
+  // Parallel over the flattened batch x row dimension: each output row is
+  // computed independently with the exact serial arithmetic, so results
+  // are bitwise identical at every thread count.
+  const int64_t grain_rows =
+      std::max<int64_t>(1, kMatmulGrainFlops / std::max<int64_t>(1, k * n));
+  common::ParallelFor(
+      0, batch_n * m, grain_rows, [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t r = row_begin; r < row_end; ++r) {
+          const int64_t bi = r / m;
+          const int64_t i = r % m;
+          const float* A = pa + a_mats[bi] * m * k;
+          const float* B = pb + b_mats[bi] * k * n;
+          float* crow = po + r * n;
+          std::fill(crow, crow + n, 0.0f);
+          const float* arow = A + i * k;
+          // i-k-j loop order: streams B and C rows, good cache behaviour.
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float a_val = arow[kk];
+            if (a_val == 0.0f) continue;
+            const float* brow = B + kk * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] += a_val * brow[j];
+          }
+        }
+      });
   return out;
 }
 
@@ -463,19 +514,28 @@ Tensor Tensor::Permute(const std::vector<int64_t>& perm) const {
   }
   const float* p = data();
   float* o = out.mutable_data();
-  std::vector<int64_t> index(dim(), 0);
-  int64_t in_off = 0;
-  const int64_t n = numel();
-  for (int64_t flat = 0; flat < n; ++flat) {
-    o[flat] = p[in_off];
-    for (int64_t d = dim() - 1; d >= 0; --d) {
-      ++index[d];
-      in_off += permuted_strides[d];
-      if (index[d] < out_shape[d]) break;
-      index[d] = 0;
-      in_off -= permuted_strides[d] * out_shape[d];
+  const int64_t rank = dim();
+  common::ParallelFor(0, numel(), kElemwiseGrain, [&](int64_t s, int64_t e) {
+    // Reconstruct the multi-index at the chunk start, then walk.
+    std::vector<int64_t> index(rank, 0);
+    int64_t in_off = 0;
+    int64_t rem = s;
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      index[d] = rem % out_shape[d];
+      rem /= out_shape[d];
+      in_off += index[d] * permuted_strides[d];
     }
-  }
+    for (int64_t flat = s; flat < e; ++flat) {
+      o[flat] = p[in_off];
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        ++index[d];
+        in_off += permuted_strides[d];
+        if (index[d] < out_shape[d]) break;
+        index[d] = 0;
+        in_off -= permuted_strides[d] * out_shape[d];
+      }
+    }
+  });
   return out;
 }
 
@@ -599,9 +659,16 @@ Tensor Tensor::Stack(const std::vector<Tensor>& tensors, int64_t axis) {
 }
 
 float Tensor::SumAll() const {
-  double sum = 0.0;
-  for (float v : *data_) sum += v;
-  return static_cast<float>(sum);
+  // Deterministic chunked reduction: fixed chunking + fixed combine order
+  // make the result bitwise identical at every thread count. Tensors of at
+  // most one chunk reduce exactly like the legacy serial loop.
+  const float* p = data();
+  return static_cast<float>(common::DeterministicChunkedSum(
+      numel(), kReductionChunk, [p](int64_t begin, int64_t end) {
+        double sum = 0.0;
+        for (int64_t i = begin; i < end; ++i) sum += p[i];
+        return sum;
+      }));
 }
 
 float Tensor::MeanAll() const {
@@ -638,15 +705,22 @@ Tensor ReduceAxis(const Tensor& t, int64_t axis, bool keepdim, float init,
   const int64_t span = t.shape()[axis];
   const float* p = t.data();
   float* o = out.mutable_data();
-  for (int64_t ou = 0; ou < outer; ++ou) {
-    for (int64_t in = 0; in < inner; ++in) {
-      float a = init;
-      for (int64_t s = 0; s < span; ++s) {
-        a = acc(a, p[(ou * span + s) * inner + in]);
-      }
-      o[ou * inner + in] = fin(a, span);
-    }
-  }
+  // Parallel over output elements; each one runs the exact serial
+  // accumulation over its span, so chunking never changes the result.
+  const int64_t grain =
+      std::max<int64_t>(1, kElemwiseGrain / std::max<int64_t>(1, span));
+  common::ParallelFor(
+      0, outer * inner, grain, [&](int64_t begin, int64_t end) {
+        for (int64_t oi = begin; oi < end; ++oi) {
+          const int64_t ou = oi / inner;
+          const int64_t in = oi % inner;
+          float a = init;
+          for (int64_t s = 0; s < span; ++s) {
+            a = acc(a, p[(ou * span + s) * inner + in]);
+          }
+          o[oi] = fin(a, span);
+        }
+      });
   if (!keepdim) return out.Squeeze(axis);
   return out;
 }
@@ -704,19 +778,25 @@ Tensor Tensor::Softmax(int64_t axis) const {
     Tensor out(shape_);
     const float* p = data();
     float* o = out.mutable_data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* src = p + r * span;
-      float* dst = o + r * span;
-      float max_val = src[0];
-      for (int64_t j = 1; j < span; ++j) max_val = std::max(max_val, src[j]);
-      float sum = 0.0f;
-      for (int64_t j = 0; j < span; ++j) {
-        dst[j] = std::exp(src[j] - max_val);
-        sum += dst[j];
+    const int64_t grain =
+        std::max<int64_t>(1, kElemwiseGrain / std::max<int64_t>(1, span));
+    common::ParallelFor(0, rows, grain, [&](int64_t begin, int64_t end) {
+      for (int64_t r = begin; r < end; ++r) {
+        const float* src = p + r * span;
+        float* dst = o + r * span;
+        float max_val = src[0];
+        for (int64_t j = 1; j < span; ++j) {
+          max_val = std::max(max_val, src[j]);
+        }
+        float sum = 0.0f;
+        for (int64_t j = 0; j < span; ++j) {
+          dst[j] = std::exp(src[j] - max_val);
+          sum += dst[j];
+        }
+        const float inv = 1.0f / sum;
+        for (int64_t j = 0; j < span; ++j) dst[j] *= inv;
       }
-      const float inv = 1.0f / sum;
-      for (int64_t j = 0; j < span; ++j) dst[j] *= inv;
-    }
+    });
     return out;
   }
   Tensor shifted = Sub(Max(axis, /*keepdim=*/true));

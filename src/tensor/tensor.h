@@ -9,8 +9,12 @@
 //    suffix) and require unique use sites — the autograd layer never aliases
 //    a tensor it mutates.
 //  * Shape errors are programmer errors and abort via TGCRN_CHECK.
-//  * Everything is single-threaded; the evaluation scale of this
-//    reproduction (N <= 64 nodes) keeps kernels in cache.
+//  * Hot kernels (matmul, elementwise, reductions, softmax, permute) run on
+//    the fixed-size pool in common/thread_pool.h, width controlled by
+//    TGCRN_NUM_THREADS / common::SetNumThreads (1 = serial). Outputs are
+//    bitwise identical at every thread count: per-element kernels keep the
+//    exact serial arithmetic, and full reductions use a fixed-chunk tree
+//    whose shape is independent of the thread count.
 #ifndef TGCRN_TENSOR_TENSOR_H_
 #define TGCRN_TENSOR_TENSOR_H_
 

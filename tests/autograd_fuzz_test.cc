@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "autograd/ops.h"
+#include "common/thread_pool.h"
 #include "gradcheck.h"
 
 namespace tgcrn {
@@ -153,6 +154,77 @@ TEST(AccumulationTest, TwoBackwardsEqualSumBackward) {
       ag::Add(ag::SumAll(ag::Mul(x2, x2)), ag::SumAll(ag::Tanh(x2)));
   joint.Backward();
   EXPECT_TRUE(accumulated.AllClose(x2.grad(), 1e-5f));
+}
+
+// --- Gradcheck under the multithreaded pool ---------------------------------
+// The same finite-difference machinery, but with the thread pool engaged
+// and shapes large enough that the parallel kernels actually chunk
+// (elementwise ops split above ~1k elements, matmul above ~4k MACs). The
+// backward pass must stay correct when forward ran parallel.
+
+class ParallelGradcheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override { common::SetNumThreads(8); }
+  void TearDown() override { common::SetNumThreads(0); }
+};
+
+TEST_F(ParallelGradcheckTest, MatmulChunksAcrossRows) {
+  // 48x12 x 12x24: 13.8k MACs per forward, chunked over output rows.
+  auto fn = [](const std::vector<Variable>& in) {
+    return ag::MeanAll(ag::Matmul(in[0], in[1]));
+  };
+  Rng rng(6000);
+  Variable a(Tensor::RandUniform({1, 48, 12}, -0.8f, 0.8f, &rng), true);
+  Variable b(Tensor::RandUniform({1, 12, 24}, -0.8f, 0.8f, &rng), true);
+  ExpectGradientsClose(fn, {a, b});
+}
+
+TEST_F(ParallelGradcheckTest, BroadcastElementwiseChunks) {
+  // [8, 140] with broadcast operands: 1120 output elements per op, past
+  // the elementwise grain.
+  auto fn = [](const std::vector<Variable>& in) {
+    const Variable& x = in[0];
+    const Variable& row = in[1];
+    const Variable& col = in[2];
+    Variable y = ag::Mul(ag::Add(x, row), col);
+    return ag::MeanAll(ag::Mul(y, ag::Sigmoid(x)));
+  };
+  Rng rng(6001);
+  Variable x(Tensor::RandUniform({8, 140}, -0.8f, 0.8f, &rng), true);
+  Variable row(Tensor::RandUniform({140}, -0.8f, 0.8f, &rng), true);
+  Variable col(Tensor::RandUniform({8, 1}, -0.8f, 0.8f, &rng), true);
+  ExpectGradientsClose(fn, {x, row, col});
+}
+
+TEST_F(ParallelGradcheckTest, ReductionsChunk) {
+  // Axis sum with many output elements plus a SumAll large enough for the
+  // fixed-chunk tree reduction (> 2048 elements).
+  auto fn = [](const std::vector<Variable>& in) {
+    const Variable& x = in[0];
+    Variable per_row = ag::Sum(x, /*axis=*/1);
+    return ag::Add(ag::MulScalar(ag::SumAll(ag::Tanh(x)), 0.25f),
+                   ag::MeanAll(ag::Mul(per_row, per_row)));
+  };
+  Rng rng(6002);
+  Variable x(Tensor::RandUniform({300, 8}, -0.5f, 0.5f, &rng), true);
+  ExpectGradientsClose(fn, {x});
+}
+
+TEST_F(ParallelGradcheckTest, RecurrentChainUnderPool) {
+  // BPTT-shaped graph with shapes that engage chunking in every step.
+  auto fn = [](const std::vector<Variable>& in) {
+    const Variable& x = in[0];
+    const Variable& w = in[1];
+    Variable h = ag::MulScalar(x, 0.0f);
+    for (int t = 0; t < 3; ++t) {
+      h = ag::Tanh(ag::Add(ag::Matmul(h, w), x));
+    }
+    return ag::MeanAll(ag::Mul(h, h));
+  };
+  Rng rng(6003);
+  Variable x(Tensor::RandUniform({36, 20}, -0.4f, 0.4f, &rng), true);
+  Variable w(Tensor::RandUniform({20, 20}, -0.3f, 0.3f, &rng), true);
+  ExpectGradientsClose(fn, {x, w});
 }
 
 // Softmax rows remain stochastic through autograd and under extreme

@@ -1,0 +1,213 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Unit tests of the fixed-size thread pool: range coverage, chunk ordering
+// on the serial path, exception propagation out of ParallelFor, nested-call
+// degradation to serial execution, grain-size boundary cases, and the
+// determinism of the fixed-chunk tree reduction across thread counts.
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tgcrn {
+namespace {
+
+using common::DeterministicChunkedSum;
+using common::GetNumThreads;
+using common::ParallelFor;
+using common::ScopedNumThreads;
+using common::SetNumThreads;
+
+// Every index in [begin, end) must be visited exactly once, for any
+// combination of range size, grain, and thread count.
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    ScopedNumThreads guard(threads);
+    for (const int64_t n : {0, 1, 7, 64, 1000, 4097}) {
+      for (const int64_t grain : {1, 3, 64, 5000}) {
+        std::vector<std::atomic<int>> counts(n);
+        for (auto& c : counts) c.store(0);
+        ParallelFor(0, n, grain, [&](int64_t s, int64_t e) {
+          ASSERT_LE(0, s);
+          ASSERT_LE(s, e);
+          ASSERT_LE(e, n);
+          for (int64_t i = s; i < e; ++i) counts[i].fetch_add(1);
+        });
+        for (int64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(counts[i].load(), 1)
+              << "threads=" << threads << " n=" << n << " grain=" << grain
+              << " index=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsNonZeroBegin) {
+  ScopedNumThreads guard(4);
+  std::vector<std::atomic<int>> counts(100);
+  for (auto& c : counts) c.store(0);
+  ParallelFor(37, 91, 5, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) counts[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(counts[i].load(), (i >= 37 && i < 91) ? 1 : 0) << i;
+  }
+}
+
+// On the serial path (1 thread) chunks arrive in ascending order as one
+// single call; with multiple threads subranges may interleave but must be
+// disjoint — recorded ranges sorted by start must tile the range.
+TEST(ThreadPoolTest, SerialPathRunsInOrder) {
+  ScopedNumThreads guard(1);
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  ParallelFor(0, 1000, 10, [&](int64_t s, int64_t e) {
+    ranges.emplace_back(s, e);
+  });
+  // With one thread the whole range is one in-order call.
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, 0);
+  EXPECT_EQ(ranges[0].second, 1000);
+}
+
+TEST(ThreadPoolTest, ChunksTileTheRangeWithoutOverlap) {
+  ScopedNumThreads guard(8);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  ParallelFor(0, 10001, 7, [&](int64_t s, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(s, e);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  int64_t expected_start = 0;
+  for (const auto& [s, e] : ranges) {
+    EXPECT_EQ(s, expected_start);
+    EXPECT_LT(s, e);
+    expected_start = e;
+  }
+  EXPECT_EQ(expected_start, 10001);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  for (const int threads : {1, 4}) {
+    ScopedNumThreads guard(threads);
+    EXPECT_THROW(
+        ParallelFor(0, 10000, 16,
+                    [&](int64_t s, int64_t e) {
+                      // Throw from whichever chunk contains index 5000 —
+                      // works on both the serial and the chunked path.
+                      if (s <= 5000 && 5000 < e) {
+                        throw std::runtime_error("chunk failed");
+                      }
+                    }),
+        std::runtime_error);
+    // The pool must stay usable after an exception.
+    std::atomic<int64_t> sum{0};
+    ParallelFor(0, 1000, 16, [&](int64_t s, int64_t e) {
+      sum.fetch_add(e - s);
+    });
+    EXPECT_EQ(sum.load(), 1000);
+  }
+}
+
+// A ParallelFor issued from inside a chunk must degrade to serial instead
+// of re-entering the pool (a worker waiting on its own queue would
+// deadlock). The nested region still covers its full range.
+TEST(ThreadPoolTest, NestedCallDegradesToSerial) {
+  ScopedNumThreads guard(4);
+  const int64_t outer_n = 64, inner_n = 512;
+  std::vector<std::atomic<int>> counts(outer_n * inner_n);
+  for (auto& c : counts) c.store(0);
+  ParallelFor(0, outer_n, 1, [&](int64_t os, int64_t oe) {
+    for (int64_t o = os; o < oe; ++o) {
+      EXPECT_TRUE(common::InParallelRegion());
+      ParallelFor(0, inner_n, 1, [&](int64_t is, int64_t ie) {
+        // Serial degradation: the nested call is one full-range chunk.
+        EXPECT_EQ(is, 0);
+        EXPECT_EQ(ie, inner_n);
+        for (int64_t i = is; i < ie; ++i) {
+          counts[o * inner_n + i].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (const auto& c : counts) ASSERT_EQ(c.load(), 1);
+  EXPECT_FALSE(common::InParallelRegion());
+}
+
+TEST(ThreadPoolTest, SetNumThreadsIsReflected) {
+  const int original = GetNumThreads();
+  SetNumThreads(3);
+  EXPECT_EQ(GetNumThreads(), 3);
+  SetNumThreads(1);
+  EXPECT_EQ(GetNumThreads(), 1);
+  SetNumThreads(0);  // restores the default
+  EXPECT_GE(GetNumThreads(), 1);
+  SetNumThreads(original);
+}
+
+TEST(ThreadPoolTest, GrainBoundaryCases) {
+  ScopedNumThreads guard(4);
+  // grain larger than the range: single serial call.
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  ParallelFor(0, 10, 100, [&](int64_t s, int64_t e) {
+    ranges.emplace_back(s, e);
+  });
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<int64_t, int64_t>{0, 10}));
+
+  // Zero/negative grain is clamped to 1 rather than dividing by zero.
+  std::atomic<int64_t> visited{0};
+  ParallelFor(0, 100, 0, [&](int64_t s, int64_t e) {
+    visited.fetch_add(e - s);
+  });
+  EXPECT_EQ(visited.load(), 100);
+
+  // Empty and reversed ranges are no-ops.
+  bool called = false;
+  ParallelFor(0, 0, 1, [&](int64_t, int64_t) { called = true; });
+  ParallelFor(5, 3, 1, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+// The reduction contract: same bits at any thread count because the chunk
+// layout and combine tree depend only on (n, grain).
+TEST(ThreadPoolTest, DeterministicSumIdenticalAcrossThreadCounts) {
+  Rng rng(42);
+  const int64_t n = 100000;
+  std::vector<float> values(n);
+  for (auto& v : values) v = rng.Uniform(-1.0f, 1.0f);
+  auto sum_at = [&](int threads) {
+    ScopedNumThreads guard(threads);
+    return DeterministicChunkedSum(n, 2048, [&](int64_t b, int64_t e) {
+      double s = 0.0;
+      for (int64_t i = b; i < e; ++i) s += values[i];
+      return s;
+    });
+  };
+  const double at1 = sum_at(1);
+  EXPECT_EQ(at1, sum_at(2));
+  EXPECT_EQ(at1, sum_at(8));
+}
+
+TEST(ThreadPoolTest, DeterministicSumEdgeCases) {
+  auto ident = [](int64_t b, int64_t e) {
+    return static_cast<double>(e - b);
+  };
+  EXPECT_EQ(DeterministicChunkedSum(0, 16, ident), 0.0);
+  EXPECT_EQ(DeterministicChunkedSum(1, 16, ident), 1.0);
+  EXPECT_EQ(DeterministicChunkedSum(16, 16, ident), 16.0);   // exactly 1 chunk
+  EXPECT_EQ(DeterministicChunkedSum(17, 16, ident), 17.0);   // ragged tail
+  EXPECT_EQ(DeterministicChunkedSum(1000, 1, ident), 1000.0);  // 1000 chunks
+}
+
+}  // namespace
+}  // namespace tgcrn

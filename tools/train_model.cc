@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "core/tgcrn.h"
 #include "core/trainer.h"
 #include "data/csv_loader.h"
@@ -26,6 +27,7 @@ struct Args {
   int64_t hidden = 16;
   float lr = 3e-3f;
   uint64_t seed = 1;
+  int threads = 0;  // 0 = TGCRN_NUM_THREADS env or hardware concurrency
   std::string variant = "tgcrn";
   std::string save_path;
 };
@@ -47,6 +49,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     else if (flag == "--hidden") args->hidden = std::stoll(value);
     else if (flag == "--lr") args->lr = std::stof(value);
     else if (flag == "--seed") args->seed = std::stoull(value);
+    else if (flag == "--threads") args->threads = std::stoi(value);
     else if (flag == "--variant") args->variant = value;
     else if (flag == "--save") args->save_path = value;
     else {
@@ -68,7 +71,7 @@ int main(int argc, char** argv) {
         "usage: %s <data.csv> --nodes N --features D --steps-per-day S\n"
         "  [--input-steps P] [--output-steps Q] [--epochs E] [--hidden H]\n"
         "  [--variant tgcrn|no-tagsl|no-tdl|no-pdf|direct] [--save f.ckpt]\n"
-        "  [--seed S] [--lr LR]\n",
+        "  [--seed S] [--lr LR] [--threads T]\n",
         argv[0]);
     return 2;
   }
@@ -118,7 +121,9 @@ int main(int argc, char** argv) {
   train.epochs = args.epochs;
   train.lr = args.lr;
   train.seed = args.seed;
+  train.num_threads = args.threads;
   const auto result = tgcrn::core::TrainAndEvaluate(&model, dataset, train);
+  std::printf("parallel width: %d thread(s)\n", result.num_threads);
 
   std::printf("\nper-horizon test metrics:\n");
   for (size_t h = 0; h < result.per_horizon.size(); ++h) {
