@@ -329,6 +329,13 @@ core::TrainResult RunNeural(core::ForecastModel* model,
   config.lr_milestones = scale.lr_milestones;
   config.seed = seed;
   config.verbose = false;
+  // TGCRN_BENCH_REPORT_DIR=<dir> streams one JSONL run report per trained
+  // model into <dir>/<model>-<dataset>.jsonl (appending across runs).
+  const char* report_dir = std::getenv("TGCRN_BENCH_REPORT_DIR");
+  if (report_dir != nullptr && report_dir[0] != '\0') {
+    config.report_path = std::string(report_dir) + "/" + model->name() + "-" +
+                         bundle.name + ".jsonl";
+  }
   return core::TrainAndEvaluate(model, *bundle.dataset, config);
 }
 

@@ -101,7 +101,10 @@ std::unique_ptr<core::ForecastModel> MakeModel(const std::string& name,
 float LrMultiplier(const std::string& model_name);
 
 // Trains and evaluates one neural model on a bundle with the shared recipe
-// (scale.lr scaled by LrMultiplier(model->name())).
+// (scale.lr scaled by LrMultiplier(model->name())). When the
+// TGCRN_BENCH_REPORT_DIR environment variable names a directory, the run's
+// structured report (obs/report.h) is streamed there as
+// <model>-<dataset>.jsonl.
 core::TrainResult RunNeural(core::ForecastModel* model,
                             const DatasetBundle& bundle, const Scale& scale,
                             uint64_t seed = 99);

@@ -6,8 +6,12 @@
 // reproduction's dimensions in the same 1:1 and 4:2 ratios).
 #include <cstdio>
 
+#include <string>
+#include <vector>
+
 #include "bench_common.h"
 #include "common/thread_pool.h"
+#include "obs/report.h"
 #include "paper_refs.h"
 
 namespace tgcrn {
@@ -26,6 +30,30 @@ core::TrainResult TimeOneEpoch(core::ForecastModel* model,
   return core::TrainAndEvaluate(model, *bundle.dataset, config);
 }
 
+// Seconds spent in one trainer phase, summed over the run's epochs.
+double PhaseSeconds(const core::TrainResult& result, const char* key) {
+  const auto totals = result.report.PhaseTotals();
+  const auto it = totals.find(key);
+  return it != totals.end() ? it->second : 0.0;
+}
+
+// The per-model row: params, epoch time, and the phase breakdown measured
+// by the trainer's observability report (fwd/bwd are the network passes;
+// "optim" folds clipping into the Adam step; "data" is batch assembly).
+std::vector<std::string> CostRow(const std::string& label,
+                                 const core::TrainResult& result,
+                                 double params_ref, double seconds_ref) {
+  return {label,
+          Cell(static_cast<double>(result.num_parameters), params_ref, 0),
+          Cell(result.seconds_per_epoch, seconds_ref, 3),
+          Cell(PhaseSeconds(result, obs::kPhaseForward), -1.0, 3),
+          Cell(PhaseSeconds(result, obs::kPhaseBackward), -1.0, 3),
+          Cell(PhaseSeconds(result, obs::kPhaseClip) +
+                   PhaseSeconds(result, obs::kPhaseAdam),
+               -1.0, 3),
+          Cell(PhaseSeconds(result, obs::kPhaseData), -1.0, 3)};
+}
+
 void Run() {
   const Scale scale = GetScale();
   const int max_threads = common::GetNumThreads();
@@ -33,7 +61,8 @@ void Run() {
               scale.name.c_str(), max_threads);
   const DatasetBundle bundle = MakeHzSim(scale);
 
-  TablePrinter table({"Model", "#Params (paper)", "s/epoch (paper)"});
+  TablePrinter table({"Model", "#Params (paper)", "s/epoch (paper)",
+                      "fwd s", "bwd s", "optim s", "data s"});
   const std::vector<std::string> methods = {"DCRNN", "AGCRN", "GraphWaveNet",
                                             "PVCGN", "ESG"};
   for (const auto& method : methods) {
@@ -42,10 +71,7 @@ void Run() {
     auto model = MakeModel(method, bundle, scale, 5000);
     const auto result = TimeOneEpoch(model.get(), bundle, scale);
     const CostRef& ref = CostRefs().at(method);
-    table.AddRow({method,
-                  Cell(static_cast<double>(result.num_parameters),
-                       ref.params, 0),
-                  Cell(result.seconds_per_epoch, ref.seconds_per_epoch, 3)});
+    table.AddRow(CostRow(method, result, ref.params, ref.seconds_per_epoch));
   }
   // TGCRN small embeddings (paper: d_nu = d_tau = 16).
   {
@@ -64,10 +90,8 @@ void Run() {
     core::TGCRN model(config, &rng);
     const auto result = TimeOneEpoch(&model, bundle, scale);
     const CostRef& ref = CostRefs().at("TGCRN (16,16)");
-    table.AddRow({"TGCRN (small emb)",
-                  Cell(static_cast<double>(result.num_parameters),
-                       ref.params, 0),
-                  Cell(result.seconds_per_epoch, ref.seconds_per_epoch, 3)});
+    table.AddRow(CostRow("TGCRN (small emb)", result, ref.params,
+                         ref.seconds_per_epoch));
   }
   // TGCRN large embeddings (paper: d_nu = 64, d_tau = 32 -> 2x ratio).
   {
@@ -86,10 +110,8 @@ void Run() {
     core::TGCRN model(config, &rng);
     const auto result = TimeOneEpoch(&model, bundle, scale);
     const CostRef& ref = CostRefs().at("TGCRN (64,32)");
-    table.AddRow({"TGCRN (large emb)",
-                  Cell(static_cast<double>(result.num_parameters),
-                       ref.params, 0),
-                  Cell(result.seconds_per_epoch, ref.seconds_per_epoch, 3)});
+    table.AddRow(CostRow("TGCRN (large emb)", result, ref.params,
+                         ref.seconds_per_epoch));
   }
   std::printf("\n=== Table VIII (cost): measured (paper) ===\n");
   std::printf("(absolute values differ - paper trains hidden=64 models on "

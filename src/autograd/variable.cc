@@ -3,8 +3,27 @@
 
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tgcrn {
 namespace ag {
+
+namespace {
+
+obs::Counter* ForwardOpCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("autograd.forward_ops");
+  return c;
+}
+
+obs::Counter* BackwardOpCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("autograd.backward_ops");
+  return c;
+}
+
+}  // namespace
 
 namespace internal {
 
@@ -36,6 +55,7 @@ Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
 
 Variable MakeOpNode(Tensor value, std::vector<Variable> parents,
                     std::function<void(const Tensor&)> backward_fn) {
+  ForwardOpCounter()->Add(1);
   auto node = std::make_shared<internal::Node>();
   node->value = std::move(value);
   bool needs = false;
@@ -107,11 +127,14 @@ void Variable::Backward(const Tensor& grad_output) const {
   // every backward_fn and AccumulateGrad bottoms out in the thread-pooled
   // tensor kernels (matmul, elementwise, AddInplace), which keep a fixed
   // accumulation order regardless of thread count.
+  TGCRN_TRACE_SCOPE("autograd.Backward");
   node_->AccumulateGrad(grad_output);
   const auto order = ReverseTopoOrder(node_.get());
+  int64_t fired = 0;
   for (internal::Node* node : order) {
     if (node->backward_fn && node->has_grad) {
       node->backward_fn(node->grad);
+      ++fired;
     }
     // Interior nodes' grads are only needed transiently; free them so a
     // full BPTT pass doesn't hold two tensors per op. Leaves keep theirs.
@@ -120,6 +143,7 @@ void Variable::Backward(const Tensor& grad_output) const {
       node->grad = Tensor();
     }
   }
+  BackwardOpCounter()->Add(fired);
 }
 
 Variable Variable::Detach() const {

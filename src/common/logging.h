@@ -1,15 +1,22 @@
 // Copyright 2026 TGCRN Reproduction Authors
 // Minimal leveled logging to stderr. Training loops use LOG(INFO) for epoch
-// summaries; set TGCRN_LOG_LEVEL=WARNING (or ERROR) to silence them.
+// summaries; set TGCRN_LOG_LEVEL=WARNING (or ERROR) to silence them, or call
+// SetMinLogLevel() to change the threshold at runtime (the env var only
+// provides the initial value).
 #ifndef TGCRN_COMMON_LOGGING_H_
 #define TGCRN_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace tgcrn {
 
@@ -17,18 +24,37 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 namespace internal {
 
-// Reads the minimum level once from the TGCRN_LOG_LEVEL environment variable.
-inline LogLevel MinLogLevel() {
-  static const LogLevel level = [] {
-    const char* env = std::getenv("TGCRN_LOG_LEVEL");
-    if (env == nullptr) return LogLevel::kInfo;
-    if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
-    if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
-    if (std::strcmp(env, "WARNING") == 0) return LogLevel::kWarning;
-    if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
-    return LogLevel::kInfo;
-  }();
+inline LogLevel LogLevelFromEnv() {
+  const char* env = std::getenv("TGCRN_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "WARNING") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+// Mutable threshold, seeded from TGCRN_LOG_LEVEL on first use.
+inline std::atomic<int>& MinLogLevelStorage() {
+  static std::atomic<int> level{static_cast<int>(LogLevelFromEnv())};
   return level;
+}
+
+inline LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      MinLogLevelStorage().load(std::memory_order_relaxed));
+}
+
+// Per-call-site occurrence counter backing TGCRN_LOG_EVERY_N. Returns true
+// on the 1st, (n+1)th, (2n+1)th, ... call from the given (file, line).
+// Logging sites are not hot paths, so a mutex-guarded map is fine.
+inline bool ShouldLogEveryN(const char* file, int line, int64_t n) {
+  if (n <= 1) return true;
+  static std::mutex mu;
+  static auto* counts = new std::map<std::pair<std::string, int>, int64_t>();
+  std::lock_guard<std::mutex> lock(mu);
+  int64_t& count = (*counts)[{file, line}];
+  return count++ % n == 0;
 }
 
 class LogMessage {
@@ -66,11 +92,29 @@ class LogMessage {
 };
 
 }  // namespace internal
+
+// Sets the minimum level emitted from this point on (overrides the
+// TGCRN_LOG_LEVEL environment variable). Thread-safe.
+inline void SetMinLogLevel(LogLevel level) {
+  internal::MinLogLevelStorage().store(static_cast<int>(level),
+                                       std::memory_order_relaxed);
+}
+
+inline LogLevel GetMinLogLevel() { return internal::MinLogLevel(); }
+
 }  // namespace tgcrn
 
 #define TGCRN_LOG(level)                                                 \
   ::tgcrn::internal::LogMessage(::tgcrn::LogLevel::k##level, __FILE__, \
                                 __LINE__)                                \
       .stream()
+
+// Emits on the 1st, (n+1)th, (2n+1)th, ... execution of this statement.
+// The dangling-else shape keeps it safe inside unbraced if/else and only
+// evaluates the streamed expressions on emitting calls.
+#define TGCRN_LOG_EVERY_N(level, n)                                      \
+  if (!::tgcrn::internal::ShouldLogEveryN(__FILE__, __LINE__, (n))) {    \
+  } else                                                                 \
+    TGCRN_LOG(level)
 
 #endif  // TGCRN_COMMON_LOGGING_H_

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -13,10 +14,40 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tgcrn {
 namespace common {
 namespace {
+
+// Pool bookkeeping (see GetPoolStats). Plain relaxed atomics rather than
+// obs counters so the header-visible stats need no registry lookup; the
+// obs layer additionally gets busy/idle histograms below.
+std::atomic<int64_t> g_parallel_for_calls{0};
+std::atomic<int64_t> g_serial_runs{0};
+std::atomic<int64_t> g_chunks_executed{0};
+std::atomic<int64_t> g_pool_tasks_executed{0};
+
+// Nanoseconds each worker spends running a claimed task vs waiting on the
+// queue. Observed per task pull, so the cost (two clock reads) is paid per
+// parallel job per worker, not per chunk.
+obs::Histogram* WorkerBusyHistogram() {
+  static obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("threadpool.worker_busy_ns");
+  return h;
+}
+obs::Histogram* WorkerIdleHistogram() {
+  static obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("threadpool.worker_idle_ns");
+  return h;
+}
+
+int64_t MonotonicNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Set while the current thread executes a ParallelFor chunk; nested
 // parallel calls observe it and run serially instead of re-entering the
@@ -44,9 +75,11 @@ struct Job {
 };
 
 void WorkOnJob(const std::shared_ptr<Job>& job) {
+  TGCRN_TRACE_SCOPE("ParallelFor.worker");
   while (true) {
     const int64_t c = job->next.fetch_add(1);
     if (c >= job->num_chunks) break;
+    g_chunks_executed.fetch_add(1, std::memory_order_relaxed);
     {
       ScopedRegionFlag in_region;
       try {
@@ -130,6 +163,7 @@ class ThreadPool {
   }
 
   void WorkerLoop() {
+    int64_t idle_since_ns = MonotonicNs();
     while (true) {
       std::function<void()> task;
       {
@@ -139,7 +173,12 @@ class ThreadPool {
         task = std::move(tasks_.front());
         tasks_.pop_front();
       }
+      const int64_t start_ns = MonotonicNs();
+      WorkerIdleHistogram()->Observe(start_ns - idle_since_ns);
       task();
+      idle_since_ns = MonotonicNs();
+      WorkerBusyHistogram()->Observe(idle_since_ns - start_ns);
+      g_pool_tasks_executed.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -160,14 +199,28 @@ void SetNumThreads(int n) { ThreadPool::Global().Resize(n); }
 
 bool InParallelRegion() { return tls_in_parallel_region; }
 
+PoolStats GetPoolStats() {
+  PoolStats stats;
+  stats.num_threads = GetNumThreads();
+  stats.parallel_for_calls =
+      g_parallel_for_calls.load(std::memory_order_relaxed);
+  stats.serial_runs = g_serial_runs.load(std::memory_order_relaxed);
+  stats.chunks_executed = g_chunks_executed.load(std::memory_order_relaxed);
+  stats.pool_tasks_executed =
+      g_pool_tasks_executed.load(std::memory_order_relaxed);
+  return stats;
+}
+
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn) {
   const int64_t n = end - begin;
   if (n <= 0) return;
   if (grain < 1) grain = 1;
+  g_parallel_for_calls.fetch_add(1, std::memory_order_relaxed);
   ThreadPool& pool = ThreadPool::Global();
   const int threads = pool.num_threads();
   if (threads <= 1 || n <= grain || tls_in_parallel_region) {
+    g_serial_runs.fetch_add(1, std::memory_order_relaxed);
     fn(begin, end);
     return;
   }
@@ -179,6 +232,7 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
       std::max(grain, (n + target_chunks - 1) / target_chunks);
   const int64_t num_chunks = (n + chunk - 1) / chunk;
   if (num_chunks <= 1) {
+    g_serial_runs.fetch_add(1, std::memory_order_relaxed);
     fn(begin, end);
     return;
   }

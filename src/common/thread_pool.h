@@ -74,6 +74,24 @@ double DeterministicChunkedSum(
 // (used by kernels that must pick the serial path when nested).
 bool InParallelRegion();
 
+// Monotonic pool bookkeeping since process start, for the observability
+// layer and tests. All fields are gathered from relaxed atomics: totals are
+// exact once the pool is quiescent, approximate while work is in flight.
+struct PoolStats {
+  int num_threads = 1;             // current parallel width (incl. caller)
+  int64_t parallel_for_calls = 0;  // total ParallelFor invocations
+  // Invocations that ran as a single serial call on the calling thread
+  // (width 1, range <= grain, or nested inside a parallel region).
+  int64_t serial_runs = 0;
+  // Chunks claimed and executed across all parallel jobs. The pool has no
+  // work stealing, so this is also the steal-free claim count.
+  int64_t chunks_executed = 0;
+  // Type-erased tasks pool workers pulled from the queue (one claim loop
+  // per helper per parallel job, plus stale wakeups).
+  int64_t pool_tasks_executed = 0;
+};
+PoolStats GetPoolStats();
+
 }  // namespace common
 }  // namespace tgcrn
 

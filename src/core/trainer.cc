@@ -7,6 +7,8 @@
 #include "autograd/ops.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 
 namespace tgcrn {
@@ -19,6 +21,22 @@ using Clock = std::chrono::steady_clock;
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+// Accumulates wall-clock into a named phase bucket for the epoch report.
+// Usage: { PhaseTimer t(&phases, obs::kPhaseForward); ...work... }
+class PhaseTimer {
+ public:
+  PhaseTimer(std::map<std::string, double>* phases, const char* name)
+      : phases_(phases), name_(name), start_(Clock::now()) {}
+  ~PhaseTimer() { (*phases_)[name_] += SecondsSince(start_); }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::map<std::string, double>* phases_;
+  const char* name_;
+  Clock::time_point start_;
+};
 
 // Collects raw-space predictions and targets for a whole split.
 void PredictSplit(ForecastModel* model, const data::ForecastDataset& dataset,
@@ -65,6 +83,9 @@ TrainResult TrainAndEvaluate(ForecastModel* model,
   result.num_parameters = model->NumParameters();
   if (config.num_threads > 0) common::SetNumThreads(config.num_threads);
   result.num_threads = common::GetNumThreads();
+  result.report.model = model->name();
+  result.report.num_parameters = result.num_parameters;
+  result.report.num_threads = result.num_threads;
 
   Rng rng(config.seed);
   optim::Adam adam(model->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
@@ -102,10 +123,17 @@ TrainResult TrainAndEvaluate(ForecastModel* model,
         static_cast<int64_t>(batches.size()) > config.max_batches_per_epoch) {
       batches.resize(config.max_batches_per_epoch);
     }
+    obs::EpochReport epoch_report;
+    epoch_report.epoch = epoch;
     double loss_sum = 0.0;
+    double grad_norm_sum = 0.0;
+    double grad_norm_last = 0.0;
     for (const auto& ids : batches) {
-      const data::Batch batch =
-          dataset.MakeBatch(data::ForecastDataset::Split::kTrain, ids);
+      data::Batch batch;
+      {
+        PhaseTimer timer(&epoch_report.phase_seconds, obs::kPhaseData);
+        batch = dataset.MakeBatch(data::ForecastDataset::Split::kTrain, ids);
+      }
       if (config.scheduled_sampling_tau > 0.0) {
         const double tau = config.scheduled_sampling_tau;
         const double p =
@@ -114,29 +142,68 @@ TrainResult TrainAndEvaluate(ForecastModel* model,
       }
       ++global_step;
       model->ZeroGrad();
-      ag::Variable pred = model->Forward(batch);
-      ag::Variable loss = ag::MaeLoss(pred, ag::Variable(batch.y_scaled));
-      const float aux_weight = model->auxiliary_weight();
-      if (aux_weight > 0.0f) {
-        ag::Variable aux = model->AuxiliaryLoss(batch, &rng);
-        if (aux.defined()) {
-          loss = ag::Add(loss, ag::MulScalar(aux, aux_weight));
+      ag::Variable loss;
+      {
+        PhaseTimer timer(&epoch_report.phase_seconds, obs::kPhaseForward);
+        TGCRN_TRACE_SCOPE("train.forward");
+        ag::Variable pred = model->Forward(batch);
+        loss = ag::MaeLoss(pred, ag::Variable(batch.y_scaled));
+        const float aux_weight = model->auxiliary_weight();
+        if (aux_weight > 0.0f) {
+          ag::Variable aux = model->AuxiliaryLoss(batch, &rng);
+          if (aux.defined()) {
+            loss = ag::Add(loss, ag::MulScalar(aux, aux_weight));
+          }
         }
       }
-      loss.Backward();
-      optim::ClipGradNorm(adam.params(), config.clip_norm);
-      adam.Step();
+      {
+        PhaseTimer timer(&epoch_report.phase_seconds, obs::kPhaseBackward);
+        TGCRN_TRACE_SCOPE("train.backward");
+        loss.Backward();
+      }
+      {
+        PhaseTimer timer(&epoch_report.phase_seconds, obs::kPhaseClip);
+        TGCRN_TRACE_SCOPE("train.clip");
+        grad_norm_last = optim::ClipGradNorm(adam.params(), config.clip_norm);
+        grad_norm_sum += grad_norm_last;
+      }
+      {
+        PhaseTimer timer(&epoch_report.phase_seconds, obs::kPhaseAdam);
+        TGCRN_TRACE_SCOPE("train.adam_step");
+        adam.Step();
+      }
       loss_sum += loss.value().item();
     }
     const double train_loss =
         batches.empty() ? 0.0 : loss_sum / static_cast<double>(batches.size());
     result.train_loss_history.push_back(train_loss);
-    epoch_seconds_sum += SecondsSince(epoch_start);
 
-    const double val_mae =
-        SplitMae(model, dataset, data::ForecastDataset::Split::kVal,
-                 config.metric_options, config.batch_size);
+    double val_mae = 0.0;
+    {
+      PhaseTimer timer(&epoch_report.phase_seconds, obs::kPhaseEval);
+      TGCRN_TRACE_SCOPE("train.eval");
+      val_mae = SplitMae(model, dataset, data::ForecastDataset::Split::kVal,
+                         config.metric_options, config.batch_size);
+    }
     result.val_mae_history.push_back(val_mae);
+
+    epoch_report.train_loss = train_loss;
+    epoch_report.val_mae = val_mae;
+    epoch_report.lr = adam.lr();  // LR the epoch actually trained with
+    epoch_report.grad_norm_last = grad_norm_last;
+    epoch_report.grad_norm_mean =
+        batches.empty() ? 0.0
+                        : grad_norm_sum / static_cast<double>(batches.size());
+    epoch_report.seconds = SecondsSince(epoch_start);
+    epoch_seconds_sum += epoch_report.seconds;
+    if (!config.report_path.empty() &&
+        !obs::RunReport::AppendJsonLine(config.report_path,
+                                        epoch_report.ToJson())) {
+      TGCRN_LOG(Warning) << "failed to append epoch report to "
+                         << config.report_path;
+    }
+    result.report.epochs.push_back(std::move(epoch_report));
+
     scheduler.Step(epoch);
     ++result.epochs_run;
 
@@ -162,6 +229,25 @@ TrainResult TrainAndEvaluate(ForecastModel* model,
       EvaluateModel(model, dataset, data::ForecastDataset::Split::kTest,
                     config.metric_options, config.batch_size);
   result.average = metrics::AverageMetrics(result.per_horizon);
+
+  result.report.epochs_run = result.epochs_run;
+  result.report.total_seconds = result.total_seconds;
+  for (const auto& m : result.per_horizon) {
+    obs::HorizonMetricsReport h;
+    h.mae = m.mae;
+    h.rmse = m.rmse;
+    h.mape = m.mape;
+    result.report.test_per_horizon.push_back(h);
+  }
+  result.report.test_average.mae = result.average.mae;
+  result.report.test_average.rmse = result.average.rmse;
+  result.report.test_average.mape = result.average.mape;
+  if (!config.report_path.empty() &&
+      !obs::RunReport::AppendJsonLine(config.report_path,
+                                      result.report.SummaryJson())) {
+    TGCRN_LOG(Warning) << "failed to append run summary to "
+                       << config.report_path;
+  }
   return result;
 }
 

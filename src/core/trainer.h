@@ -7,11 +7,13 @@
 #ifndef TGCRN_CORE_TRAINER_H_
 #define TGCRN_CORE_TRAINER_H_
 
+#include <string>
 #include <vector>
 
 #include "core/forecast_model.h"
 #include "data/dataset.h"
 #include "metrics/metrics.h"
+#include "obs/report.h"
 
 namespace tgcrn {
 namespace core {
@@ -41,6 +43,11 @@ struct TrainConfig {
   int num_threads = 0;
   bool verbose = true;
   metrics::MetricsOptions metric_options;
+  // When non-empty, one JSON object per epoch is appended to this file as
+  // training proceeds (tail-able JSONL) and a final summary object is
+  // appended after test evaluation. The same data is always available in
+  // TrainResult::report regardless of this setting.
+  std::string report_path;
 };
 
 struct TrainResult {
@@ -53,6 +60,9 @@ struct TrainResult {
   int num_threads = 1;  // parallel width the run actually used
   std::vector<double> val_mae_history;
   std::vector<double> train_loss_history;
+  // Structured per-epoch record (losses, LR, gradient norms, wall-clock
+  // phase breakdown) plus the final test metrics; see obs/report.h.
+  obs::RunReport report;
 };
 
 // Trains `model` on the dataset's train split, early-stops on validation

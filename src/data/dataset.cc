@@ -2,7 +2,11 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tgcrn {
 namespace data {
@@ -101,6 +105,12 @@ ForecastDataset::ForecastDataset(SpatioTemporalData data, Options options)
 
 Batch ForecastDataset::MakeBatch(Split split,
                                  const std::vector<int64_t>& sample_ids) const {
+  TGCRN_TRACE_SCOPE("data.MakeBatch");
+  static obs::Counter* batches =
+      obs::Registry::Global().GetCounter("data.batches_assembled");
+  static obs::Histogram* assembly_ns =
+      obs::Registry::Global().GetHistogram("data.batch_assembly_ns");
+  const auto assembly_start = std::chrono::steady_clock::now();
   const std::vector<int64_t>* starts = nullptr;
   switch (split) {
     case Split::kTrain:
@@ -153,6 +163,10 @@ Batch ForecastDataset::MakeBatch(Split split,
       batch.y_days[i].push_back(data_.day_of_week[s + p + t]);
     }
   }
+  batches->Add(1);
+  assembly_ns->Observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - assembly_start)
+                           .count());
   return batch;
 }
 

@@ -1,0 +1,144 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "obs/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace tgcrn {
+namespace obs {
+
+namespace {
+
+Json PhaseMapToJson(const std::map<std::string, double>& phases) {
+  Json out = Json::Object();
+  for (const auto& [name, seconds] : phases) {
+    out.Set(name, Json::Number(seconds));
+  }
+  return out;
+}
+
+std::map<std::string, double> PhaseMapFromJson(const Json& json) {
+  std::map<std::string, double> out;
+  if (!json.is_object()) return out;
+  for (const auto& [name, value] : json.AsObject()) {
+    if (value.is_number()) out[name] = value.AsDouble();
+  }
+  return out;
+}
+
+}  // namespace
+
+Json EpochReport::ToJson() const {
+  Json out = Json::Object();
+  out.Set("type", Json::Str("epoch"));
+  out.Set("epoch", Json::Int(epoch));
+  out.Set("train_loss", Json::Number(train_loss));
+  out.Set("val_mae", Json::Number(val_mae));
+  out.Set("lr", Json::Number(lr));
+  out.Set("grad_norm_mean", Json::Number(grad_norm_mean));
+  out.Set("grad_norm_last", Json::Number(grad_norm_last));
+  out.Set("seconds", Json::Number(seconds));
+  out.Set("phase_seconds", PhaseMapToJson(phase_seconds));
+  return out;
+}
+
+EpochReport EpochReport::FromJson(const Json& json) {
+  EpochReport report;
+  report.epoch = json.GetInt("epoch");
+  report.train_loss = json.GetDouble("train_loss");
+  report.val_mae = json.GetDouble("val_mae");
+  report.lr = json.GetDouble("lr");
+  report.grad_norm_mean = json.GetDouble("grad_norm_mean");
+  report.grad_norm_last = json.GetDouble("grad_norm_last");
+  report.seconds = json.GetDouble("seconds");
+  report.phase_seconds = PhaseMapFromJson(json["phase_seconds"]);
+  return report;
+}
+
+Json HorizonMetricsReport::ToJson() const {
+  Json out = Json::Object();
+  out.Set("mae", Json::Number(mae));
+  out.Set("rmse", Json::Number(rmse));
+  out.Set("mape", Json::Number(mape));
+  return out;
+}
+
+HorizonMetricsReport HorizonMetricsReport::FromJson(const Json& json) {
+  HorizonMetricsReport report;
+  report.mae = json.GetDouble("mae");
+  report.rmse = json.GetDouble("rmse");
+  report.mape = json.GetDouble("mape");
+  return report;
+}
+
+std::map<std::string, double> RunReport::PhaseTotals() const {
+  std::map<std::string, double> totals;
+  for (const auto& epoch : epochs) {
+    for (const auto& [name, seconds] : epoch.phase_seconds) {
+      totals[name] += seconds;
+    }
+  }
+  return totals;
+}
+
+Json RunReport::SummaryJson() const {
+  Json out = Json::Object();
+  out.Set("type", Json::Str("summary"));
+  out.Set("model", Json::Str(model));
+  out.Set("num_parameters", Json::Int(num_parameters));
+  out.Set("num_threads", Json::Int(num_threads));
+  out.Set("epochs_run", Json::Int(epochs_run));
+  out.Set("total_seconds", Json::Number(total_seconds));
+  out.Set("test_average", test_average.ToJson());
+  Json horizons = Json::Array();
+  for (const auto& h : test_per_horizon) horizons.Append(h.ToJson());
+  out.Set("test_per_horizon", std::move(horizons));
+  out.Set("phase_seconds_total", PhaseMapToJson(PhaseTotals()));
+  return out;
+}
+
+bool RunReport::AppendJsonLine(const std::string& path, const Json& line) {
+  std::FILE* out = std::fopen(path.c_str(), "a");
+  if (out == nullptr) return false;
+  const std::string text = line.Dump();
+  const bool ok = std::fputs(text.c_str(), out) >= 0 &&
+                  std::fputc('\n', out) != EOF;
+  return std::fclose(out) == 0 && ok;
+}
+
+bool RunReport::FromJsonl(const std::string& content, RunReport* out) {
+  RunReport report;
+  std::istringstream lines(content);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    Json json;
+    if (!Json::Parse(line, &json)) return false;
+    const std::string type = json.GetString("type");
+    if (type == "epoch") {
+      report.epochs.push_back(EpochReport::FromJson(json));
+    } else if (type == "summary") {
+      report.model = json.GetString("model");
+      report.num_parameters = json.GetInt("num_parameters");
+      report.num_threads = static_cast<int>(json.GetInt("num_threads", 1));
+      report.epochs_run = json.GetInt("epochs_run");
+      report.total_seconds = json.GetDouble("total_seconds");
+      report.test_average =
+          HorizonMetricsReport::FromJson(json["test_average"]);
+      const Json& horizons = json["test_per_horizon"];
+      if (horizons.is_array()) {
+        for (size_t i = 0; i < horizons.size(); ++i) {
+          report.test_per_horizon.push_back(
+              HorizonMetricsReport::FromJson(horizons.at(i)));
+        }
+      }
+    }  // unknown types: forward-compatible skip
+  }
+  *out = std::move(report);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace tgcrn

@@ -1,0 +1,95 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Structured training-run reports. The trainer records one EpochReport per
+// epoch (losses, learning rate, gradient norm, wall-clock phase breakdown)
+// and a final summary (per-horizon test metrics, totals). Serialization is
+// JSONL: one self-describing object per line —
+//
+//   {"type":"epoch","epoch":0,"train_loss":...,"val_mae":...,"lr":...,
+//    "grad_norm_mean":...,"grad_norm_last":...,"seconds":...,
+//    "phase_seconds":{"forward":...,"backward":...,...}}
+//   ...
+//   {"type":"summary","model":...,"epochs_run":...,"test_average":{...},
+//    "test_per_horizon":[...],"phase_seconds_total":{...},...}
+//
+// so a run can be tailed while training and parsed line-by-line afterwards
+// (`python3 -m json.tool` validates each line). FromJsonl() parses the
+// format back for tests and tooling.
+//
+// This header depends only on obs/json.h and std, so any layer can emit
+// reports without cycles.
+#ifndef TGCRN_OBS_REPORT_H_
+#define TGCRN_OBS_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tgcrn {
+namespace obs {
+
+class Json;
+
+// Canonical phase keys the trainer emits; other producers may add keys.
+// "data": batch assembly, "forward"/"backward": network passes,
+// "clip": gradient-norm clipping, "adam": optimizer step,
+// "eval": validation/test evaluation.
+inline const char* const kPhaseData = "data";
+inline const char* const kPhaseForward = "forward";
+inline const char* const kPhaseBackward = "backward";
+inline const char* const kPhaseClip = "clip";
+inline const char* const kPhaseAdam = "adam";
+inline const char* const kPhaseEval = "eval";
+
+struct EpochReport {
+  int64_t epoch = 0;
+  double train_loss = 0.0;
+  double val_mae = 0.0;
+  double lr = 0.0;
+  double grad_norm_mean = 0.0;  // mean pre-clip global norm over batches
+  double grad_norm_last = 0.0;  // final batch's pre-clip norm
+  double seconds = 0.0;         // wall clock for the epoch (train + eval)
+  std::map<std::string, double> phase_seconds;
+
+  Json ToJson() const;
+  static EpochReport FromJson(const Json& json);
+};
+
+struct HorizonMetricsReport {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;  // percent
+
+  Json ToJson() const;
+  static HorizonMetricsReport FromJson(const Json& json);
+};
+
+struct RunReport {
+  std::string model;
+  int64_t num_parameters = 0;
+  int num_threads = 1;
+  int64_t epochs_run = 0;
+  double total_seconds = 0.0;
+  std::vector<EpochReport> epochs;
+  std::vector<HorizonMetricsReport> test_per_horizon;
+  HorizonMetricsReport test_average;
+
+  // Sum of each phase across epochs.
+  std::map<std::string, double> PhaseTotals() const;
+
+  Json SummaryJson() const;
+
+  // Appends one JSONL line (epoch or summary object) to `path`, creating
+  // the file if needed. Returns false on I/O failure.
+  static bool AppendJsonLine(const std::string& path, const Json& line);
+
+  // Parses a JSONL document (epoch lines + optional summary line, in any
+  // order) produced by this format. Unknown line types are skipped.
+  // Returns false if any line fails to parse as JSON.
+  static bool FromJsonl(const std::string& content, RunReport* out);
+};
+
+}  // namespace obs
+}  // namespace tgcrn
+
+#endif  // TGCRN_OBS_REPORT_H_

@@ -1,0 +1,97 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Scoped-span tracer emitting Chrome trace_event JSON ("X" complete
+// events), loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+//   TGCRN_TRACE_SCOPE("tensor.Matmul");   // RAII span over this scope
+//
+// Runtime control: spans record only while tracing is enabled — via the
+// TGCRN_TRACE=<path> environment variable (auto-starts at process init and
+// flushes at exit) or StartTracing()/StopTracingAndWrite(). While disabled
+// the macro costs one relaxed atomic load and a branch; defining
+// TGCRN_DISABLE_TRACING at compile time removes even that.
+//
+// Storage: each thread appends to its own fixed-capacity ring buffer (no
+// locks between threads on the hot path; a per-thread mutex serializes a
+// writer with the final merge). When a ring wraps, the oldest events are
+// overwritten and counted — a trace of a long run keeps its tail.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// only the pointer is stored.
+#ifndef TGCRN_OBS_TRACE_H_
+#define TGCRN_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tgcrn {
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+// Monotonic nanoseconds (steady clock).
+int64_t TraceNowNs();
+// Appends one complete span to the calling thread's ring buffer.
+void RecordSpan(const char* name, int64_t start_ns, int64_t dur_ns);
+}  // namespace internal
+
+// True while spans are being recorded. One relaxed load.
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+// Clears any previously recorded events and starts recording. The trace is
+// written to `path` by StopTracingAndWrite (or automatically at process
+// exit). Calling while already tracing just switches the output path.
+void StartTracing(const std::string& path);
+
+// Stops recording, merges every thread's ring buffer, and writes the
+// Chrome trace JSON. Returns false (and logs to stderr) if the file cannot
+// be written or tracing was never started. Safe to call twice (the second
+// call is a no-op returning false).
+bool StopTracingAndWrite();
+
+// Events currently buffered across all threads, and events lost to ring
+// wrap-around — exposed for tests and overhead accounting.
+int64_t BufferedTraceEventCount();
+int64_t DroppedTraceEventCount();
+
+// RAII span: stamps the start on construction, records on destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      start_ns_ = internal::TraceNowNs();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      internal::RecordSpan(name_, start_ns_,
+                           internal::TraceNowNs() - start_ns_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace tgcrn
+
+#ifndef TGCRN_DISABLE_TRACING
+#define TGCRN_TRACE_SCOPE_CONCAT2(a, b) a##b
+#define TGCRN_TRACE_SCOPE_CONCAT(a, b) TGCRN_TRACE_SCOPE_CONCAT2(a, b)
+#define TGCRN_TRACE_SCOPE(name)                 \
+  ::tgcrn::obs::ScopedSpan TGCRN_TRACE_SCOPE_CONCAT(tgcrn_trace_span_, \
+                                                    __LINE__)(name)
+#else
+#define TGCRN_TRACE_SCOPE(name) \
+  do {                          \
+  } while (false)
+#endif
+
+#endif  // TGCRN_OBS_TRACE_H_

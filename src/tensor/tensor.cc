@@ -7,9 +7,22 @@
 #include <sstream>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tgcrn {
 namespace {
+
+// Every fresh storage allocation is counted (one relaxed atomic add per
+// counter); shared-storage copies are free and not counted.
+void CountAllocation(int64_t numel) {
+  static obs::Counter* allocs =
+      obs::Registry::Global().GetCounter("tensor.allocations");
+  static obs::Counter* bytes =
+      obs::Registry::Global().GetCounter("tensor.allocated_bytes");
+  allocs->Add(1);
+  bytes->Add(numel * static_cast<int64_t>(sizeof(float)));
+}
 
 // Minimum elements per ParallelFor chunk for elementwise kernels; below
 // this the dispatch overhead outweighs the work.
@@ -137,7 +150,9 @@ Tensor::Tensor() : Tensor(Shape{0}) {}
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
-      data_(std::make_shared<std::vector<float>>(ShapeNumel(shape_), 0.0f)) {}
+      data_(std::make_shared<std::vector<float>>(ShapeNumel(shape_), 0.0f)) {
+  CountAllocation(numel());
+}
 
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
 
@@ -160,6 +175,7 @@ Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
   Tensor t;
   t.shape_ = std::move(shape);
   t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  CountAllocation(t.numel());
   return t;
 }
 
@@ -391,6 +407,7 @@ void Tensor::FillInplace(float value) {
 }
 
 Tensor Tensor::Matmul(const Tensor& other) const {
+  TGCRN_TRACE_SCOPE("tensor.Matmul");
   TGCRN_CHECK_GE(dim(), 2);
   TGCRN_CHECK_GE(other.dim(), 2);
   const int64_t m = shape_[dim() - 2];
@@ -767,6 +784,7 @@ Tensor Tensor::ReduceTo(const Shape& target) const {
 }
 
 Tensor Tensor::Softmax(int64_t axis) const {
+  TGCRN_TRACE_SCOPE("tensor.Softmax");
   int64_t rank = dim();
   if (axis < 0) axis += rank;
   // Fast path for the last axis (the overwhelmingly common case: row

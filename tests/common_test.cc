@@ -1,6 +1,7 @@
 // Copyright 2026 TGCRN Reproduction Authors
 // Tests for the common substrate: Status/Result error propagation,
-// check-macro aborts, deterministic RNG statistics, table/CSV output.
+// check-macro aborts, deterministic RNG statistics, leveled logging,
+// table/CSV output.
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -8,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/table_printer.h"
@@ -69,6 +71,42 @@ TEST(CheckDeathTest, FailedCheckAborts) {
   EXPECT_DEATH({ TGCRN_CHECK(1 == 2) << "impossible"; }, "impossible");
   EXPECT_DEATH({ TGCRN_CHECK_EQ(3, 4); }, "lhs=3 rhs=4");
   EXPECT_DEATH({ TGCRN_CHECK_LT(5, 5); }, "CHECK FAILED");
+}
+
+TEST(LoggingTest, SetMinLogLevelOverridesEnvLatch) {
+  const LogLevel original = GetMinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetMinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetMinLogLevel(), LogLevel::kDebug);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, ShouldLogEveryNGatesPerCallSite) {
+  int hits = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (internal::ShouldLogEveryN("logging_test_site.cc", 1, 4)) ++hits;
+  }
+  EXPECT_EQ(hits, 3);  // calls 1, 5, 9
+  // A different call site keeps an independent counter.
+  EXPECT_TRUE(internal::ShouldLogEveryN("logging_test_site.cc", 2, 4));
+  // n <= 1 means every call emits.
+  EXPECT_TRUE(internal::ShouldLogEveryN("logging_test_site.cc", 3, 1));
+  EXPECT_TRUE(internal::ShouldLogEveryN("logging_test_site.cc", 3, 1));
+}
+
+TEST(LoggingTest, LogEveryNMacroIsDanglingElseSafe) {
+  const LogLevel original = GetMinLogLevel();
+  SetMinLogLevel(LogLevel::kError);  // keep test output quiet
+  int streamed = 0;
+  for (int i = 0; i < 6; ++i)
+    if (i >= 0)
+      TGCRN_LOG_EVERY_N(Info, 3) << "tick " << ++streamed;
+    else
+      FAIL() << "dangling else bound to the wrong if";
+  // The stream expression runs only on emitting iterations (0 and 3).
+  EXPECT_EQ(streamed, 2);
+  SetMinLogLevel(original);
 }
 
 TEST(RngTest, DeterministicStreams) {

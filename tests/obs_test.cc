@@ -1,0 +1,435 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Tests of the observability layer: JSON round-trips, histogram bucket
+// math, stripe-merge correctness under the thread pool, Chrome trace
+// output validity, and the structured run report produced by a real
+// 2-epoch smoke train.
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/tgcrn.h"
+#include "core/trainer.h"
+#include "datagen/metro_sim.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace tgcrn {
+namespace {
+
+using common::ParallelFor;
+using common::ScopedNumThreads;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  obs::Json obj = obs::Json::Object();
+  obj.Set("name", obs::Json::Str("hello \"quoted\" \\ world"));
+  obj.Set("count", obs::Json::Int(42));
+  obj.Set("pi", obs::Json::Number(3.25));
+  obj.Set("flag", obs::Json::Bool(true));
+  obj.Set("nothing", obs::Json::Null());
+  obs::Json arr = obs::Json::Array();
+  arr.Append(obs::Json::Int(1));
+  arr.Append(obs::Json::Str("two"));
+  obj.Set("list", std::move(arr));
+
+  const std::string text = obj.Dump();
+  obs::Json parsed;
+  std::string error;
+  ASSERT_TRUE(obs::Json::Parse(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.GetString("name"), "hello \"quoted\" \\ world");
+  EXPECT_EQ(parsed.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(parsed.GetDouble("pi"), 3.25);
+  EXPECT_TRUE(parsed["flag"].AsBool());
+  EXPECT_TRUE(parsed["nothing"].is_null());
+  ASSERT_EQ(parsed["list"].size(), 2u);
+  EXPECT_EQ(parsed["list"].at(1).AsString(), "two");
+  // Dump is deterministic: a second round trip emits identical bytes.
+  EXPECT_EQ(parsed.Dump(), text);
+}
+
+TEST(JsonTest, IntegersDumpWithoutDecimalPoint) {
+  EXPECT_EQ(obs::Json::Int(7).Dump(), "7");
+  EXPECT_EQ(obs::Json::Int(-12345).Dump(), "-12345");
+  EXPECT_EQ(obs::Json::Number(2.5).Dump(), "2.5");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  obs::Json out;
+  EXPECT_FALSE(obs::Json::Parse("{", &out));
+  EXPECT_FALSE(obs::Json::Parse("{\"a\":1,}", &out));
+  EXPECT_FALSE(obs::Json::Parse("[1, 2] trailing", &out));
+  EXPECT_FALSE(obs::Json::Parse("", &out));
+  EXPECT_TRUE(obs::Json::Parse("  [1, 2, {\"k\": null}]  ", &out));
+}
+
+// ----------------------------------------------------------- Histogram --
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds non-positive values.
+  EXPECT_EQ(obs::HistogramBucketIndex(0), 0);
+  EXPECT_EQ(obs::HistogramBucketIndex(-17), 0);
+  // Bucket i covers [2^(i-1), 2^i).
+  EXPECT_EQ(obs::HistogramBucketIndex(1), 1);
+  EXPECT_EQ(obs::HistogramBucketIndex(2), 2);
+  EXPECT_EQ(obs::HistogramBucketIndex(3), 2);
+  EXPECT_EQ(obs::HistogramBucketIndex(4), 3);
+  EXPECT_EQ(obs::HistogramBucketIndex(1023), 10);
+  EXPECT_EQ(obs::HistogramBucketIndex(1024), 11);
+  // Every interior bucket's bounds map back to that bucket.
+  for (int i = 1; i < obs::kHistogramBuckets - 1; ++i) {
+    const int64_t lo = obs::HistogramBucketLowerBound(i);
+    EXPECT_EQ(obs::HistogramBucketIndex(lo), i) << "bucket " << i;
+    EXPECT_EQ(obs::HistogramBucketIndex(2 * lo - 1), i) << "bucket " << i;
+  }
+  // Values at and beyond the last lower bound land in the overflow bucket.
+  const int64_t overflow_lo =
+      obs::HistogramBucketLowerBound(obs::kHistogramBuckets - 1);
+  EXPECT_EQ(obs::HistogramBucketIndex(overflow_lo),
+            obs::kHistogramBuckets - 1);
+  EXPECT_EQ(obs::HistogramBucketIndex(INT64_MAX),
+            obs::kHistogramBuckets - 1);
+}
+
+TEST(HistogramTest, SnapshotMergesStripes) {
+  obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("test.merge_histogram_ns");
+  h->Reset();
+  // Observe from 8 pool threads so multiple stripes receive writes.
+  ScopedNumThreads guard(8);
+  const int64_t n = 10000;
+  ParallelFor(0, n, 1, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) h->Observe(i % 100);
+  });
+  const obs::HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, n);
+  int64_t expected_sum = 0;
+  for (int64_t i = 0; i < n; ++i) expected_sum += i % 100;
+  EXPECT_EQ(snap.sum, expected_sum);
+  int64_t bucket_total = 0;
+  for (int64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, n);
+  EXPECT_DOUBLE_EQ(snap.Mean(),
+                   static_cast<double>(expected_sum) / static_cast<double>(n));
+  // Values cap at 99, so every quantile's bucket bound stays below 128.
+  EXPECT_LE(snap.ApproxQuantile(0.5), 128);
+  EXPECT_LE(snap.ApproxQuantile(0.99), 128);
+  EXPECT_GE(snap.ApproxQuantile(0.99), snap.ApproxQuantile(0.5));
+}
+
+TEST(HistogramTest, ApproxQuantileOnKnownDistribution) {
+  obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("test.quantile_histogram_ns");
+  h->Reset();
+  // 90 observations of 2, 10 of 1000.
+  for (int i = 0; i < 90; ++i) h->Observe(2);
+  for (int i = 0; i < 10; ++i) h->Observe(1000);
+  const auto snap = h->Snapshot();
+  EXPECT_EQ(snap.count, 100);
+  // p50 resolves within the [2,4) bucket; p99 within [1024,2048)'s bound.
+  EXPECT_LE(snap.ApproxQuantile(0.5), 4);
+  EXPECT_GE(snap.ApproxQuantile(0.99), 1000);
+}
+
+// ----------------------------------------------- Counter / Gauge merge --
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  obs::Counter* c =
+      obs::Registry::Global().GetCounter("test.concurrent_counter");
+  c->Reset();
+  ScopedNumThreads guard(8);
+  const int64_t n = 200000;
+  ParallelFor(0, n, 64, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) c->Add(1);
+  });
+  EXPECT_EQ(c->Value(), n);
+  // Deltas accumulate too.
+  c->Add(5);
+  c->Add(-2);
+  EXPECT_EQ(c->Value(), n + 3);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  obs::Gauge* g = obs::Registry::Global().GetGauge("test.gauge");
+  g->Set(1.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 1.5);
+  g->Set(-42.25);
+  EXPECT_DOUBLE_EQ(g->Value(), -42.25);
+}
+
+TEST(RegistryTest, CollectExposesTextAndJson) {
+  obs::Registry::Global().GetCounter("test.exposed_counter")->Add(3);
+  obs::Registry::Global().GetGauge("test.exposed_gauge")->Set(2.5);
+  obs::Registry::Global().GetHistogram("test.exposed_ns")->Observe(7);
+  const obs::RegistrySnapshot snap = obs::Registry::Global().Collect();
+  ASSERT_FALSE(snap.samples.empty());
+  // Samples are sorted by name.
+  for (size_t i = 1; i < snap.samples.size(); ++i) {
+    EXPECT_LE(snap.samples[i - 1].name, snap.samples[i].name);
+  }
+  const std::string text = snap.ToText();
+  EXPECT_NE(text.find("test.exposed_counter"), std::string::npos);
+  EXPECT_NE(text.find("test.exposed_gauge"), std::string::npos);
+  const obs::Json json = snap.ToJson();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_TRUE(json.Has("test.exposed_counter"));
+  EXPECT_TRUE(json.Has("test.exposed_ns"));
+  // The whole exposition itself must be valid JSON.
+  obs::Json reparsed;
+  EXPECT_TRUE(obs::Json::Parse(json.Dump(), &reparsed));
+}
+
+// --------------------------------------------------------------- Trace --
+
+TEST(TraceTest, DisabledTracingRecordsNothing) {
+  ASSERT_FALSE(obs::TracingEnabled());
+  const int64_t before = obs::BufferedTraceEventCount();
+  { TGCRN_TRACE_SCOPE("test.should_not_record"); }
+  EXPECT_EQ(obs::BufferedTraceEventCount(), before);
+}
+
+TEST(TraceTest, WritesValidBalancedChromeTraceJson) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "tgcrn_obs_test.trace.json")
+          .string();
+  std::filesystem::remove(path);
+
+  obs::StartTracing(path);
+  ASSERT_TRUE(obs::TracingEnabled());
+  {
+    TGCRN_TRACE_SCOPE("test.outer");
+    ScopedNumThreads guard(8);
+    ParallelFor(0, 5000, 1, [](int64_t s, int64_t e) {
+      volatile int64_t sink = 0;
+      for (int64_t i = s; i < e; ++i) sink += i;
+    });
+  }
+  EXPECT_GT(obs::BufferedTraceEventCount(), 0);
+  ASSERT_TRUE(obs::StopTracingAndWrite());
+  EXPECT_FALSE(obs::TracingEnabled());
+  // Second stop without a start is a no-op.
+  EXPECT_FALSE(obs::StopTracingAndWrite());
+
+  const std::string content = ReadFile(path);
+  ASSERT_FALSE(content.empty());
+  obs::Json trace;
+  std::string error;
+  ASSERT_TRUE(obs::Json::Parse(content, &trace, &error)) << error;
+  ASSERT_TRUE(trace.Has("traceEvents"));
+  const obs::Json& events = trace["traceEvents"];
+  ASSERT_TRUE(events.is_array());
+  ASSERT_GT(events.size(), 0u);
+
+  bool saw_outer = false, saw_worker = false;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const obs::Json& ev = events.at(i);
+    // "X" complete events are balanced by construction: every span carries
+    // its own duration, so no begin/end pairing can be left open.
+    EXPECT_EQ(ev.GetString("ph"), "X");
+    EXPECT_TRUE(ev.Has("name"));
+    EXPECT_TRUE(ev.Has("ts"));
+    EXPECT_GE(ev.GetDouble("dur"), 0.0);
+    EXPECT_GE(ev.GetInt("tid"), 0);
+    saw_outer = saw_outer || ev.GetString("name") == "test.outer";
+    saw_worker = saw_worker || ev.GetString("name") == "ParallelFor.worker";
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_worker);
+  std::filesystem::remove(path);
+}
+
+// -------------------------------------------------------------- Report --
+
+TEST(ReportTest, EpochReportJsonRoundTrip) {
+  obs::EpochReport epoch;
+  epoch.epoch = 3;
+  epoch.train_loss = 0.5;
+  epoch.val_mae = 1.25;
+  epoch.lr = 1e-3;
+  epoch.grad_norm_mean = 2.0;
+  epoch.grad_norm_last = 1.5;
+  epoch.seconds = 0.75;
+  epoch.phase_seconds[obs::kPhaseForward] = 0.4;
+  epoch.phase_seconds[obs::kPhaseBackward] = 0.3;
+
+  const obs::Json json = epoch.ToJson();
+  EXPECT_EQ(json.GetString("type"), "epoch");
+  const obs::EpochReport back = obs::EpochReport::FromJson(json);
+  EXPECT_EQ(back.epoch, 3);
+  EXPECT_DOUBLE_EQ(back.train_loss, 0.5);
+  EXPECT_DOUBLE_EQ(back.val_mae, 1.25);
+  EXPECT_DOUBLE_EQ(back.lr, 1e-3);
+  EXPECT_DOUBLE_EQ(back.grad_norm_mean, 2.0);
+  EXPECT_DOUBLE_EQ(back.grad_norm_last, 1.5);
+  EXPECT_DOUBLE_EQ(back.seconds, 0.75);
+  ASSERT_EQ(back.phase_seconds.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.phase_seconds.at(obs::kPhaseForward), 0.4);
+}
+
+class ObsTrainFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::MetroSimConfig config;
+    config.num_stations = 6;
+    config.num_days = 10;
+    config.seed = 77;
+    config.target_mean_inflow = 50.0;
+    config.keep_od_ground_truth = false;
+    auto sim = datagen::SimulateMetro(config);
+    data::ForecastDataset::Options options;
+    options.input_steps = 4;
+    options.output_steps = 2;
+    dataset_ = new data::ForecastDataset(std::move(sim.data), options);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static data::ForecastDataset* dataset_;
+};
+
+data::ForecastDataset* ObsTrainFixture::dataset_ = nullptr;
+
+TEST_F(ObsTrainFixture, RunReportJsonlRoundTripFromSmokeTrain) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "tgcrn_obs_test_run.jsonl")
+          .string();
+  std::filesystem::remove(path);
+
+  core::TGCRNConfig model_config;
+  model_config.num_nodes = 6;
+  model_config.input_dim = 2;
+  model_config.output_dim = 2;
+  model_config.horizon = 2;
+  model_config.hidden_dim = 8;
+  model_config.num_layers = 1;
+  model_config.node_embed_dim = 6;
+  model_config.time_embed_dim = 4;
+  model_config.steps_per_day = 72;
+  Rng rng(12);
+  core::TGCRN model(model_config, &rng);
+
+  core::TrainConfig config;
+  config.epochs = 2;
+  config.max_batches_per_epoch = 10;
+  config.verbose = false;
+  config.report_path = path;
+  const auto result = core::TrainAndEvaluate(&model, *dataset_, config);
+
+  // In-memory report mirrors the run.
+  ASSERT_EQ(result.report.epochs.size(), 2u);
+  EXPECT_EQ(result.report.model, model.name());
+  EXPECT_EQ(result.report.num_parameters, result.num_parameters);
+  EXPECT_EQ(result.report.epochs_run, 2);
+  for (const auto& epoch : result.report.epochs) {
+    EXPECT_GT(epoch.seconds, 0.0);
+    EXPECT_GT(epoch.grad_norm_last, 0.0);
+    EXPECT_GT(epoch.lr, 0.0);
+    EXPECT_GT(epoch.phase_seconds.count(obs::kPhaseForward), 0u);
+    EXPECT_GT(epoch.phase_seconds.count(obs::kPhaseBackward), 0u);
+    EXPECT_GT(epoch.phase_seconds.count(obs::kPhaseAdam), 0u);
+    EXPECT_GT(epoch.phase_seconds.count(obs::kPhaseEval), 0u);
+  }
+  ASSERT_EQ(result.report.test_per_horizon.size(),
+            result.per_horizon.size());
+  EXPECT_DOUBLE_EQ(result.report.test_average.mae, result.average.mae);
+
+  // The JSONL file: one valid JSON object per line, 2 epochs + 1 summary.
+  const std::string content = ReadFile(path);
+  ASSERT_FALSE(content.empty());
+  std::istringstream lines(content);
+  std::string line;
+  int line_count = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    obs::Json parsed;
+    std::string error;
+    ASSERT_TRUE(obs::Json::Parse(line, &parsed, &error))
+        << "line " << line_count << ": " << error;
+    ++line_count;
+  }
+  EXPECT_EQ(line_count, 3);
+
+  // Round trip through the parser reproduces the in-memory report.
+  obs::RunReport loaded;
+  ASSERT_TRUE(obs::RunReport::FromJsonl(content, &loaded));
+  ASSERT_EQ(loaded.epochs.size(), 2u);
+  EXPECT_EQ(loaded.model, result.report.model);
+  EXPECT_EQ(loaded.num_parameters, result.report.num_parameters);
+  EXPECT_EQ(loaded.epochs_run, 2);
+  for (size_t i = 0; i < loaded.epochs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.epochs[i].train_loss,
+                     result.report.epochs[i].train_loss);
+    EXPECT_DOUBLE_EQ(loaded.epochs[i].val_mae,
+                     result.report.epochs[i].val_mae);
+    EXPECT_DOUBLE_EQ(loaded.epochs[i].grad_norm_mean,
+                     result.report.epochs[i].grad_norm_mean);
+    EXPECT_EQ(loaded.epochs[i].phase_seconds.size(),
+              result.report.epochs[i].phase_seconds.size());
+  }
+  ASSERT_EQ(loaded.test_per_horizon.size(),
+            result.report.test_per_horizon.size());
+  EXPECT_DOUBLE_EQ(loaded.test_average.mae, result.report.test_average.mae);
+  // Phase totals accumulate across epochs.
+  const auto totals = loaded.PhaseTotals();
+  EXPECT_GT(totals.at(obs::kPhaseForward), 0.0);
+  EXPECT_GT(totals.at(obs::kPhaseBackward), 0.0);
+  std::filesystem::remove(path);
+}
+
+// Hot-path metrics wired through the substrate layers actually move when a
+// model trains.
+TEST_F(ObsTrainFixture, SubsystemCountersAdvanceDuringTraining) {
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Counter* fwd = registry.GetCounter("autograd.forward_ops");
+  obs::Counter* bwd = registry.GetCounter("autograd.backward_ops");
+  obs::Counter* allocs = registry.GetCounter("tensor.allocations");
+  obs::Counter* bytes = registry.GetCounter("tensor.allocated_bytes");
+  obs::Counter* batches = registry.GetCounter("data.batches_assembled");
+  const int64_t fwd0 = fwd->Value(), bwd0 = bwd->Value();
+  const int64_t alloc0 = allocs->Value(), bytes0 = bytes->Value();
+  const int64_t batches0 = batches->Value();
+
+  core::TGCRNConfig model_config;
+  model_config.num_nodes = 6;
+  model_config.input_dim = 2;
+  model_config.output_dim = 2;
+  model_config.horizon = 2;
+  model_config.hidden_dim = 8;
+  model_config.num_layers = 1;
+  model_config.node_embed_dim = 6;
+  model_config.time_embed_dim = 4;
+  model_config.steps_per_day = 72;
+  Rng rng(13);
+  core::TGCRN model(model_config, &rng);
+  core::TrainConfig config;
+  config.epochs = 1;
+  config.max_batches_per_epoch = 3;
+  config.verbose = false;
+  core::TrainAndEvaluate(&model, *dataset_, config);
+
+  EXPECT_GT(fwd->Value(), fwd0);
+  EXPECT_GT(bwd->Value(), bwd0);
+  EXPECT_GT(allocs->Value(), alloc0);
+  EXPECT_GT(bytes->Value(), bytes0);
+  EXPECT_GT(batches->Value(), batches0);
+}
+
+}  // namespace
+}  // namespace tgcrn

@@ -143,6 +143,58 @@ TEST(ThreadPoolTest, NestedCallDegradesToSerial) {
   EXPECT_FALSE(common::InParallelRegion());
 }
 
+TEST(ThreadPoolTest, PoolStatsCountCallsChunksAndSerialRuns) {
+  ScopedNumThreads guard(4);
+  const auto before = common::GetPoolStats();
+  EXPECT_EQ(before.num_threads, 4);
+
+  // Pooled path: 1000/10 with 4 threads splits into >1 chunks.
+  ParallelFor(0, 1000, 10, [](int64_t, int64_t) {});
+  const auto pooled = common::GetPoolStats();
+  EXPECT_EQ(pooled.parallel_for_calls, before.parallel_for_calls + 1);
+  EXPECT_EQ(pooled.serial_runs, before.serial_runs);
+  EXPECT_GT(pooled.chunks_executed, before.chunks_executed + 1);
+
+  // grain >= n: the serial fallback runs no pool chunks.
+  ParallelFor(0, 10, 100, [](int64_t, int64_t) {});
+  const auto serial = common::GetPoolStats();
+  EXPECT_EQ(serial.parallel_for_calls, pooled.parallel_for_calls + 1);
+  EXPECT_EQ(serial.serial_runs, pooled.serial_runs + 1);
+  EXPECT_EQ(serial.chunks_executed, pooled.chunks_executed);
+}
+
+// Nested calls degrade to serial; the counters must record them as calls +
+// serial runs (not pool chunks), and keep counting accurately afterwards.
+TEST(ThreadPoolTest, PoolStatsSurviveNestedSerialDegradation) {
+  ScopedNumThreads guard(4);
+  const auto before = common::GetPoolStats();
+  const int64_t outer_n = 16;
+  std::atomic<int64_t> nested_serial{0};
+  ParallelFor(0, outer_n, 1, [&](int64_t os, int64_t oe) {
+    for (int64_t o = os; o < oe; ++o) {
+      ParallelFor(0, 256, 1, [&](int64_t is, int64_t ie) {
+        if (is == 0 && ie == 256) nested_serial.fetch_add(1);
+      });
+    }
+  });
+  const auto after = common::GetPoolStats();
+  EXPECT_EQ(nested_serial.load(), outer_n);  // every nested call was serial
+  // outer + one nested call per outer index.
+  EXPECT_EQ(after.parallel_for_calls,
+            before.parallel_for_calls + 1 + outer_n);
+  EXPECT_EQ(after.serial_runs, before.serial_runs + outer_n);
+  // Only the outer call consumed pool chunks.
+  const int64_t chunks = after.chunks_executed - before.chunks_executed;
+  EXPECT_GT(chunks, 1);
+  EXPECT_LE(chunks, outer_n);
+
+  // The pool keeps counting normally after the nested episode.
+  ParallelFor(0, 1000, 10, [](int64_t, int64_t) {});
+  const auto final_stats = common::GetPoolStats();
+  EXPECT_EQ(final_stats.parallel_for_calls, after.parallel_for_calls + 1);
+  EXPECT_GT(final_stats.chunks_executed, after.chunks_executed);
+}
+
 TEST(ThreadPoolTest, SetNumThreadsIsReflected) {
   const int original = GetNumThreads();
   SetNumThreads(3);

@@ -7,7 +7,7 @@
 //   train_model <data.csv> --nodes N --features D --steps-per-day S
 //       [--input-steps P] [--output-steps Q] [--epochs E] [--hidden H]
 //       [--variant tgcrn|no-tagsl|no-tdl|no-pdf|direct] [--save model.ckpt]
-//       [--seed S] [--lr LR]
+//       [--seed S] [--lr LR] [--report run.jsonl] [--trace run.trace.json]
 #include <cstdio>
 #include <string>
 
@@ -15,6 +15,7 @@
 #include "core/tgcrn.h"
 #include "core/trainer.h"
 #include "data/csv_loader.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -30,6 +31,8 @@ struct Args {
   int threads = 0;  // 0 = TGCRN_NUM_THREADS env or hardware concurrency
   std::string variant = "tgcrn";
   std::string save_path;
+  std::string report_path;
+  std::string trace_path;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -52,6 +55,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     else if (flag == "--threads") args->threads = std::stoi(value);
     else if (flag == "--variant") args->variant = value;
     else if (flag == "--save") args->save_path = value;
+    else if (flag == "--report") args->report_path = value;
+    else if (flag == "--trace") args->trace_path = value;
     else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -71,7 +76,8 @@ int main(int argc, char** argv) {
         "usage: %s <data.csv> --nodes N --features D --steps-per-day S\n"
         "  [--input-steps P] [--output-steps Q] [--epochs E] [--hidden H]\n"
         "  [--variant tgcrn|no-tagsl|no-tdl|no-pdf|direct] [--save f.ckpt]\n"
-        "  [--seed S] [--lr LR] [--threads T]\n",
+        "  [--seed S] [--lr LR] [--threads T]\n"
+        "  [--report run.jsonl] [--trace run.trace.json]\n",
         argv[0]);
     return 2;
   }
@@ -122,7 +128,17 @@ int main(int argc, char** argv) {
   train.lr = args.lr;
   train.seed = args.seed;
   train.num_threads = args.threads;
+  train.report_path = args.report_path;
+  if (!args.trace_path.empty()) tgcrn::obs::StartTracing(args.trace_path);
   const auto result = tgcrn::core::TrainAndEvaluate(&model, dataset, train);
+  if (!args.trace_path.empty()) {
+    if (tgcrn::obs::StopTracingAndWrite()) {
+      std::printf("trace written to %s\n", args.trace_path.c_str());
+    }
+  }
+  if (!args.report_path.empty()) {
+    std::printf("run report written to %s\n", args.report_path.c_str());
+  }
   std::printf("parallel width: %d thread(s)\n", result.num_threads);
 
   std::printf("\nper-horizon test metrics:\n");
