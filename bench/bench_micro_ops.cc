@@ -10,6 +10,7 @@
 #include "core/gcgru.h"
 #include "core/tagsl.h"
 #include "core/time_encoders.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
 
 namespace tgcrn {
@@ -110,6 +111,113 @@ void BM_SigmoidThreads(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * a.numel());
 }
 BENCHMARK(BM_SigmoidThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// --- Backward-pass fast-path kernels ---------------------------------------
+// The transposed-matmul and fused gradient kernels vs the op chains they
+// replaced. Shapes mirror the GCGRU/TagSL backward hot spots.
+
+void BM_MatmulTransposeBVsExplicit(benchmark::State& state) {
+  // g . B^T as the matmul backward computes it. Arg 0 = fused, 1 = chain;
+  // arg 1 selects the shape: 0 = square rows, 1 = the GCGRU backward shape
+  // [B, N, 1, H] x [B, N, C, H] where m=1 makes the explicit transpose
+  // copy dominate.
+  const bool chain = state.range(0) != 0;
+  const bool gcgru_shape = state.range(1) != 0;
+  Rng rng(30);
+  Tensor g = gcgru_shape ? Tensor::RandUniform({16, 20, 1, 16}, -1, 1, &rng)
+                         : Tensor::RandUniform({16, 64, 32}, -1, 1, &rng);
+  Tensor b = gcgru_shape ? Tensor::RandUniform({16, 20, 18, 16}, -1, 1, &rng)
+                         : Tensor::RandUniform({16, 32, 32}, -1, 1, &rng);
+  const int64_t d = b.dim();
+  for (auto _ : state) {
+    if (chain) {
+      benchmark::DoNotOptimize(g.Matmul(b.Transpose(d - 2, d - 1)));
+    } else {
+      benchmark::DoNotOptimize(g.MatmulTransposeB(b));
+    }
+  }
+}
+BENCHMARK(BM_MatmulTransposeBVsExplicit)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1});
+
+void BM_MatmulTransposeAVsExplicit(benchmark::State& state) {
+  // A^T . g as the matmul backward computes it. Arg 0 = fused, 1 = chain.
+  const bool chain = state.range(0) != 0;
+  Rng rng(31);
+  Tensor a = Tensor::RandUniform({16, 64, 32}, -1, 1, &rng);
+  Tensor g = Tensor::RandUniform({16, 64, 32}, -1, 1, &rng);
+  for (auto _ : state) {
+    if (chain) {
+      benchmark::DoNotOptimize(a.Transpose(1, 2).Matmul(g));
+    } else {
+      benchmark::DoNotOptimize(a.MatmulTransposeA(g));
+    }
+  }
+}
+BENCHMARK(BM_MatmulTransposeAVsExplicit)->Arg(0)->Arg(1);
+
+void BM_SigmoidBackwardFusedVsChain(benchmark::State& state) {
+  const bool chain = state.range(0) != 0;
+  Rng rng(32);
+  Tensor x = Tensor::RandUniform({64, 64, 64}, -4, 4, &rng);
+  Tensor y = x.Sigmoid();
+  Tensor g = Tensor::RandUniform({64, 64, 64}, -1, 1, &rng);
+  for (auto _ : state) {
+    if (chain) {
+      benchmark::DoNotOptimize(g.Mul(y).Mul(y.Neg().AddScalar(1.0f)));
+    } else {
+      benchmark::DoNotOptimize(SigmoidGradKernel(y, g));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * y.numel());
+}
+BENCHMARK(BM_SigmoidBackwardFusedVsChain)->Arg(0)->Arg(1);
+
+void BM_TanhBackwardFusedVsChain(benchmark::State& state) {
+  const bool chain = state.range(0) != 0;
+  Rng rng(33);
+  Tensor x = Tensor::RandUniform({64, 64, 64}, -4, 4, &rng);
+  Tensor y = x.Tanh();
+  Tensor g = Tensor::RandUniform({64, 64, 64}, -1, 1, &rng);
+  for (auto _ : state) {
+    if (chain) {
+      benchmark::DoNotOptimize(g.Mul(y.Mul(y).Neg().AddScalar(1.0f)));
+    } else {
+      benchmark::DoNotOptimize(TanhGradKernel(y, g));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * y.numel());
+}
+BENCHMARK(BM_TanhBackwardFusedVsChain)->Arg(0)->Arg(1);
+
+// Buffer-pool behavior on a training-step-shaped allocation sequence.
+// Arg 1 = pool enabled, 0 = disabled; the steady-state hit rate shows up
+// as the wall-clock gap.
+void BM_TensorPoolStepAllocations(benchmark::State& state) {
+  auto& pool = TensorBufferPool::Global();
+  const bool enabled = state.range(0) != 0;
+  pool.SetEnabled(enabled);
+  Rng rng(34);
+  Tensor x = Tensor::RandUniform({16, 512}, -1, 1, &rng);
+  Tensor w = Tensor::RandUniform({512, 512}, -1, 1, &rng);
+  for (auto _ : state) {
+    Tensor h = x;
+    for (int i = 0; i < 4; ++i) {
+      h = h.Matmul(w).Tanh();
+    }
+    benchmark::DoNotOptimize(h);
+  }
+  const auto stats = pool.GetStats();
+  state.counters["pool_hits"] =
+      benchmark::Counter(static_cast<double>(stats.hits));
+  state.counters["pool_misses"] =
+      benchmark::Counter(static_cast<double>(stats.misses));
+  pool.ReloadEnabledFromEnv();
+}
+BENCHMARK(BM_TensorPoolStepAllocations)->Arg(0)->Arg(1);
 
 void BM_AutogradMatmulForwardBackward(benchmark::State& state) {
   const int64_t n = state.range(0);

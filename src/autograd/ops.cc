@@ -8,9 +8,17 @@ namespace tgcrn {
 namespace ag {
 namespace {
 
-// Transposes the last two axes (for matmul backward).
-Tensor TransposeLast2(const Tensor& t) {
-  return t.Transpose(t.dim() - 2, t.dim() - 1);
+// Routes `g` into the parent node, summing over broadcast dimensions only
+// when the shapes actually differ. The equal-shape fast path (the
+// overwhelmingly common non-broadcast case) skips the ReduceTo walk and
+// its temporary entirely.
+void AccumulateReduced(const std::shared_ptr<internal::Node>& n,
+                       const Tensor& g) {
+  if (g.shape() == n->value.shape()) {
+    n->AccumulateGrad(g);
+  } else {
+    n->AccumulateGrad(g.ReduceTo(n->value.shape()));
+  }
 }
 
 }  // namespace
@@ -20,8 +28,8 @@ Variable Add(const Variable& a, const Variable& b) {
   auto an = a.node();
   auto bn = b.node();
   return MakeOpNode(std::move(value), {a, b}, [an, bn](const Tensor& g) {
-    if (an->needs_grad) an->AccumulateGrad(g.ReduceTo(an->value.shape()));
-    if (bn->needs_grad) bn->AccumulateGrad(g.ReduceTo(bn->value.shape()));
+    if (an->needs_grad) AccumulateReduced(an, g);
+    if (bn->needs_grad) AccumulateReduced(bn, g);
   });
 }
 
@@ -30,9 +38,14 @@ Variable Sub(const Variable& a, const Variable& b) {
   auto an = a.node();
   auto bn = b.node();
   return MakeOpNode(std::move(value), {a, b}, [an, bn](const Tensor& g) {
-    if (an->needs_grad) an->AccumulateGrad(g.ReduceTo(an->value.shape()));
+    if (an->needs_grad) AccumulateReduced(an, g);
     if (bn->needs_grad) {
-      bn->AccumulateGrad(g.Neg().ReduceTo(bn->value.shape()));
+      if (g.shape() == bn->value.shape()) {
+        // Fused axpy: grad -= g, no negated temporary.
+        bn->AccumulateScaledGrad(g, -1.0f);
+      } else {
+        bn->AccumulateGrad(g.Neg().ReduceTo(bn->value.shape()));
+      }
     }
   });
 }
@@ -43,10 +56,21 @@ Variable Mul(const Variable& a, const Variable& b) {
   auto bn = b.node();
   return MakeOpNode(std::move(value), {a, b}, [an, bn](const Tensor& g) {
     if (an->needs_grad) {
-      an->AccumulateGrad(g.Mul(bn->value).ReduceTo(an->value.shape()));
+      if (g.shape() == an->value.shape() &&
+          bn->value.shape() == an->value.shape()) {
+        // Fused multiply-accumulate: grad += g * b, no product temporary.
+        an->AccumulateProductGrad(g, bn->value);
+      } else {
+        an->AccumulateGrad(g.Mul(bn->value).ReduceTo(an->value.shape()));
+      }
     }
     if (bn->needs_grad) {
-      bn->AccumulateGrad(g.Mul(an->value).ReduceTo(bn->value.shape()));
+      if (g.shape() == bn->value.shape() &&
+          an->value.shape() == bn->value.shape()) {
+        bn->AccumulateProductGrad(g, an->value);
+      } else {
+        bn->AccumulateGrad(g.Mul(an->value).ReduceTo(bn->value.shape()));
+      }
     }
   });
 }
@@ -57,12 +81,18 @@ Variable Div(const Variable& a, const Variable& b) {
   auto bn = b.node();
   return MakeOpNode(std::move(value), {a, b}, [an, bn](const Tensor& g) {
     if (an->needs_grad) {
-      an->AccumulateGrad(g.Div(bn->value).ReduceTo(an->value.shape()));
+      AccumulateReduced(an, g.Div(bn->value));
     }
     if (bn->needs_grad) {
       // d(a/b)/db = -a / b^2
-      Tensor gb = g.Mul(an->value).Div(bn->value.Mul(bn->value)).Neg();
-      bn->AccumulateGrad(gb.ReduceTo(bn->value.shape()));
+      const bool same_shape = g.shape() == bn->value.shape() &&
+                              an->value.shape() == bn->value.shape();
+      if (same_shape) {
+        bn->AccumulateGrad(DivGradRhsKernel(g, an->value, bn->value));
+      } else {
+        Tensor gb = g.Mul(an->value).Div(bn->value.Mul(bn->value)).Neg();
+        bn->AccumulateGrad(gb.ReduceTo(bn->value.shape()));
+      }
     }
   });
 }
@@ -77,7 +107,8 @@ Variable AddScalar(const Variable& a, float s) {
 Variable MulScalar(const Variable& a, float s) {
   auto an = a.node();
   return MakeOpNode(a.value().MulScalar(s), {a}, [an, s](const Tensor& g) {
-    an->AccumulateGrad(g.MulScalar(s));
+    // Fused axpy: grad += s * g, no scaled temporary.
+    an->AccumulateScaledGrad(g, s);
   });
 }
 
@@ -88,13 +119,13 @@ Variable Matmul(const Variable& a, const Variable& b) {
   auto an = a.node();
   auto bn = b.node();
   return MakeOpNode(std::move(value), {a, b}, [an, bn](const Tensor& g) {
+    // Both gradients read the transposed operand through strides
+    // (MatmulTranspose*), so no transpose copy is materialized.
     if (an->needs_grad) {
-      Tensor ga = g.Matmul(TransposeLast2(bn->value));
-      an->AccumulateGrad(ga.ReduceTo(an->value.shape()));
+      AccumulateReduced(an, g.MatmulTransposeB(bn->value));  // g . B^T
     }
     if (bn->needs_grad) {
-      Tensor gb = TransposeLast2(an->value).Matmul(g);
-      bn->AccumulateGrad(gb.ReduceTo(bn->value.shape()));
+      AccumulateReduced(bn, an->value.MatmulTransposeA(g));  // A^T . g
     }
   });
 }
@@ -103,9 +134,8 @@ Variable Sigmoid(const Variable& a) {
   Tensor y = a.value().Sigmoid();
   auto an = a.node();
   return MakeOpNode(y, {a}, [an, y](const Tensor& g) {
-    // dy/dx = y (1 - y)
-    Tensor one_minus = y.Neg().AddScalar(1.0f);
-    an->AccumulateGrad(g.Mul(y).Mul(one_minus));
+    // dy/dx = y (1 - y), fused single-pass kernel.
+    an->AccumulateGrad(SigmoidGradKernel(y, g));
   });
 }
 
@@ -113,9 +143,8 @@ Variable Tanh(const Variable& a) {
   Tensor y = a.value().Tanh();
   auto an = a.node();
   return MakeOpNode(y, {a}, [an, y](const Tensor& g) {
-    // dy/dx = 1 - y^2
-    Tensor d = y.Mul(y).Neg().AddScalar(1.0f);
-    an->AccumulateGrad(g.Mul(d));
+    // dy/dx = 1 - y^2, fused single-pass kernel.
+    an->AccumulateGrad(TanhGradKernel(y, g));
   });
 }
 
@@ -123,9 +152,7 @@ Variable Relu(const Variable& a) {
   Tensor y = a.value().Relu();
   auto an = a.node();
   return MakeOpNode(y, {a}, [an](const Tensor& g) {
-    Tensor mask =
-        an->value.Map([](float x) { return x > 0.0f ? 1.0f : 0.0f; });
-    an->AccumulateGrad(g.Mul(mask));
+    an->AccumulateGrad(ReluGradKernel(an->value, g));
   });
 }
 
@@ -133,7 +160,7 @@ Variable Exp(const Variable& a) {
   Tensor y = a.value().Exp();
   auto an = a.node();
   return MakeOpNode(y, {a}, [an, y](const Tensor& g) {
-    an->AccumulateGrad(g.Mul(y));
+    an->AccumulateProductGrad(g, y);
   });
 }
 
@@ -158,9 +185,9 @@ Variable Abs(const Variable& a) {
   Tensor y = a.value().Abs();
   auto an = a.node();
   return MakeOpNode(std::move(y), {a}, [an](const Tensor& g) {
-    Tensor sign = an->value.Map(
+    Tensor sign = an->value.MapT(
         [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
-    an->AccumulateGrad(g.Mul(sign));
+    an->AccumulateProductGrad(g, sign);
   });
 }
 
@@ -169,7 +196,7 @@ Variable Pow(const Variable& a, float exponent) {
   auto an = a.node();
   return MakeOpNode(std::move(y), {a}, [an, exponent](const Tensor& g) {
     Tensor d = an->value.Pow(exponent - 1.0f).MulScalar(exponent);
-    an->AccumulateGrad(g.Mul(d));
+    an->AccumulateProductGrad(g, d);
   });
 }
 
@@ -179,9 +206,14 @@ Variable Softmax(const Variable& a, int64_t axis) {
   auto an = a.node();
   return MakeOpNode(y, {a}, [an, y, axis](const Tensor& g) {
     // dx = y * (g - sum(g * y, axis))
-    Tensor gy = g.Mul(y);
-    Tensor s = gy.Sum(axis, /*keepdim=*/true);
-    an->AccumulateGrad(y.Mul(g.Sub(s)));
+    if (axis == y.dim() - 1) {
+      // Fused per-row kernel for the common last-axis case.
+      an->AccumulateGrad(SoftmaxGradKernel(y, g));
+    } else {
+      Tensor gy = g.Mul(y);
+      Tensor s = gy.Sum(axis, /*keepdim=*/true);
+      an->AccumulateGrad(y.Mul(g.Sub(s)));
+    }
   });
 }
 
@@ -197,7 +229,7 @@ Variable Dropout(const Variable& a, float p, bool training, Rng* rng) {
   }
   auto an = a.node();
   return MakeOpNode(a.value().Mul(mask), {a}, [an, mask](const Tensor& g) {
-    an->AccumulateGrad(g.Mul(mask));
+    an->AccumulateProductGrad(g, mask);
   });
 }
 
@@ -352,7 +384,7 @@ Variable MaskedMaeLoss(const Variable& pred, const Variable& target,
                        float null_threshold) {
   // The mask is a constant w.r.t. the parameters: grads flow through pred
   // only where the target is valid.
-  Tensor mask = target.value().Map([null_threshold](float v) {
+  Tensor mask = target.value().MapT([null_threshold](float v) {
     return std::fabs(v) > null_threshold ? 1.0f : 0.0f;
   });
   const float valid = mask.SumAll();

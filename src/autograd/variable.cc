@@ -23,7 +23,18 @@ obs::Counter* BackwardOpCounter() {
   return c;
 }
 
+// Per-thread graph-recording switch, toggled by NoGradGuard.
+thread_local bool g_grad_enabled = true;
+
 }  // namespace
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
 
 namespace internal {
 
@@ -36,6 +47,29 @@ void Node::AccumulateGrad(const Tensor& g) {
     has_grad = true;
   }
   grad.AddInplace(g);
+}
+
+void Node::AccumulateScaledGrad(const Tensor& g, float scale) {
+  TGCRN_CHECK(g.shape() == value.shape())
+      << "gradient shape " << ShapeToString(g.shape())
+      << " != value shape " << ShapeToString(value.shape());
+  if (!has_grad) {
+    grad = Tensor::Zeros(value.shape());
+    has_grad = true;
+  }
+  grad.AddScaledInplace(g, scale);
+}
+
+void Node::AccumulateProductGrad(const Tensor& a, const Tensor& b) {
+  TGCRN_CHECK(a.shape() == value.shape() && b.shape() == value.shape())
+      << "gradient shape " << ShapeToString(a.shape()) << " * "
+      << ShapeToString(b.shape()) << " != value shape "
+      << ShapeToString(value.shape());
+  if (!has_grad) {
+    grad = Tensor::Zeros(value.shape());
+    has_grad = true;
+  }
+  grad.AddProductInplace(a, b);
 }
 
 }  // namespace internal
@@ -55,6 +89,9 @@ Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
 
 Variable MakeOpNode(Tensor value, std::vector<Variable> parents,
                     std::function<void(const Tensor&)> backward_fn) {
+  // Inference mode: no graph node, no closure, no counter traffic — the
+  // result is a plain leaf and the parents' history is not retained.
+  if (!g_grad_enabled) return Variable(std::move(value));
   ForwardOpCounter()->Add(1);
   auto node = std::make_shared<internal::Node>();
   node->value = std::move(value);

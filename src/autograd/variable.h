@@ -38,6 +38,10 @@ struct Node {
 
   // Accumulates `g` into this->grad (allocating zeros first if absent).
   void AccumulateGrad(const Tensor& g);
+  // grad += scale * g without materializing the scaled temporary.
+  void AccumulateScaledGrad(const Tensor& g, float scale);
+  // grad += a * b elementwise without materializing the product.
+  void AccumulateProductGrad(const Tensor& a, const Tensor& b);
 };
 
 }  // namespace internal
@@ -106,9 +110,31 @@ class Variable {
 // Builds an interior node: value computed from parents with the given
 // backward closure. The closure must route grad_out into each parent that
 // needs_grad (it may skip parents that don't). Declared here so layered ops
-// outside ops.cc (e.g. custom fused ops) can also create nodes.
+// outside ops.cc (e.g. custom fused ops) can also create nodes. Under a
+// NoGradGuard this skips graph construction entirely and returns a plain
+// leaf holding `value`.
 Variable MakeOpNode(Tensor value, std::vector<Variable> parents,
                     std::function<void(const Tensor&)> backward_fn);
+
+// True when ops record graph history on this thread (the default).
+bool GradEnabled();
+
+// RAII inference mode: while alive, ops on this thread build no graph
+// nodes and no backward closures — MakeOpNode returns a bare leaf, the
+// autograd.forward_ops counter stays flat, and no activations are
+// retained. Guards nest; the previous state is restored on destruction.
+// Calling Backward() on a Variable produced under the guard aborts (it has
+// no graph), exactly like any other leaf.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
 
 }  // namespace ag
 }  // namespace tgcrn

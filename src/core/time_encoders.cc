@@ -5,11 +5,11 @@ namespace tgcrn {
 namespace core {
 
 ag::Variable Time2vecEncoder::SinOp(const ag::Variable& x) {
-  Tensor y = x.value().Map([](float v) { return std::sin(v); });
+  Tensor y = x.value().MapT([](float v) { return std::sin(v); });
   auto xn = x.node();
   return ag::MakeOpNode(std::move(y), {x}, [xn](const Tensor& g) {
-    Tensor cosx = xn->value.Map([](float v) { return std::cos(v); });
-    xn->AccumulateGrad(g.Mul(cosx));
+    Tensor cosx = xn->value.MapT([](float v) { return std::cos(v); });
+    xn->AccumulateProductGrad(g, cosx);
   });
 }
 
@@ -25,17 +25,17 @@ ag::Variable ContinuousTimeEncoder::Encode(
   ag::Variable arg = ag::Mul(ag::Variable(t), freq_);  // [B, half]
   // cos/sin via MakeOpNode closures sharing the arg node.
   auto an = arg.node();
-  Tensor cos_val = arg.value().Map([](float v) { return std::cos(v); });
+  Tensor cos_val = arg.value().MapT([](float v) { return std::cos(v); });
   ag::Variable cos_part =
       ag::MakeOpNode(std::move(cos_val), {arg}, [an](const Tensor& g) {
-        Tensor d = an->value.Map([](float v) { return -std::sin(v); });
-        an->AccumulateGrad(g.Mul(d));
+        Tensor d = an->value.MapT([](float v) { return -std::sin(v); });
+        an->AccumulateProductGrad(g, d);
       });
-  Tensor sin_val = arg.value().Map([](float v) { return std::sin(v); });
+  Tensor sin_val = arg.value().MapT([](float v) { return std::sin(v); });
   ag::Variable sin_part =
       ag::MakeOpNode(std::move(sin_val), {arg}, [an](const Tensor& g) {
-        Tensor d = an->value.Map([](float v) { return std::cos(v); });
-        an->AccumulateGrad(g.Mul(d));
+        Tensor d = an->value.MapT([](float v) { return std::cos(v); });
+        an->AccumulateProductGrad(g, d);
       });
   const float norm = std::sqrt(1.0f / static_cast<float>(half));
   return ag::MulScalar(ag::Concat({cos_part, sin_part}, 1), norm);

@@ -43,6 +43,10 @@ void PredictSplit(ForecastModel* model, const data::ForecastDataset& dataset,
                   data::ForecastDataset::Split split, int64_t batch_size,
                   std::vector<Tensor>* preds, std::vector<Tensor>* targets) {
   model->SetTraining(false);
+  // Inference mode: no graph nodes or backward closures are built, so the
+  // forward pass neither counts autograd.forward_ops nor retains
+  // activations.
+  ag::NoGradGuard no_grad;
   const auto batches = dataset.EpochBatches(split, batch_size,
                                             /*rng=*/nullptr);
   for (const auto& ids : batches) {

@@ -9,13 +9,16 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/buffer_pool.h"
 
 namespace tgcrn {
 namespace {
 
-// Every fresh storage allocation is counted (one relaxed atomic add per
-// counter); shared-storage copies are free and not counted.
-void CountAllocation(int64_t numel) {
+// Counts storage that enters a tensor from outside the buffer pool
+// (FromVector's adopted vector). Pool-served storage is counted inside
+// TensorBufferPool (misses only), so tensor.allocations tracks real heap
+// allocations; shared-storage copies are free and not counted.
+void CountExternalAllocation(int64_t numel) {
   static obs::Counter* allocs =
       obs::Registry::Global().GetCounter("tensor.allocations");
   static obs::Counter* bytes =
@@ -24,9 +27,6 @@ void CountAllocation(int64_t numel) {
   bytes->Add(numel * static_cast<int64_t>(sizeof(float)));
 }
 
-// Minimum elements per ParallelFor chunk for elementwise kernels; below
-// this the dispatch overhead outweighs the work.
-constexpr int64_t kElemwiseGrain = 1024;
 // Minimum multiply-accumulate operations per matmul chunk.
 constexpr int64_t kMatmulGrainFlops = 4096;
 // Fixed chunk length of DeterministicChunkedSum reductions. Part of the
@@ -150,9 +150,7 @@ Tensor::Tensor() : Tensor(Shape{0}) {}
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
-      data_(std::make_shared<std::vector<float>>(ShapeNumel(shape_), 0.0f)) {
-  CountAllocation(numel());
-}
+      data_(TensorBufferPool::Global().AcquireZeroed(ShapeNumel(shape_))) {}
 
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
 
@@ -174,8 +172,10 @@ Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
   TGCRN_CHECK_EQ(ShapeNumel(shape), static_cast<int64_t>(values.size()));
   Tensor t;
   t.shape_ = std::move(shape);
+  // Adopts the caller's storage (not pool-recyclable; make_shared embeds
+  // the vector in the control block, so the deleter is the default one).
   t.data_ = std::make_shared<std::vector<float>>(std::move(values));
-  CountAllocation(t.numel());
+  CountExternalAllocation(t.numel());
   return t;
 }
 
@@ -241,7 +241,7 @@ float Tensor::item() const {
 Tensor Tensor::Clone() const {
   Tensor t;
   t.shape_ = shape_;
-  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  t.data_ = TensorBufferPool::Global().AcquireCopy(data(), numel());
   return t;
 }
 
@@ -298,46 +298,43 @@ Tensor Tensor::Minimum(const Tensor& other) const {
                   [](float x, float y) { return std::min(x, y); });
 }
 
+// The named unary ops all go through MapT so the functor is inlined into
+// the kernel loop; Map keeps the type-erased std::function path for
+// callers that need it (cold code, caller-supplied functions).
 Tensor Tensor::AddScalar(float value) const {
-  return Map([value](float x) { return x + value; });
+  return MapT([value](float x) { return x + value; });
 }
 Tensor Tensor::MulScalar(float value) const {
-  return Map([value](float x) { return x * value; });
+  return MapT([value](float x) { return x * value; });
 }
 
 Tensor Tensor::Map(const std::function<float(float)>& fn) const {
-  Tensor out(shape_);
-  float* o = out.mutable_data();
-  const float* p = data();
-  common::ParallelFor(0, numel(), kElemwiseGrain, [&](int64_t s, int64_t e) {
-    for (int64_t i = s; i < e; ++i) o[i] = fn(p[i]);
-  });
-  return out;
+  return MapT([&fn](float x) { return fn(x); });
 }
 
 Tensor Tensor::Exp() const {
-  return Map([](float x) { return std::exp(x); });
+  return MapT([](float x) { return std::exp(x); });
 }
 Tensor Tensor::Log() const {
-  return Map([](float x) { return std::log(x); });
+  return MapT([](float x) { return std::log(x); });
 }
 Tensor Tensor::Sqrt() const {
-  return Map([](float x) { return std::sqrt(x); });
+  return MapT([](float x) { return std::sqrt(x); });
 }
 Tensor Tensor::Abs() const {
-  return Map([](float x) { return std::fabs(x); });
+  return MapT([](float x) { return std::fabs(x); });
 }
 Tensor Tensor::Tanh() const {
-  return Map([](float x) { return std::tanh(x); });
+  return MapT([](float x) { return std::tanh(x); });
 }
 Tensor Tensor::Sigmoid() const {
-  return Map([](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return MapT([](float x) { return 1.0f / (1.0f + std::exp(-x)); });
 }
 Tensor Tensor::Relu() const {
-  return Map([](float x) { return x > 0.0f ? x : 0.0f; });
+  return MapT([](float x) { return x > 0.0f ? x : 0.0f; });
 }
 Tensor Tensor::Pow(float exponent) const {
-  return Map([exponent](float x) { return std::pow(x, exponent); });
+  return MapT([exponent](float x) { return std::pow(x, exponent); });
 }
 
 void Tensor::AddInplace(const Tensor& other) {
@@ -347,6 +344,28 @@ void Tensor::AddInplace(const Tensor& other) {
   const float* q = other.data();
   common::ParallelFor(0, numel(), kElemwiseGrain, [&](int64_t s, int64_t e) {
     for (int64_t i = s; i < e; ++i) p[i] += q[i];
+  });
+}
+
+void Tensor::AddScaledInplace(const Tensor& other, float alpha) {
+  TGCRN_CHECK(SameShape(other))
+      << ShapeToString(shape_) << " vs " << ShapeToString(other.shape_);
+  float* p = mutable_data();
+  const float* q = other.data();
+  common::ParallelFor(0, numel(), kElemwiseGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) p[i] += alpha * q[i];
+  });
+}
+
+void Tensor::AddProductInplace(const Tensor& a, const Tensor& b) {
+  TGCRN_CHECK(SameShape(a) && SameShape(b))
+      << ShapeToString(shape_) << " vs " << ShapeToString(a.shape())
+      << " vs " << ShapeToString(b.shape());
+  float* p = mutable_data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  common::ParallelFor(0, numel(), kElemwiseGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) p[i] += pa[i] * pb[i];
   });
 }
 
@@ -406,20 +425,40 @@ void Tensor::FillInplace(float value) {
   std::fill(data_->begin(), data_->end(), value);
 }
 
-Tensor Tensor::Matmul(const Tensor& other) const {
-  TGCRN_TRACE_SCOPE("tensor.Matmul");
-  TGCRN_CHECK_GE(dim(), 2);
-  TGCRN_CHECK_GE(other.dim(), 2);
-  const int64_t m = shape_[dim() - 2];
-  const int64_t k = shape_[dim() - 1];
-  const int64_t k2 = other.shape_[other.dim() - 2];
-  const int64_t n = other.shape_[other.dim() - 1];
-  TGCRN_CHECK_EQ(k, k2) << "matmul inner-dim mismatch: "
-                        << ShapeToString(shape_) << " x "
-                        << ShapeToString(other.shape_);
+namespace {
+
+// Which operand the batched matmul driver reads transposed. The transposed
+// side is read through strides; no transpose copy is materialized.
+enum class MatmulMode { kNN, kTransposeA, kTransposeB };
+
+// Shared batched-matmul driver. Per mode (reduce dim `red`):
+//   kNN:         A (..., m, red) x B (..., red, n) -> (..., m, n)
+//   kTransposeA: A (..., red, m) x B (..., red, n) -> A^T B = (..., m, n)
+//   kTransposeB: A (..., m, red) x B (..., n, red) -> A B^T = (..., m, n)
+// Batch dims broadcast NumPy-style in all modes. Every output row keeps
+// the exact serial accumulation order (sum over `red` in increasing
+// order), so results are bitwise identical at every thread count and the
+// transposed modes match their materialized-transpose equivalents bit for
+// bit.
+Tensor BatchedMatmulImpl(const Tensor& a, const Tensor& b, MatmulMode mode) {
+  TGCRN_CHECK_GE(a.dim(), 2);
+  TGCRN_CHECK_GE(b.dim(), 2);
+  const Shape& a_shape = a.shape();
+  const Shape& b_shape = b.shape();
+  const int64_t a_rows = a_shape[a.dim() - 2];
+  const int64_t a_cols = a_shape[a.dim() - 1];
+  const int64_t b_rows = b_shape[b.dim() - 2];
+  const int64_t b_cols = b_shape[b.dim() - 1];
+  const int64_t m = mode == MatmulMode::kTransposeA ? a_cols : a_rows;
+  const int64_t red = mode == MatmulMode::kTransposeA ? a_rows : a_cols;
+  const int64_t n = mode == MatmulMode::kTransposeB ? b_rows : b_cols;
+  const int64_t b_red = mode == MatmulMode::kTransposeB ? b_cols : b_rows;
+  TGCRN_CHECK_EQ(red, b_red)
+      << "matmul inner-dim mismatch: " << ShapeToString(a_shape) << " x "
+      << ShapeToString(b_shape);
   // Broadcast the batch dims.
-  Shape a_batch(shape_.begin(), shape_.end() - 2);
-  Shape b_batch(other.shape_.begin(), other.shape_.end() - 2);
+  Shape a_batch(a_shape.begin(), a_shape.end() - 2);
+  Shape b_batch(b_shape.begin(), b_shape.end() - 2);
   Shape batch = BroadcastShapes(a_batch, b_batch);
   Shape out_shape = batch;
   out_shape.push_back(m);
@@ -452,34 +491,96 @@ Tensor Tensor::Matmul(const Tensor& other) const {
     }
   }
 
-  const float* pa = data();
-  const float* pb = other.data();
+  const int64_t a_mat_elems = a_rows * a_cols;
+  const int64_t b_mat_elems = b_rows * b_cols;
+  const float* pa = a.data();
+  const float* pb = b.data();
   float* po = out.mutable_data();
   // Parallel over the flattened batch x row dimension: each output row is
   // computed independently with the exact serial arithmetic, so results
   // are bitwise identical at every thread count.
-  const int64_t grain_rows =
-      std::max<int64_t>(1, kMatmulGrainFlops / std::max<int64_t>(1, k * n));
+  const int64_t grain_rows = std::max<int64_t>(
+      1, kMatmulGrainFlops / std::max<int64_t>(1, red * n));
   common::ParallelFor(
       0, batch_n * m, grain_rows, [&](int64_t row_begin, int64_t row_end) {
         for (int64_t r = row_begin; r < row_end; ++r) {
           const int64_t bi = r / m;
           const int64_t i = r % m;
-          const float* A = pa + a_mats[bi] * m * k;
-          const float* B = pb + b_mats[bi] * k * n;
+          const float* A = pa + a_mats[bi] * a_mat_elems;
+          const float* B = pb + b_mats[bi] * b_mat_elems;
           float* crow = po + r * n;
-          std::fill(crow, crow + n, 0.0f);
-          const float* arow = A + i * k;
-          // i-k-j loop order: streams B and C rows, good cache behaviour.
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float a_val = arow[kk];
-            if (a_val == 0.0f) continue;
-            const float* brow = B + kk * n;
-            for (int64_t j = 0; j < n; ++j) crow[j] += a_val * brow[j];
+          switch (mode) {
+            case MatmulMode::kNN: {
+              std::fill(crow, crow + n, 0.0f);
+              const float* arow = A + i * red;
+              // i-k-j loop order: streams B and C rows, good cache
+              // behaviour.
+              for (int64_t kk = 0; kk < red; ++kk) {
+                const float a_val = arow[kk];
+                if (a_val == 0.0f) continue;
+                const float* brow = B + kk * n;
+                for (int64_t j = 0; j < n; ++j) crow[j] += a_val * brow[j];
+              }
+              break;
+            }
+            case MatmulMode::kTransposeA: {
+              // A column i read at stride m; otherwise the kNN loop.
+              std::fill(crow, crow + n, 0.0f);
+              for (int64_t kk = 0; kk < red; ++kk) {
+                const float a_val = A[kk * m + i];
+                if (a_val == 0.0f) continue;
+                const float* brow = B + kk * n;
+                for (int64_t j = 0; j < n; ++j) crow[j] += a_val * brow[j];
+              }
+              break;
+            }
+            case MatmulMode::kTransposeB: {
+              // Both operand rows are contiguous: out[j] = arow . brow_j.
+              const float* arow = A + i * red;
+              for (int64_t j = 0; j < n; ++j) {
+                const float* brow = B + j * red;
+                float sum = 0.0f;
+                for (int64_t kk = 0; kk < red; ++kk) {
+                  sum += arow[kk] * brow[kk];
+                }
+                crow[j] = sum;
+              }
+              break;
+            }
           }
         }
       });
   return out;
+}
+
+}  // namespace
+
+Tensor Tensor::Matmul(const Tensor& other) const {
+  TGCRN_TRACE_SCOPE("tensor.Matmul");
+  return BatchedMatmulImpl(*this, other, MatmulMode::kNN);
+}
+
+Tensor Tensor::MatmulTransposeA(const Tensor& other) const {
+  TGCRN_TRACE_SCOPE("tensor.MatmulTransposeA");
+  return BatchedMatmulImpl(*this, other, MatmulMode::kTransposeA);
+}
+
+Tensor Tensor::MatmulTransposeB(const Tensor& other) const {
+  TGCRN_TRACE_SCOPE("tensor.MatmulTransposeB");
+  // The strided kernel computes each output as a serial dot product, which
+  // cannot use SIMD lanes; with many output rows the vectorized kNN kernel
+  // wins even after paying for an explicit transpose copy. With few rows
+  // (the m=1 GCGRU backward shape) the copy dominates and the strided
+  // kernel is several times faster. The cutover depends only on the
+  // shapes, so results stay deterministic — and both strategies accumulate
+  // over k in the same order, so they agree bitwise anyway.
+  const int64_t m = dim() >= 2 ? shape_[dim() - 2] : 1;
+  if (other.dim() >= 2 && m >= 8) {
+    return BatchedMatmulImpl(
+        *this, other.Transpose(other.dim() - 2, other.dim() - 1),
+        MatmulMode::kNN);
+  }
+  return BatchedMatmulImpl(*this, other, MatmulMode::kTransposeB);
 }
 
 Tensor Tensor::Reshape(Shape new_shape) const {
@@ -820,6 +921,101 @@ Tensor Tensor::Softmax(int64_t axis) const {
   Tensor shifted = Sub(Max(axis, /*keepdim=*/true));
   Tensor exps = shifted.Exp();
   return exps.Div(exps.Sum(axis, /*keepdim=*/true));
+}
+
+namespace {
+
+// Shape check shared by the fused gradient kernels: the fused path is the
+// exact-shape (non-broadcast) case by contract.
+void CheckSameShapes(const Tensor& a, const Tensor& b, const char* kernel) {
+  TGCRN_CHECK(a.SameShape(b))
+      << kernel << ": shape mismatch " << ShapeToString(a.shape()) << " vs "
+      << ShapeToString(b.shape());
+}
+
+// Two-input fused elementwise kernel with the functor inlined.
+template <typename Fn>
+Tensor FusedBinary(const Tensor& x, const Tensor& y, Fn fn) {
+  Tensor out(x.shape());
+  float* o = out.mutable_data();
+  const float* px = x.data();
+  const float* py = y.data();
+  common::ParallelFor(0, x.numel(), kElemwiseGrain,
+                      [&](int64_t s, int64_t e) {
+                        for (int64_t i = s; i < e; ++i) {
+                          o[i] = fn(px[i], py[i]);
+                        }
+                      });
+  return out;
+}
+
+}  // namespace
+
+Tensor SigmoidGradKernel(const Tensor& y, const Tensor& g) {
+  CheckSameShapes(y, g, "SigmoidGradKernel");
+  // (g*y)*(1-y) in the unfused chain's association order.
+  return FusedBinary(y, g, [](float yv, float gv) {
+    return (gv * yv) * (-yv + 1.0f);
+  });
+}
+
+Tensor TanhGradKernel(const Tensor& y, const Tensor& g) {
+  CheckSameShapes(y, g, "TanhGradKernel");
+  return FusedBinary(y, g, [](float yv, float gv) {
+    return gv * (-(yv * yv) + 1.0f);
+  });
+}
+
+Tensor ReluGradKernel(const Tensor& x, const Tensor& g) {
+  CheckSameShapes(x, g, "ReluGradKernel");
+  return FusedBinary(x, g, [](float xv, float gv) {
+    return xv > 0.0f ? gv : 0.0f;
+  });
+}
+
+Tensor SoftmaxGradKernel(const Tensor& y, const Tensor& g) {
+  CheckSameShapes(y, g, "SoftmaxGradKernel");
+  TGCRN_CHECK_GE(y.dim(), 1);
+  const int64_t span = y.shape()[y.dim() - 1];
+  const int64_t rows = span > 0 ? y.numel() / span : 0;
+  Tensor out(y.shape());
+  const float* py = y.data();
+  const float* pg = g.data();
+  float* o = out.mutable_data();
+  const int64_t grain =
+      std::max<int64_t>(1, kElemwiseGrain / std::max<int64_t>(1, span));
+  // One pass per contiguous row; the row sum keeps the serial accumulation
+  // order, so chunking across rows never changes any output bit.
+  common::ParallelFor(0, rows, grain, [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* yrow = py + r * span;
+      const float* grow = pg + r * span;
+      float* orow = o + r * span;
+      float sum = 0.0f;
+      for (int64_t j = 0; j < span; ++j) sum += grow[j] * yrow[j];
+      for (int64_t j = 0; j < span; ++j) {
+        orow[j] = yrow[j] * (grow[j] - sum);
+      }
+    }
+  });
+  return out;
+}
+
+Tensor DivGradRhsKernel(const Tensor& g, const Tensor& a, const Tensor& b) {
+  CheckSameShapes(g, a, "DivGradRhsKernel");
+  CheckSameShapes(g, b, "DivGradRhsKernel");
+  Tensor out(g.shape());
+  float* o = out.mutable_data();
+  const float* pg = g.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  common::ParallelFor(0, g.numel(), kElemwiseGrain,
+                      [&](int64_t s, int64_t e) {
+                        for (int64_t i = s; i < e; ++i) {
+                          o[i] = ((pg[i] * pa[i]) / (pb[i] * pb[i])) * -1.0f;
+                        }
+                      });
+  return out;
 }
 
 float Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {

@@ -15,6 +15,10 @@
 //    bitwise identical at every thread count: per-element kernels keep the
 //    exact serial arithmetic, and full reductions use a fixed-chunk tree
 //    whose shape is independent of the thread count.
+//  * Storage is recycled through the size-bucketed buffer pool in
+//    tensor/buffer_pool.h (TGCRN_TENSOR_POOL=0 opts out). Pooled buffers
+//    are fully re-initialized before reuse, so the determinism contract
+//    holds with the pool on or off.
 #ifndef TGCRN_TENSOR_TENSOR_H_
 #define TGCRN_TENSOR_TENSOR_H_
 
@@ -26,10 +30,16 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace tgcrn {
 
 using Shape = std::vector<int64_t>;
+
+// Minimum elements per ParallelFor chunk for elementwise kernels; below
+// this the dispatch overhead outweighs the work. Grain only affects chunk
+// boundaries, never results.
+inline constexpr int64_t kElemwiseGrain = 1024;
 
 // Returns a human-readable form like "[2, 3, 4]".
 std::string ShapeToString(const Shape& shape);
@@ -108,8 +118,24 @@ class Tensor {
   Tensor Maximum(const Tensor& other) const;
   Tensor Minimum(const Tensor& other) const;
 
-  // Applies `fn` to every element.
+  // Applies `fn` to every element through a type-erased std::function
+  // (one virtual-ish dispatch per element). Prefer MapT in hot code.
   Tensor Map(const std::function<float(float)>& fn) const;
+
+  // Templated elementwise map: the functor is inlined into the parallel
+  // kernel loop, so there is no per-element dispatch. All named unary ops
+  // (Exp, Sigmoid, ...) route through this.
+  template <typename F>
+  Tensor MapT(F fn) const {
+    Tensor out(shape_);
+    float* o = out.mutable_data();
+    const float* p = data();
+    common::ParallelFor(0, numel(), kElemwiseGrain,
+                        [&](int64_t s, int64_t e) {
+                          for (int64_t i = s; i < e; ++i) o[i] = fn(p[i]);
+                        });
+    return out;
+  }
 
   Tensor Exp() const;
   Tensor Log() const;  // natural log; inputs must be > 0
@@ -122,6 +148,12 @@ class Tensor {
 
   // In-place accumulation: this += other (shapes must match exactly).
   void AddInplace(const Tensor& other);
+  // Axpy: this += alpha * other (shapes must match exactly). Single pass,
+  // no temporary.
+  void AddScaledInplace(const Tensor& other, float alpha);
+  // Fused multiply-accumulate: this += a * b elementwise (all shapes must
+  // match exactly). Single pass, no temporary.
+  void AddProductInplace(const Tensor& a, const Tensor& b);
   // Adds `other` into the sub-range [start, start+other.size(axis)) along
   // `axis`; the other dims must match. Used by slice/concat backward.
   void AddSliceInplace(int64_t axis, int64_t start, const Tensor& other);
@@ -139,6 +171,13 @@ class Tensor {
   // broadcasting over the leading batch dimensions. Rank of both operands
   // must be >= 2.
   Tensor Matmul(const Tensor& other) const;
+
+  // Transposed-operand matmuls for the backward pass: the transposed side
+  // is read through strides, so no transpose copy is ever materialized.
+  // this^T x other: (..., r, m) x (..., r, n) -> (..., m, n).
+  Tensor MatmulTransposeA(const Tensor& other) const;
+  // this x other^T: (..., m, k) x (..., n, k) -> (..., m, n).
+  Tensor MatmulTransposeB(const Tensor& other) const;
 
   // --- Shape manipulation --------------------------------------------------
   // Reshape to a compatible shape (same numel). One dim may be -1.
@@ -193,6 +232,28 @@ class Tensor {
   Shape shape_;
   std::shared_ptr<std::vector<float>> data_;
 };
+
+// --- Fused gradient kernels ------------------------------------------------
+// Single-pass backward kernels for the autograd layer: each computes in one
+// ParallelFor sweep what the naive closure builds out of 3-4 allocating
+// elementwise temporaries. All inputs must share one shape (the fused path
+// is the non-broadcast case; broadcasting callers fall back to the op
+// chain). Per-element arithmetic keeps the unfused chains' association
+// order, so values match the chains exactly (ReluGradKernel may differ
+// from the mask-multiply chain only in the sign of zeros).
+
+// g * y * (1 - y), where y = sigmoid(x).
+Tensor SigmoidGradKernel(const Tensor& y, const Tensor& g);
+// g * (1 - y^2), where y = tanh(x).
+Tensor TanhGradKernel(const Tensor& y, const Tensor& g);
+// g where x > 0, else 0.
+Tensor ReluGradKernel(const Tensor& x, const Tensor& g);
+// Per-row softmax backward along the LAST axis: y * (g - sum(g * y, -1)).
+// The row sum is accumulated serially per row, so results are bitwise
+// identical at every thread count.
+Tensor SoftmaxGradKernel(const Tensor& y, const Tensor& g);
+// -g * a / b^2 (the d(a/b)/db closure).
+Tensor DivGradRhsKernel(const Tensor& g, const Tensor& a, const Tensor& b);
 
 }  // namespace tgcrn
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "gradcheck.h"
+#include "obs/metrics.h"
 
 namespace tgcrn {
 namespace {
@@ -353,6 +354,90 @@ TEST(AutogradTest, InferenceGraphDropsHistory) {
   Variable c = ag::Matmul(a, b);
   EXPECT_FALSE(c.needs_grad());
   EXPECT_TRUE(c.node()->parents.empty());
+}
+
+TEST(AutogradTest, SameShapeFastPathGradcheck) {
+  // The non-broadcast closures take the fused ReduceTo-skipping paths
+  // (axpy for Sub/MulScalar, multiply-accumulate for Mul/Exp, fused
+  // kernel for Div rhs); verify them against finite differences.
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        Variable q = ag::Div(ag::Mul(v[0], v[1]), ag::AddScalar(v[1], 2.5f));
+        Variable r = ag::Sub(ag::MulScalar(v[0], -1.7f), q);
+        return ag::SumAll(ag::Add(r, ag::Exp(v[0])));
+      },
+      {Leaf({3, 5}, 91), Leaf({3, 5}, 92, 0.5f, 1.5f)});
+}
+
+TEST(AutogradTest, FusedActivationGradcheckComposite) {
+  // Sigmoid/Tanh/Relu/Softmax backward all route through the fused
+  // kernels; chain them the way a GRU gate does.
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        Variable z = ag::Sigmoid(v[0]);
+        Variable r = ag::Tanh(v[1]);
+        Variable h = ag::Relu(ag::Mul(z, r));
+        return ag::SumAll(ag::Mul(ag::Softmax(h, -1), z));
+      },
+      {Leaf({4, 6}, 93), Leaf({4, 6}, 94)});
+}
+
+TEST(AutogradTest, NoGradGuardSkipsGraphConstruction) {
+  Variable w(Tensor::Ones({3, 3}), /*requires_grad=*/true);
+  Variable x(Tensor::Ones({3, 3}));
+  {
+    ag::NoGradGuard guard;
+    EXPECT_FALSE(ag::GradEnabled());
+    Variable y = ag::Matmul(x, w);
+    // The result is a plain leaf: no parents, no gradient flow, even
+    // though w requires grad.
+    EXPECT_FALSE(y.needs_grad());
+    EXPECT_TRUE(y.node()->parents.empty());
+    EXPECT_EQ(y.node()->backward_fn, nullptr);
+    // Values are still computed normally.
+    EXPECT_TRUE(y.value().AllClose(Tensor::Full({3, 3}, 3.0f)));
+  }
+  EXPECT_TRUE(ag::GradEnabled());
+  // Guards nest and restore the outer state.
+  {
+    ag::NoGradGuard outer;
+    {
+      ag::NoGradGuard inner;
+      EXPECT_FALSE(ag::GradEnabled());
+    }
+    EXPECT_FALSE(ag::GradEnabled());
+  }
+  EXPECT_TRUE(ag::GradEnabled());
+}
+
+TEST(AutogradTest, NoGradGuardLeavesParamsUntouched) {
+  Variable w = Leaf({4, 4}, 95);
+  const Tensor w_before = w.value().Clone();
+  {
+    ag::NoGradGuard guard;
+    Variable y = ag::Sigmoid(ag::Matmul(Leaf({4, 4}, 96), w));
+    (void)y;
+  }
+  EXPECT_FALSE(w.has_grad());
+  EXPECT_EQ(Tensor::MaxAbsDiff(w.value(), w_before), 0.0f);
+  // Gradient flow works again once the guard is gone.
+  ag::SumAll(ag::Mul(w, w)).Backward();
+  EXPECT_TRUE(w.has_grad());
+}
+
+TEST(AutogradTest, NoGradGuardKeepsForwardOpsFlat) {
+  obs::Counter* fwd =
+      obs::Registry::Global().GetCounter("autograd.forward_ops");
+  Variable w = Leaf({4, 4}, 97);
+  const int64_t before = fwd->Value();
+  {
+    ag::NoGradGuard guard;
+    Variable y = ag::Tanh(ag::Matmul(Leaf({4, 4}, 98), w));
+    (void)y;
+  }
+  EXPECT_EQ(fwd->Value(), before);
+  Variable y = ag::Tanh(ag::Matmul(Leaf({4, 4}, 99), w));
+  EXPECT_GT(fwd->Value(), before);
 }
 
 TEST(AutogradTest, DeepChainBackwardDoesNotOverflow) {

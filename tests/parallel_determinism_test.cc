@@ -15,6 +15,7 @@
 #include "core/tgcrn.h"
 #include "core/trainer.h"
 #include "datagen/metro_sim.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
 
 namespace tgcrn {
@@ -22,7 +23,7 @@ namespace {
 
 using common::ScopedNumThreads;
 
-// Runs `make` at 1, 2 and 8 threads and asserts the outputs are
+// Runs `make` at 1, 2, 4 and 8 threads and asserts the outputs are
 // byte-identical. `make` must build its own inputs (deterministically) so
 // each thread count sees a fresh computation.
 void ExpectBitwiseIdenticalAcrossThreads(
@@ -32,7 +33,7 @@ void ExpectBitwiseIdenticalAcrossThreads(
     ScopedNumThreads guard(1);
     reference = make();
   }
-  for (const int threads : {2, 8}) {
+  for (const int threads : {2, 4, 8}) {
     ScopedNumThreads guard(threads);
     const Tensor got = make();
     ASSERT_EQ(got.shape(), reference.shape()) << label;
@@ -159,6 +160,90 @@ TEST(ParallelDeterminismTest, MatmulEdgeCases) {
         return a.Matmul(b);
       },
       "matmul empty rows");
+}
+
+TEST(ParallelDeterminismTest, TransposedMatmuls) {
+  // The backward-pass fast paths: g . B^T and A^T . g read the transposed
+  // operand through strides. Same randomized-shape regime as Matmul.
+  Rng shape_rng(57);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int64_t batch = shape_rng.UniformInt(1, 4);
+    const int64_t m = shape_rng.UniformInt(1, 70);
+    const int64_t k = shape_rng.UniformInt(1, 20);
+    const int64_t n = shape_rng.UniformInt(1, 30);
+    ExpectBitwiseIdenticalAcrossThreads(
+        [&] {
+          Rng rng(600 + trial);
+          Tensor a = Tensor::RandUniform({batch, k, m}, -2, 2, &rng);
+          Tensor b = Tensor::RandUniform({batch, k, n}, -2, 2, &rng);
+          return a.MatmulTransposeA(b);
+        },
+        "matmul_ta trial " + std::to_string(trial));
+    ExpectBitwiseIdenticalAcrossThreads(
+        [&] {
+          Rng rng(700 + trial);
+          Tensor a = Tensor::RandUniform({batch, m, k}, -2, 2, &rng);
+          Tensor b = Tensor::RandUniform({batch, n, k}, -2, 2, &rng);
+          return a.MatmulTransposeB(b);
+        },
+        "matmul_tb trial " + std::to_string(trial));
+  }
+  // Broadcast batch dims and rank-2 edge cases.
+  ExpectBitwiseIdenticalAcrossThreads(
+      [] {
+        Rng rng(20);
+        Tensor a = Tensor::RandUniform({3, 1, 7, 19}, -1, 1, &rng);
+        Tensor b = Tensor::RandUniform({1, 5, 7, 11}, -1, 1, &rng);
+        return a.MatmulTransposeA(b);
+      },
+      "matmul_ta broadcast batch");
+  ExpectBitwiseIdenticalAcrossThreads(
+      [] {
+        Rng rng(21);
+        Tensor a = Tensor::RandUniform({200, 13}, -1, 1, &rng);
+        Tensor b = Tensor::RandUniform({29, 13}, -1, 1, &rng);
+        return a.MatmulTransposeB(b);
+      },
+      "matmul_tb rank-2");
+}
+
+TEST(ParallelDeterminismTest, FusedGradientKernels) {
+  for (const Shape& shape : ElementwiseShapes()) {
+    const int64_t id = ShapeNumel(shape);
+    ExpectBitwiseIdenticalAcrossThreads(
+        [&] {
+          Rng rng(800 + id);
+          Tensor x = Tensor::RandUniform(shape, -3, 3, &rng);
+          Tensor g = Tensor::RandUniform(shape, -2, 2, &rng);
+          Tensor y = x.Sigmoid();
+          Tensor t = x.Tanh();
+          return SigmoidGradKernel(y, g)
+              .Add(TanhGradKernel(t, g))
+              .Add(ReluGradKernel(x, g))
+              .Add(DivGradRhsKernel(g, x, x.Abs().AddScalar(1.0f)));
+        },
+        "fused grad " + ShapeToString(shape));
+  }
+  // Softmax backward rows straddle the per-row grain.
+  ExpectBitwiseIdenticalAcrossThreads(
+      [] {
+        Rng rng(30);
+        Tensor x = Tensor::RandUniform({16, 33, 33}, -5, 5, &rng);
+        Tensor g = Tensor::RandUniform({16, 33, 33}, -2, 2, &rng);
+        return SoftmaxGradKernel(x.Softmax(-1), g);
+      },
+      "softmax grad");
+  ExpectBitwiseIdenticalAcrossThreads(
+      [] {
+        Rng rng(31);
+        Tensor acc = Tensor::RandUniform({9, 501}, -1, 1, &rng);
+        Tensor u = Tensor::RandUniform({9, 501}, -1, 1, &rng);
+        Tensor v = Tensor::RandUniform({9, 501}, -1, 1, &rng);
+        acc.AddScaledInplace(u, -0.37f);
+        acc.AddProductInplace(u, v);
+        return acc;
+      },
+      "AddScaledInplace + AddProductInplace");
 }
 
 TEST(ParallelDeterminismTest, Reductions) {
@@ -299,6 +384,64 @@ TEST(ParallelDeterminismTest, TrainerEpochIdenticalAcrossThreadCounts) {
     EXPECT_EQ(serial.per_horizon[h].rmse, parallel.per_horizon[h].rmse);
   }
   EXPECT_EQ(parallel.num_threads, 8);
+}
+
+// The buffer pool recycles storage but never changes values: a full train
+// epoch with the pool on must produce bitwise-identical losses to one with
+// the pool off.
+TEST(ParallelDeterminismTest, TrainerEpochIdenticalPoolOnOff) {
+  datagen::MetroSimConfig sim_config;
+  sim_config.num_stations = 6;
+  sim_config.num_days = 8;
+  sim_config.seed = 321;
+  sim_config.keep_od_ground_truth = false;
+
+  auto run_epoch = [&](bool pool_enabled) {
+    TensorBufferPool::Global().SetEnabled(pool_enabled);
+    auto sim = datagen::SimulateMetro(sim_config);
+    data::ForecastDataset::Options options;
+    options.input_steps = 4;
+    options.output_steps = 2;
+    data::ForecastDataset dataset(std::move(sim.data), options);
+
+    core::TGCRNConfig model_config;
+    model_config.num_nodes = 6;
+    model_config.input_dim = 2;
+    model_config.output_dim = 2;
+    model_config.horizon = 2;
+    model_config.hidden_dim = 8;
+    model_config.num_layers = 1;
+    model_config.node_embed_dim = 6;
+    model_config.time_embed_dim = 4;
+    model_config.steps_per_day = 72;
+    Rng rng(55);
+    core::TGCRN model(model_config, &rng);
+
+    core::TrainConfig train_config;
+    train_config.epochs = 1;
+    train_config.max_batches_per_epoch = 12;
+    train_config.num_threads = 2;
+    train_config.verbose = false;
+    return core::TrainAndEvaluate(&model, dataset, train_config);
+  };
+
+  const auto with_pool = run_epoch(true);
+  const auto without_pool = run_epoch(false);
+  TensorBufferPool::Global().ReloadEnabledFromEnv();
+  common::SetNumThreads(1);
+
+  ASSERT_EQ(with_pool.train_loss_history.size(),
+            without_pool.train_loss_history.size());
+  for (size_t i = 0; i < with_pool.train_loss_history.size(); ++i) {
+    EXPECT_EQ(with_pool.train_loss_history[i],
+              without_pool.train_loss_history[i])
+        << "train loss diverged at epoch " << i;
+  }
+  ASSERT_EQ(with_pool.val_mae_history.size(),
+            without_pool.val_mae_history.size());
+  for (size_t i = 0; i < with_pool.val_mae_history.size(); ++i) {
+    EXPECT_EQ(with_pool.val_mae_history[i], without_pool.val_mae_history[i]);
+  }
 }
 
 }  // namespace

@@ -323,5 +323,102 @@ TEST(TensorTest, BroadcastToMaterializes) {
       b.AllClose(Tensor::FromVector({2, 3}, {1, 2, 3, 1, 2, 3})));
 }
 
+TEST(TensorTest, MatmulTransposeAMatchesExplicitTranspose) {
+  Rng rng(41);
+  // Rank-2, batched, and broadcast-batch cases.
+  struct Case {
+    Shape a, b;
+  };
+  for (const auto& c : {Case{{7, 5}, {7, 9}},
+                        Case{{3, 7, 5}, {3, 7, 9}},
+                        Case{{2, 1, 7, 5}, {1, 4, 7, 9}}}) {
+    Tensor a = Tensor::RandUniform(c.a, -2, 2, &rng);
+    Tensor b = Tensor::RandUniform(c.b, -2, 2, &rng);
+    Tensor fast = a.MatmulTransposeA(b);
+    Tensor ref = a.Transpose(a.dim() - 2, a.dim() - 1).Matmul(b);
+    ASSERT_EQ(fast.shape(), ref.shape());
+    EXPECT_EQ(Tensor::MaxAbsDiff(fast, ref), 0.0f)
+        << ShapeToString(c.a) << " x " << ShapeToString(c.b);
+  }
+}
+
+TEST(TensorTest, MatmulTransposeBMatchesExplicitTranspose) {
+  Rng rng(42);
+  struct Case {
+    Shape a, b;
+  };
+  for (const auto& c : {Case{{7, 5}, {9, 5}},
+                        Case{{3, 7, 5}, {3, 9, 5}},
+                        Case{{2, 1, 7, 5}, {1, 4, 9, 5}}}) {
+    Tensor a = Tensor::RandUniform(c.a, -2, 2, &rng);
+    Tensor b = Tensor::RandUniform(c.b, -2, 2, &rng);
+    Tensor fast = a.MatmulTransposeB(b);
+    Tensor ref = a.Matmul(b.Transpose(b.dim() - 2, b.dim() - 1));
+    ASSERT_EQ(fast.shape(), ref.shape());
+    EXPECT_EQ(Tensor::MaxAbsDiff(fast, ref), 0.0f)
+        << ShapeToString(c.a) << " x " << ShapeToString(c.b);
+  }
+}
+
+TEST(TensorTest, AddScaledInplaceIsAxpy) {
+  Tensor acc = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor inc = Tensor::FromVector({4}, {10, 20, 30, 40});
+  acc.AddScaledInplace(inc, -0.5f);
+  EXPECT_TRUE(acc.AllClose(Tensor::FromVector({4}, {-4, -8, -12, -16})));
+}
+
+TEST(TensorTest, AddProductInplaceIsFma) {
+  Tensor acc = Tensor::FromVector({4}, {1, 1, 1, 1});
+  Tensor a = Tensor::FromVector({4}, {2, 3, 4, 5});
+  Tensor b = Tensor::FromVector({4}, {10, 10, 10, 10});
+  acc.AddProductInplace(a, b);
+  EXPECT_TRUE(acc.AllClose(Tensor::FromVector({4}, {21, 31, 41, 51})));
+}
+
+TEST(TensorTest, FusedGradKernelsMatchOpChains) {
+  Rng rng(43);
+  Tensor x = Tensor::RandUniform({6, 37}, -3, 3, &rng);
+  Tensor g = Tensor::RandUniform({6, 37}, -2, 2, &rng);
+
+  Tensor y = x.Sigmoid();
+  Tensor sig_chain = g.Mul(y).Mul(y.Neg().AddScalar(1.0f));
+  EXPECT_EQ(Tensor::MaxAbsDiff(SigmoidGradKernel(y, g), sig_chain), 0.0f);
+
+  Tensor t = x.Tanh();
+  Tensor tanh_chain = g.Mul(t.Mul(t).Neg().AddScalar(1.0f));
+  EXPECT_EQ(Tensor::MaxAbsDiff(TanhGradKernel(t, g), tanh_chain), 0.0f);
+
+  Tensor relu_chain =
+      g.Mul(x.Map([](float v) { return v > 0.0f ? 1.0f : 0.0f; }));
+  // Values match exactly; only the sign of zeros may differ, which
+  // MaxAbsDiff treats as equal.
+  EXPECT_EQ(Tensor::MaxAbsDiff(ReluGradKernel(x, g), relu_chain), 0.0f);
+
+  Tensor b = x.Abs().AddScalar(1.0f);
+  Tensor div_chain = g.Mul(x).Div(b.Mul(b)).Neg();
+  EXPECT_EQ(Tensor::MaxAbsDiff(DivGradRhsKernel(g, x, b), div_chain), 0.0f);
+}
+
+TEST(TensorTest, SoftmaxGradKernelMatchesChain) {
+  Rng rng(44);
+  Tensor x = Tensor::RandUniform({5, 9, 13}, -4, 4, &rng);
+  Tensor g = Tensor::RandUniform({5, 9, 13}, -2, 2, &rng);
+  Tensor y = x.Softmax(-1);
+  // Chain form: y * (g - sum(g * y, last, keepdim)).
+  Tensor dot = g.Mul(y).Sum(/*axis=*/2, /*keepdim=*/true);
+  Tensor chain = y.Mul(g.Sub(dot));
+  Tensor fused = SoftmaxGradKernel(y, g);
+  ASSERT_EQ(fused.shape(), chain.shape());
+  EXPECT_EQ(Tensor::MaxAbsDiff(fused, chain), 0.0f);
+}
+
+TEST(TensorTest, MapTMatchesMap) {
+  Rng rng(45);
+  Tensor x = Tensor::RandUniform({2049}, -3, 3, &rng);
+  Tensor a = x.MapT([](float v) { return v * v + 1.0f; });
+  Tensor b = x.Map([](float v) { return v * v + 1.0f; });
+  EXPECT_EQ(Tensor::MaxAbsDiff(a, b), 0.0f);
+}
+
 }  // namespace
 }  // namespace tgcrn

@@ -9,6 +9,7 @@
 
 #include "core/tgcrn.h"
 #include "datagen/metro_sim.h"
+#include "obs/metrics.h"
 
 namespace tgcrn {
 namespace {
@@ -148,6 +149,27 @@ TEST_F(TrainerFixture, MaxBatchesCapsEpochWork) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   EXPECT_LT(secs, 10.0);  // 2 batches + eval must be quick
+}
+
+TEST_F(TrainerFixture, EvaluationRunsInInferenceMode) {
+  // EvaluateModel wraps the forward passes in ag::NoGradGuard, so a full
+  // eval epoch must not record a single autograd op.
+  Rng rng(7);
+  core::TGCRN model(SmallConfig(), &rng);
+  obs::Counter* fwd =
+      obs::Registry::Global().GetCounter("autograd.forward_ops");
+  const int64_t before = fwd->Value();
+  const auto evaluated = core::EvaluateModel(
+      &model, *dataset_, data::ForecastDataset::Split::kVal, {});
+  EXPECT_EQ(fwd->Value(), before) << "eval built autograd graph nodes";
+  EXPECT_FALSE(evaluated.empty());
+  // Training afterwards records ops again.
+  core::TrainConfig config;
+  config.epochs = 1;
+  config.max_batches_per_epoch = 2;
+  config.verbose = false;
+  core::TrainAndEvaluate(&model, *dataset_, config);
+  EXPECT_GT(fwd->Value(), before);
 }
 
 }  // namespace
