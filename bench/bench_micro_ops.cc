@@ -234,6 +234,42 @@ void BM_AutogradMatmulForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_AutogradMatmulForwardBackward)->Arg(16)->Arg(64);
 
+// Full step lifecycle for a training-step-shaped op chain: graph build,
+// backward, teardown. Arg 1 = step arena enabled (bump-allocated nodes,
+// flat list teardown, O(1) reset), 0 = heap-refcounted nodes torn down by
+// the handle-release cascade. Grad buffers are retained either way, so the
+// wall-clock gap isolates node allocation + teardown cost. Counters expose
+// the arena's node traffic and the retained-buffer reuse rate.
+void BM_AutogradStepArena(benchmark::State& state) {
+  const bool arena_on = state.range(0) != 0;
+  ag::SetAutogradArenaEnabled(arena_on);
+  Rng rng(7);
+  ag::Variable w1(Tensor::RandUniform({64, 64}, -1, 1, &rng), true);
+  ag::Variable w2(Tensor::RandUniform({64, 64}, -1, 1, &rng), true);
+  ag::Variable x(Tensor::RandUniform({16, 64}, -1, 1, &rng));
+  const Tensor grad_out = Tensor::Ones({16, 64});
+  const int64_t nodes_before =
+      ag::internal::ThreadGraphArenaStats().nodes_allocated_total;
+  for (auto _ : state) {
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    ag::StepArenaScope step;
+    ag::Variable h = x;
+    for (int i = 0; i < 8; ++i) {
+      h = ag::Tanh(ag::Matmul(h, (i % 2 == 0) ? w1 : w2));
+    }
+    h.Backward(grad_out);
+    benchmark::DoNotOptimize(w1.grad());
+  }
+  const auto stats = ag::internal::ThreadGraphArenaStats();
+  state.counters["arena_nodes"] = benchmark::Counter(
+      static_cast<double>(stats.nodes_allocated_total - nodes_before));
+  state.counters["arena_high_water_bytes"] =
+      benchmark::Counter(static_cast<double>(stats.high_water_bytes));
+  ag::SetAutogradArenaEnabled(true);
+}
+BENCHMARK(BM_AutogradStepArena)->Arg(0)->Arg(1);
+
 void BM_TagslBuildGraph(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(6);

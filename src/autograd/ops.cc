@@ -12,8 +12,7 @@ namespace {
 // when the shapes actually differ. The equal-shape fast path (the
 // overwhelmingly common non-broadcast case) skips the ReduceTo walk and
 // its temporary entirely.
-void AccumulateReduced(const std::shared_ptr<internal::Node>& n,
-                       const Tensor& g) {
+void AccumulateReduced(const internal::NodeRef& n, const Tensor& g) {
   if (g.shape() == n->value.shape()) {
     n->AccumulateGrad(g);
   } else {
@@ -335,7 +334,7 @@ Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
   values.reserve(parts.size());
   for (const auto& p : parts) values.push_back(p.value());
   Tensor y = Tensor::Concat(values, axis);
-  std::vector<std::shared_ptr<internal::Node>> nodes;
+  std::vector<internal::NodeRef> nodes;
   nodes.reserve(parts.size());
   for (const auto& p : parts) nodes.push_back(p.node());
   return MakeOpNode(std::move(y), parts,

@@ -1,8 +1,10 @@
 // Copyright 2026 TGCRN Reproduction Authors
 #include "autograd/variable.h"
 
-#include <unordered_set>
+#include <cstdlib>
+#include <cstring>
 
+#include "common/arena.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -23,8 +25,82 @@ obs::Counter* BackwardOpCounter() {
   return c;
 }
 
+// Grad-buffer zero-fills that reused the retained buffer instead of
+// allocating a fresh one (steady-state steps should be all reuse).
+obs::Counter* GradBufferReuseCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("tensor.grad_buffer_reuse");
+  return c;
+}
+
+obs::Counter* ArenaNodeCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("arena.nodes_allocated");
+  return c;
+}
+
+obs::Counter* ArenaStepCounter() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter("arena.steps");
+  return c;
+}
+
+obs::Gauge* ArenaHighWaterGauge() {
+  static obs::Gauge* g =
+      obs::Registry::Global().GetGauge("arena.bytes_high_water");
+  return g;
+}
+
 // Per-thread graph-recording switch, toggled by NoGradGuard.
 thread_local bool g_grad_enabled = true;
+
+// Arena gate: -1 = read TGCRN_AUTOGRAD_ARENA on first use, else 0/1.
+std::atomic<int> g_arena_enabled{-1};
+
+// Per-thread step arena. Interior nodes created while `depth > 0` are
+// placement-built in `arena` and chained on `head` in reverse creation
+// order; EndStep destroys them child-first in one flat walk and rewinds
+// the arena, keeping its blocks for the next step.
+struct GraphArena {
+  common::Arena arena;
+  internal::Node* head = nullptr;
+  int depth = 0;  // nesting of engaged StepArenaScopes
+  int64_t live_nodes = 0;
+  int64_t nodes_allocated_total = 0;
+
+  bool active() const { return depth > 0; }
+
+  internal::Node* NewNode() {
+    void* mem = arena.AllocateFor<internal::Node>();
+    auto* node = new (mem) internal::Node();
+    node->arena_owned = true;
+    node->next_in_step = head;
+    head = node;
+    ++live_nodes;
+    ++nodes_allocated_total;
+    return node;
+  }
+
+  void EndStep() {
+    // Child-first teardown: the list is in reverse creation order and a
+    // node's parents always precede it, so each destructor only touches
+    // parents that are still alive (releasing heap-leaf refcounts) —
+    // without any recursion through parent edges.
+    for (internal::Node* node = head; node != nullptr;
+         node = node->next_in_step) {
+      node->~Node();
+    }
+    head = nullptr;
+    live_nodes = 0;
+    ArenaHighWaterGauge()->Set(
+        static_cast<double>(arena.stats().high_water_bytes));
+    arena.Reset();
+  }
+};
+
+GraphArena& ThreadGraphArena() {
+  thread_local GraphArena arena;
+  return arena;
+}
 
 }  // namespace
 
@@ -36,16 +112,56 @@ NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
 
 NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
 
+bool AutogradArenaEnabled() {
+  int state = g_arena_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    const char* env = std::getenv("TGCRN_AUTOGRAD_ARENA");
+    state = (env == nullptr || std::strcmp(env, "0") != 0) ? 1 : 0;
+    g_arena_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void SetAutogradArenaEnabled(bool enabled) {
+  g_arena_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+StepArenaScope::StepArenaScope() : engaged_(AutogradArenaEnabled()) {
+  if (engaged_) {
+    GraphArena& ga = ThreadGraphArena();
+    if (++ga.depth == 1) ArenaStepCounter()->Add(1);
+  }
+}
+
+StepArenaScope::~StepArenaScope() {
+  if (engaged_) {
+    GraphArena& ga = ThreadGraphArena();
+    TGCRN_CHECK(ga.depth > 0);
+    if (--ga.depth == 0) ga.EndStep();
+  }
+}
+
 namespace internal {
+
+void Node::PrepareGrad() {
+  if (has_grad) return;
+  if (grad.numel() > 0 && grad.shape() == value.shape()) {
+    // Steady-state path: the buffer retained across ZeroGrad() is zeroed
+    // in place — same storage, no allocation. 0 + g == g keeps results
+    // bitwise identical to the allocate-fresh path.
+    grad.FillInplace(0.0f);
+    GradBufferReuseCounter()->Add(1);
+  } else {
+    grad = Tensor::Zeros(value.shape());
+  }
+  has_grad = true;
+}
 
 void Node::AccumulateGrad(const Tensor& g) {
   TGCRN_CHECK(g.shape() == value.shape())
       << "gradient shape " << ShapeToString(g.shape())
       << " != value shape " << ShapeToString(value.shape());
-  if (!has_grad) {
-    grad = Tensor::Zeros(value.shape());
-    has_grad = true;
-  }
+  PrepareGrad();
   grad.AddInplace(g);
 }
 
@@ -53,10 +169,7 @@ void Node::AccumulateScaledGrad(const Tensor& g, float scale) {
   TGCRN_CHECK(g.shape() == value.shape())
       << "gradient shape " << ShapeToString(g.shape())
       << " != value shape " << ShapeToString(value.shape());
-  if (!has_grad) {
-    grad = Tensor::Zeros(value.shape());
-    has_grad = true;
-  }
+  PrepareGrad();
   grad.AddScaledInplace(g, scale);
 }
 
@@ -65,71 +178,99 @@ void Node::AccumulateProductGrad(const Tensor& a, const Tensor& b) {
       << "gradient shape " << ShapeToString(a.shape()) << " * "
       << ShapeToString(b.shape()) << " != value shape "
       << ShapeToString(value.shape());
-  if (!has_grad) {
-    grad = Tensor::Zeros(value.shape());
-    has_grad = true;
-  }
+  PrepareGrad();
   grad.AddProductInplace(a, b);
+}
+
+NodeRef NewLeafNode(Tensor value, bool requires_grad) {
+  auto* node = new Node();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  node->needs_grad = requires_grad;
+  return NodeRef::AdoptHeap(node);
+}
+
+NodeRef NewOpNode(Tensor value, const Variable* parents,
+                  size_t num_parents) {
+  ForwardOpCounter()->Add(1);
+  GraphArena& ga = ThreadGraphArena();
+  NodeRef ref;
+  if (ga.active()) {
+    ArenaNodeCounter()->Add(1);
+    ref = NodeRef::WrapArena(ga.NewNode());
+  } else {
+    ref = NodeRef::AdoptHeap(new Node());
+  }
+  Node* node = ref.get();
+  node->value = std::move(value);
+  bool needs = false;
+  for (size_t i = 0; i < num_parents; ++i) {
+    TGCRN_CHECK(parents[i].defined());
+    needs = needs || parents[i].needs_grad();
+  }
+  node->needs_grad = needs;
+  // If no parent needs gradients the graph history is dead weight; leave
+  // the parent list empty so inference-style forward passes don't retain
+  // activations (the caller also skips installing the closure).
+  if (needs) {
+    node->parents.InitCapacity(num_parents);
+    for (size_t i = 0; i < num_parents; ++i) {
+      node->parents.EmplaceBack(parents[i].node());
+    }
+  }
+  return ref;
+}
+
+GraphArenaStats ThreadGraphArenaStats() {
+  GraphArena& ga = ThreadGraphArena();
+  GraphArenaStats stats;
+  stats.in_step = ga.active();
+  stats.live_nodes = ga.live_nodes;
+  stats.nodes_allocated_total = ga.nodes_allocated_total;
+  const common::Arena::Stats as = ga.arena.stats();
+  stats.bytes_used = as.bytes_used;
+  stats.high_water_bytes = as.high_water_bytes;
+  return stats;
 }
 
 }  // namespace internal
 
 Variable::Variable(Tensor value, bool requires_grad) {
-  node_ = std::make_shared<internal::Node>();
-  node_->value = std::move(value);
-  node_->requires_grad = requires_grad;
-  node_->needs_grad = requires_grad;
+  node_ = internal::NewLeafNode(std::move(value), requires_grad);
 }
 
-Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
+Variable Variable::FromNode(internal::NodeRef node) {
   Variable v;
   v.node_ = std::move(node);
   return v;
 }
 
-Variable MakeOpNode(Tensor value, std::vector<Variable> parents,
-                    std::function<void(const Tensor&)> backward_fn) {
-  // Inference mode: no graph node, no closure, no counter traffic — the
-  // result is a plain leaf and the parents' history is not retained.
-  if (!g_grad_enabled) return Variable(std::move(value));
-  ForwardOpCounter()->Add(1);
-  auto node = std::make_shared<internal::Node>();
-  node->value = std::move(value);
-  bool needs = false;
-  for (const auto& p : parents) {
-    TGCRN_CHECK(p.defined());
-    node->parents.push_back(p.node());
-    needs = needs || p.needs_grad();
-  }
-  node->needs_grad = needs;
-  // If no parent needs gradients the graph history is dead weight; drop it
-  // so inference-mode forward passes don't retain activations.
-  if (needs) {
-    node->backward_fn = std::move(backward_fn);
-  } else {
-    node->parents.clear();
-  }
-  return Variable::FromNode(std::move(node));
-}
-
 namespace {
+
+// Source of unique visit marks for ReverseTopoOrder. A fetch_add per
+// Backward call gives every concurrent walk (on disjoint graphs) its own
+// epoch, so nodes need no per-walk hash set membership — just a field
+// compare against the current epoch.
+std::atomic<uint64_t> g_visit_epoch{0};
 
 // Builds a reverse topological order (children before parents) of the graph
 // reachable from `root` following parent edges. Iterative DFS to avoid
 // stack overflow on long recurrent chains (P x layers x gates nodes).
 std::vector<internal::Node*> ReverseTopoOrder(internal::Node* root) {
+  const uint64_t epoch =
+      g_visit_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
   std::vector<internal::Node*> order;
-  std::unordered_set<internal::Node*> visited;
   // Each stack frame: (node, next parent index to visit).
   std::vector<std::pair<internal::Node*, size_t>> stack;
   stack.emplace_back(root, 0);
-  visited.insert(root);
+  root->visit_epoch = epoch;
   while (!stack.empty()) {
     auto& [node, next] = stack.back();
     if (next < node->parents.size()) {
       internal::Node* parent = node->parents[next].get();
       ++next;
-      if (parent->needs_grad && visited.insert(parent).second) {
+      if (parent->needs_grad && parent->visit_epoch != epoch) {
+        parent->visit_epoch = epoch;
         stack.emplace_back(parent, 0);
       }
     } else {
@@ -174,7 +315,8 @@ void Variable::Backward(const Tensor& grad_output) const {
       ++fired;
     }
     // Interior nodes' grads are only needed transiently; free them so a
-    // full BPTT pass doesn't hold two tensors per op. Leaves keep theirs.
+    // full BPTT pass doesn't hold two tensors per op. Leaves keep theirs —
+    // the buffer is the one retained and reused across steps.
     if (!node->requires_grad && node != node_.get()) {
       node->has_grad = false;
       node->grad = Tensor();

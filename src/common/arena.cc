@@ -1,0 +1,75 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "common/arena.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tgcrn {
+namespace common {
+
+Arena::Arena(size_t block_bytes) : block_bytes_(std::max<size_t>(block_bytes, 256)) {}
+
+void Arena::ActivateBlock(size_t index, size_t min_bytes) {
+  if (index == blocks_.size()) {
+    Block block;
+    block.size = std::max(block_bytes_, min_bytes);
+    block.data = std::make_unique<char[]>(block.size);
+    blocks_.push_back(std::move(block));
+  }
+  current_ = index;
+  ptr_ = blocks_[current_].data.get();
+  end_ = ptr_ + blocks_[current_].size;
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  TGCRN_CHECK(align != 0 && (align & (align - 1)) == 0)
+      << "alignment must be a power of two";
+  if (ptr_ == nullptr) ActivateBlock(0, bytes + align);
+  auto aligned = [align](char* p) {
+    const auto v = reinterpret_cast<uintptr_t>(p);
+    return reinterpret_cast<char*>((v + align - 1) & ~(uintptr_t{align} - 1));
+  };
+  char* start = aligned(ptr_);
+  if (start + bytes > end_) {
+    // Current block exhausted: move to (or create) the next one. Blocks
+    // allocated in earlier cycles are reused in order after Reset().
+    ActivateBlock(current_ + 1, bytes + align);
+    start = aligned(ptr_);
+    TGCRN_CHECK(start + bytes <= end_);
+  }
+  bytes_used_ += static_cast<size_t>(start + bytes - ptr_);
+  ptr_ = start + bytes;
+  return start;
+}
+
+void Arena::Reset() {
+  high_water_ = std::max(high_water_, bytes_used_);
+  bytes_used_ = 0;
+  if (!blocks_.empty()) {
+    current_ = 0;
+    ptr_ = blocks_[0].data.get();
+    end_ = ptr_ + blocks_[0].size;
+  }
+}
+
+void Arena::ReleaseBlocks() {
+  Reset();
+  blocks_.clear();
+  blocks_.shrink_to_fit();
+  current_ = 0;
+  ptr_ = nullptr;
+  end_ = nullptr;
+}
+
+Arena::Stats Arena::stats() const {
+  Stats s;
+  s.bytes_used = bytes_used_;
+  for (const Block& b : blocks_) s.bytes_reserved += b.size;
+  s.high_water_bytes = std::max(high_water_, bytes_used_);
+  s.num_blocks = blocks_.size();
+  return s;
+}
+
+}  // namespace common
+}  // namespace tgcrn

@@ -1,0 +1,80 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Bump-pointer arena for short-lived, same-lifetime object batches.
+//
+// Allocation is a pointer bump inside the current block; Reset() rewinds to
+// the first block in O(1) while keeping every block's capacity, so a
+// steady-state allocate/reset cycle touches the system allocator only while
+// the arena is still growing toward its high-water mark. The arena never
+// runs destructors — callers that place non-trivial objects here must
+// destroy them before Reset() (the autograd graph arena does this with an
+// intrusive list walk).
+//
+// Not thread-safe: each arena belongs to one thread (the autograd layer
+// keeps one per thread via thread_local).
+#ifndef TGCRN_COMMON_ARENA_H_
+#define TGCRN_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace tgcrn {
+namespace common {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 1 << 20;  // 1 MiB
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `bytes` of storage aligned to `align` (a power of two no larger
+  // than alignof(std::max_align_t)). Never returns nullptr; grows by whole
+  // blocks when the current one is exhausted.
+  void* Allocate(size_t bytes, size_t align);
+
+  // Convenience: raw storage suitably sized and aligned for a T. The caller
+  // placement-news into it and owns the destructor call.
+  template <typename T>
+  void* AllocateFor() {
+    return Allocate(sizeof(T), alignof(T));
+  }
+
+  // O(1) logical reset: all storage becomes reusable, no blocks are freed.
+  void Reset();
+
+  // Frees every block and returns the arena to its freshly built state.
+  void ReleaseBlocks();
+
+  struct Stats {
+    size_t bytes_used = 0;       // bytes handed out since the last Reset
+    size_t bytes_reserved = 0;   // total capacity across blocks
+    size_t high_water_bytes = 0; // max bytes_used observed over any cycle
+    size_t num_blocks = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  // Makes block `index` current, appending a new block of at least
+  // `min_bytes` if none exists yet.
+  void ActivateBlock(size_t index, size_t min_bytes);
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;       // index of the block ptr_/end_ point into
+  char* ptr_ = nullptr;      // next free byte in the current block
+  char* end_ = nullptr;      // one past the current block's last byte
+  size_t bytes_used_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace common
+}  // namespace tgcrn
+
+#endif  // TGCRN_COMMON_ARENA_H_

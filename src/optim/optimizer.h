@@ -131,31 +131,34 @@ class Adam : public Optimizer {
     for (size_t i = 0; i < params_.size(); ++i) {
       auto& p = params_[i];
       if (!p.has_grad()) continue;
-      Tensor g = p.grad();
-      if (weight_decay_ > 0.0f) {
-        g = g.Add(p.value().MulScalar(weight_decay_));
-      }
-      // m = b1 m + (1-b1) g ; v = b2 v + (1-b2) g^2 -- in place. Each
-      // element updates independently, so the chunked loop is exact.
+      // m = b1 m + (1-b1) g ; v = b2 v + (1-b2) g^2 ; w -= lr m^ / (sqrt(v^)
+      // + eps) -- all in place. The weight decay term is folded into the
+      // loop (gj = g + wd * w, the same float expression the old
+      // materialized `g.Add(w.MulScalar(wd))` computed per element), and
+      // the parameter is updated through mutable_value() instead of a
+      // Clone/SetValue round trip: the grad buffer and the weight storage
+      // are both stable across steps, so a steady-state step allocates
+      // nothing here. Each element updates independently, so the chunked
+      // loop is exact at any thread count.
       Tensor& m = m_[i];
       Tensor& v = v_[i];
       float* mp = m.mutable_data();
       float* vp = v.mutable_data();
-      const float* gp = g.data();
-      const int64_t n = g.numel();
-      Tensor value = p.value().Clone();
-      float* w = value.mutable_data();
+      const float* gp = p.grad().data();
+      const int64_t n = p.grad().numel();
+      float* w = p.mutable_value().mutable_data();
       const float beta1 = beta1_, beta2 = beta2_, eps = eps_, lr = lr_;
+      const float wd = weight_decay_;
       common::ParallelFor(0, n, kOptimizerGrain, [&](int64_t s, int64_t e) {
         for (int64_t j = s; j < e; ++j) {
-          mp[j] = beta1 * mp[j] + (1.0f - beta1) * gp[j];
-          vp[j] = beta2 * vp[j] + (1.0f - beta2) * gp[j] * gp[j];
+          const float gj = wd > 0.0f ? gp[j] + w[j] * wd : gp[j];
+          mp[j] = beta1 * mp[j] + (1.0f - beta1) * gj;
+          vp[j] = beta2 * vp[j] + (1.0f - beta2) * gj * gj;
           const float m_hat = mp[j] / bias1;
           const float v_hat = vp[j] / bias2;
           w[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
         }
       });
-      p.SetValue(std::move(value));
     }
   }
 

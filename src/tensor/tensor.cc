@@ -146,11 +146,29 @@ Shape BroadcastShapes(const Shape& a, const Shape& b) {
   return out;
 }
 
-Tensor::Tensor() : Tensor(Shape{0}) {}
+namespace {
 
-Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      data_(TensorBufferPool::Global().AcquireZeroed(ShapeNumel(shape_))) {}
+// Shared immutable zero-length storage backing every empty tensor. Default
+// construction happens on hot paths that must not touch the allocator in
+// steady state — e.g. Backward() releasing interior grads via
+// `grad = Tensor()` once per op node per step — and an empty vector can
+// never be written through (numel == 0), so one instance serves them all.
+// Leaked so tensors alive during static destruction stay valid.
+const std::shared_ptr<std::vector<float>>& EmptyStorage() {
+  static const auto* storage = new std::shared_ptr<std::vector<float>>(
+      std::make_shared<std::vector<float>>());
+  return *storage;
+}
+
+}  // namespace
+
+Tensor::Tensor() : shape_{0}, data_(EmptyStorage()) {}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  const int64_t numel = ShapeNumel(shape_);
+  data_ = numel == 0 ? EmptyStorage()
+                     : TensorBufferPool::Global().AcquireZeroed(numel);
+}
 
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
 

@@ -393,7 +393,7 @@ TEST(AutogradTest, NoGradGuardSkipsGraphConstruction) {
     // though w requires grad.
     EXPECT_FALSE(y.needs_grad());
     EXPECT_TRUE(y.node()->parents.empty());
-    EXPECT_EQ(y.node()->backward_fn, nullptr);
+    EXPECT_FALSE(static_cast<bool>(y.node()->backward_fn));
     // Values are still computed normally.
     EXPECT_TRUE(y.value().AllClose(Tensor::Full({3, 3}, 3.0f)));
   }

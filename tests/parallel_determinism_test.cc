@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "autograd/variable.h"
 #include "common/thread_pool.h"
 #include "core/tgcrn.h"
 #include "core/trainer.h"
@@ -442,6 +443,69 @@ TEST(ParallelDeterminismTest, TrainerEpochIdenticalPoolOnOff) {
   for (size_t i = 0; i < with_pool.val_mae_history.size(); ++i) {
     EXPECT_EQ(with_pool.val_mae_history[i], without_pool.val_mae_history[i]);
   }
+}
+
+// The autograd step arena changes where graph nodes live, never what they
+// compute: a train epoch must produce bitwise-identical losses with
+// TGCRN_AUTOGRAD_ARENA on or off, at every thread count in {1, 2, 4, 8}.
+TEST(ParallelDeterminismTest, TrainerEpochIdenticalArenaOnOffAcrossThreads) {
+  datagen::MetroSimConfig sim_config;
+  sim_config.num_stations = 6;
+  sim_config.num_days = 8;
+  sim_config.seed = 213;
+  sim_config.keep_od_ground_truth = false;
+
+  auto run_epoch = [&](bool arena_enabled, int threads) {
+    ag::SetAutogradArenaEnabled(arena_enabled);
+    auto sim = datagen::SimulateMetro(sim_config);
+    data::ForecastDataset::Options options;
+    options.input_steps = 4;
+    options.output_steps = 2;
+    data::ForecastDataset dataset(std::move(sim.data), options);
+
+    core::TGCRNConfig model_config;
+    model_config.num_nodes = 6;
+    model_config.input_dim = 2;
+    model_config.output_dim = 2;
+    model_config.horizon = 2;
+    model_config.hidden_dim = 8;
+    model_config.num_layers = 1;
+    model_config.node_embed_dim = 6;
+    model_config.time_embed_dim = 4;
+    model_config.steps_per_day = 72;
+    Rng rng(55);
+    core::TGCRN model(model_config, &rng);
+
+    core::TrainConfig train_config;
+    train_config.epochs = 1;
+    train_config.max_batches_per_epoch = 12;
+    train_config.num_threads = threads;
+    train_config.verbose = false;
+    return core::TrainAndEvaluate(&model, dataset, train_config);
+  };
+
+  const auto reference = run_epoch(/*arena_enabled=*/true, /*threads=*/1);
+  for (const bool arena_enabled : {true, false}) {
+    for (const int threads : {1, 2, 4, 8}) {
+      if (arena_enabled && threads == 1) continue;  // the reference run
+      const auto got = run_epoch(arena_enabled, threads);
+      ASSERT_EQ(got.train_loss_history.size(),
+                reference.train_loss_history.size());
+      for (size_t i = 0; i < reference.train_loss_history.size(); ++i) {
+        EXPECT_EQ(got.train_loss_history[i], reference.train_loss_history[i])
+            << "train loss diverged (arena=" << arena_enabled
+            << ", threads=" << threads << ")";
+      }
+      ASSERT_EQ(got.val_mae_history.size(), reference.val_mae_history.size());
+      for (size_t i = 0; i < reference.val_mae_history.size(); ++i) {
+        EXPECT_EQ(got.val_mae_history[i], reference.val_mae_history[i])
+            << "val MAE diverged (arena=" << arena_enabled
+            << ", threads=" << threads << ")";
+      }
+    }
+  }
+  ag::SetAutogradArenaEnabled(true);
+  common::SetNumThreads(1);
 }
 
 }  // namespace
