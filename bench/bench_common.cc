@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <filesystem>
 
 #include "baselines/agcrn.h"
 #include "baselines/ccrnn.h"
@@ -343,6 +345,45 @@ std::string Cell(double measured, double paper_ref, int precision) {
   if (paper_ref < 0) return TablePrinter::Num(measured, precision);
   return TablePrinter::Num(measured, precision) + " (" +
          TablePrinter::Num(paper_ref, precision) + ")";
+}
+
+void AppendCostHistory(const std::string& bench_name,
+                       const std::string& label, const Scale& scale,
+                       const core::TrainResult& result) {
+  const std::string dir = "bench_results/history";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + bench_name + "_history.csv";
+  const bool exists = std::filesystem::exists(path, ec);
+  std::FILE* out = std::fopen(path.c_str(), "a");
+  if (out == nullptr) {
+    std::printf("[history append failed: cannot open %s]\n", path.c_str());
+    return;
+  }
+  if (!exists) {
+    std::fputs(
+        "timestamp_utc,scale,model,threads,s_per_epoch,data_s,forward_s,"
+        "backward_s,clip_s,adam_s,eval_s\n",
+        out);
+  }
+  char timestamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  const auto phases = result.report.PhaseTotals();
+  auto phase = [&phases](const char* key) {
+    const auto it = phases.find(key);
+    return it != phases.end() ? it->second : 0.0;
+  };
+  std::fprintf(out, "%s,%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+               timestamp, scale.name.c_str(), label.c_str(),
+               result.num_threads, result.seconds_per_epoch,
+               phase(obs::kPhaseData), phase(obs::kPhaseForward),
+               phase(obs::kPhaseBackward), phase(obs::kPhaseClip),
+               phase(obs::kPhaseAdam), phase(obs::kPhaseEval));
+  std::fclose(out);
 }
 
 void EmitTable(const std::string& bench_name, const TablePrinter& table) {

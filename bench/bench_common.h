@@ -115,6 +115,15 @@ std::string Cell(double measured, double paper_ref, int precision = 2);
 // Writes the table and announces the CSV path.
 void EmitTable(const std::string& bench_name, const TablePrinter& table);
 
+// Appends one timing line for `label` to
+// bench_results/history/<bench_name>_history.csv (header written on
+// create): UTC timestamp, scale, threads, s/epoch, and the trainer's phase
+// seconds. The growing file is the perf trajectory the regression gate
+// (tgcrn_report_diff, docs/BENCHMARKS.md) diffs across commits.
+void AppendCostHistory(const std::string& bench_name,
+                       const std::string& label, const Scale& scale,
+                       const core::TrainResult& result);
+
 }  // namespace bench
 }  // namespace tgcrn
 

@@ -74,6 +74,7 @@ void Run() {
     const auto result = TimeOneEpoch(model.get(), bundle, scale);
     const CostRef& ref = CostRefs().at(method);
     table.AddRow(CostRow(method, result, ref.params, ref.seconds_per_epoch));
+    AppendCostHistory("table8_cost", method, scale, result);
   }
   // TGCRN small embeddings (paper: d_nu = d_tau = 16).
   {
@@ -94,6 +95,7 @@ void Run() {
     const CostRef& ref = CostRefs().at("TGCRN (16,16)");
     table.AddRow(CostRow("TGCRN (small emb)", result, ref.params,
                          ref.seconds_per_epoch));
+    AppendCostHistory("table8_cost", "TGCRN-small-emb", scale, result);
   }
   // TGCRN large embeddings (paper: d_nu = 64, d_tau = 32 -> 2x ratio).
   {
@@ -114,6 +116,7 @@ void Run() {
     const CostRef& ref = CostRefs().at("TGCRN (64,32)");
     table.AddRow(CostRow("TGCRN (large emb)", result, ref.params,
                          ref.seconds_per_epoch));
+    AppendCostHistory("table8_cost", "TGCRN-large-emb", scale, result);
   }
   std::printf("\n=== Table VIII (cost): measured (paper) ===\n");
   std::printf("(absolute values differ - paper trains hidden=64 models on "

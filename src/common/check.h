@@ -13,6 +13,12 @@
 namespace tgcrn {
 namespace internal {
 
+// Best-effort flush of the observability sinks (trace rings, metric-dump
+// target) before abort() — which skips atexit handlers, i.e. exactly when
+// a trace is most needed. Defined in obs/trace.cc (every binary links
+// libtgcrn); reentrancy-guarded and safe when neither sink is active.
+void FlushObservabilityOnAbort();
+
 // Aborts the process after printing `msg` with source location context.
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr,
@@ -20,6 +26,7 @@ namespace internal {
   std::fprintf(stderr, "[TGCRN CHECK FAILED] %s:%d: (%s) %s\n", file, line,
                expr, msg.c_str());
   std::fflush(stderr);
+  FlushObservabilityOnAbort();
   std::abort();
 }
 

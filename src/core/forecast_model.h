@@ -15,6 +15,11 @@
 #include "nn/module.h"
 
 namespace tgcrn {
+
+namespace obs {
+struct GraphHealthReport;
+}
+
 namespace core {
 
 class ForecastModel : public nn::Module {
@@ -39,6 +44,17 @@ class ForecastModel : public nn::Module {
   // 1 toward 0; models without a recursive decoder ignore it.
   virtual void SetTeacherForcingProbability(float probability) {
     (void)probability;
+  }
+
+  // Fills `out` with learned-graph diagnostics computed on `batch` (see
+  // obs::GraphHealthReport) and returns true. The default says "this model
+  // has no learned graph" so the health monitor skips the block. Called
+  // once per sampled epoch; must not record gradients.
+  virtual bool CollectGraphHealth(const data::Batch& batch,
+                                  obs::GraphHealthReport* out) {
+    (void)batch;
+    (void)out;
+    return false;
   }
 
   virtual std::string name() const = 0;

@@ -1,9 +1,14 @@
 // Copyright 2026 TGCRN Reproduction Authors
 #include "core/tagsl.h"
 
+#include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <numeric>
 
+#include "common/thread_pool.h"
 #include "nn/init.h"
+#include "obs/health.h"
 
 namespace tgcrn {
 namespace core {
@@ -75,7 +80,123 @@ ag::Variable TagSL::BuildGraph(const ag::Variable& x_t,
                                const std::vector<int64_t>& prev_slots) const {
   // Eq 11: Norm = row-softmax over relu, yielding a row-stochastic
   // aggregation operator.
-  return ag::Softmax(ag::Relu(BuildRawGraph(x_t, slots, prev_slots)), -1);
+  ag::Variable adj =
+      ag::Softmax(ag::Relu(BuildRawGraph(x_t, slots, prev_slots)), -1);
+  TGCRN_HEALTH_TAP("tagsl.adjacency", adj.value());
+  return adj;
+}
+
+namespace {
+
+// Elements per chunk for the diagnostic reductions; fixed chunking keeps
+// the statistics bitwise identical at any thread count.
+constexpr int64_t kGraphStatsGrain = 4096;
+
+}  // namespace
+
+obs::GraphHealthReport TagSL::ComputeGraphHealth(
+    const ag::Variable& x_t, const ag::Variable& x_prev,
+    const std::vector<int64_t>& slots, const std::vector<int64_t>& prev_slots,
+    const std::vector<int64_t>& prev2_slots, const GraphHealthOptions& options,
+    GraphTopKState* state) const {
+  ag::NoGradGuard no_grad;
+  const Tensor a_t = BuildGraph(x_t, slots, prev_slots).value();
+  const Tensor a_prev = BuildGraph(x_prev, prev_slots, prev2_slots).value();
+
+  obs::GraphHealthReport report;
+  const int64_t n = options_.num_nodes;
+  const int64_t numel = a_t.numel();
+  const int64_t rows = numel / n;  // B * N row distributions
+  const float* at = a_t.data();
+  const float* ap = a_prev.data();
+
+  // Mean row entropy of the row-stochastic A^t, normalized to [0, 1] by
+  // the uniform-row maximum ln N. Rows are disjoint spans of the flat
+  // buffer, so one flat -p ln p sum covers all of them.
+  if (n > 1) {
+    const double entropy_sum = common::DeterministicChunkedSum(
+        numel, kGraphStatsGrain, [at](int64_t begin, int64_t end) {
+          double s = 0.0;
+          for (int64_t i = begin; i < end; ++i) {
+            const double p = static_cast<double>(at[i]);
+            if (p > 0.0) s -= p * std::log(p);
+          }
+          return s;
+        });
+    report.row_entropy = entropy_sum /
+                         (static_cast<double>(rows) *
+                          std::log(static_cast<double>(n)));
+  }
+
+  // Fraction of total edge mass on entries at or above the threshold
+  // (default: the uniform row share 1/N). Low values mean the softmax
+  // spreads mass thinly; 1 means every row concentrated on strong edges.
+  const double threshold = options.mass_threshold > 0.0
+                               ? options.mass_threshold
+                               : 1.0 / static_cast<double>(n);
+  const double mass_above = common::DeterministicChunkedSum(
+      numel, kGraphStatsGrain, [at, threshold](int64_t begin, int64_t end) {
+        double s = 0.0;
+        for (int64_t i = begin; i < end; ++i) {
+          const double p = static_cast<double>(at[i]);
+          if (p >= threshold) s += p;
+        }
+        return s;
+      });
+  // Each row sums to 1 exactly in the softmax's own arithmetic; use the
+  // analytic total so sparsity is a clean fraction of mass.
+  report.sparsity = mass_above / static_cast<double>(rows);
+
+  // Mean absolute entry change between the adjacent-step graphs.
+  report.temporal_drift =
+      common::DeterministicChunkedSum(
+          numel, kGraphStatsGrain, [at, ap](int64_t begin, int64_t end) {
+            double s = 0.0;
+            for (int64_t i = begin; i < end; ++i) {
+              s += std::abs(static_cast<double>(at[i]) -
+                            static_cast<double>(ap[i]));
+            }
+            return s;
+          }) /
+      static_cast<double>(numel);
+
+  // Top-k neighborhoods of the batch-mean graph, compared against the
+  // previous collection. Ties break on the lower node id so the selection
+  // is deterministic.
+  const int64_t k = std::min<int64_t>(std::max<int64_t>(options.topk, 1), n);
+  report.topk = k;
+  const Tensor mean_adj = a_t.Mean(0);  // [N, N]
+  const float* mean_data = mean_adj.data();
+  std::vector<std::vector<int64_t>> topk_ids(static_cast<size_t>(n));
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    const float* row = mean_data + r * n;
+    std::iota(order.begin(), order.end(), int64_t{0});
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [row](int64_t a, int64_t b) {
+                        if (row[a] != row[b]) return row[a] > row[b];
+                        return a < b;
+                      });
+    auto& ids = topk_ids[static_cast<size_t>(r)];
+    ids.assign(order.begin(), order.begin() + k);
+    std::sort(ids.begin(), ids.end());
+  }
+  if (state != nullptr &&
+      static_cast<int64_t>(state->topk_ids.size()) == n) {
+    int64_t overlap = 0;
+    for (int64_t r = 0; r < n; ++r) {
+      const auto& now = topk_ids[static_cast<size_t>(r)];
+      const auto& before = state->topk_ids[static_cast<size_t>(r)];
+      std::vector<int64_t> common_ids;
+      std::set_intersection(now.begin(), now.end(), before.begin(),
+                            before.end(), std::back_inserter(common_ids));
+      overlap += static_cast<int64_t>(common_ids.size());
+    }
+    report.topk_stability =
+        static_cast<double>(overlap) / static_cast<double>(n * k);
+  }
+  if (state != nullptr) state->topk_ids = std::move(topk_ids);
+  return report;
 }
 
 }  // namespace core

@@ -19,9 +19,25 @@
 #include "autograd/ops.h"
 #include "core/time_encoders.h"
 #include "nn/module.h"
+#include "obs/report.h"
 
 namespace tgcrn {
 namespace core {
+
+// Knobs for the per-epoch learned-graph diagnostics (§IV-E health view).
+struct GraphHealthOptions {
+  // Edge-mass threshold for the sparsity statistic; <= 0 means the uniform
+  // row weight 1/N (entries carrying more than their uniform share).
+  double mass_threshold = 0.0;
+  // Neighborhood size for the cross-epoch top-k stability statistic.
+  int64_t topk = 3;
+};
+
+// Cross-epoch carry-over for top-k stability: each node's top-k neighbor
+// ids (sorted) from the previous collection. Empty until the first one.
+struct GraphTopKState {
+  std::vector<std::vector<int64_t>> topk_ids;
+};
 
 class TagSL : public nn::Module {
  public:
@@ -48,6 +64,26 @@ class TagSL : public nn::Module {
   ag::Variable BuildRawGraph(const ag::Variable& x_t,
                              const std::vector<int64_t>& slots,
                              const std::vector<int64_t>& prev_slots) const;
+
+  // Diagnostics of the learned graph at one time step, collected per epoch
+  // by the health monitor (no gradients recorded):
+  //  * row_entropy — mean row entropy of A^t normalized by ln N: 1 means
+  //    the softmax collapsed to uniform rows, 0 means delta rows.
+  //  * sparsity — fraction of total edge mass on entries >= threshold.
+  //  * temporal_drift — mean |A^t - A^{t-1}| between the graphs of two
+  //    adjacent steps (the paper's claim is that graphs evolve with time;
+  //    zero drift under use_time means the trend factor is doing nothing).
+  //  * topk_stability — mean overlap of each node's top-k neighbors (of
+  //    the batch-mean graph) with `state`'s previous collection; NaN when
+  //    `state` is empty. `state` is updated in place.
+  // x_t/slots/prev_slots build A^t; x_prev/prev_slots/prev2_slots build
+  // A^{t-1}. Deterministic at any thread count.
+  obs::GraphHealthReport ComputeGraphHealth(
+      const ag::Variable& x_t, const ag::Variable& x_prev,
+      const std::vector<int64_t>& slots,
+      const std::vector<int64_t>& prev_slots,
+      const std::vector<int64_t>& prev2_slots,
+      const GraphHealthOptions& options, GraphTopKState* state) const;
 
   const ag::Variable& node_embedding() const { return node_embedding_; }
   const Options& options() const { return options_; }

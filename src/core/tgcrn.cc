@@ -1,6 +1,8 @@
 // Copyright 2026 TGCRN Reproduction Authors
 #include "core/tgcrn.h"
 
+#include "obs/health.h"
+
 namespace tgcrn {
 namespace core {
 
@@ -144,7 +146,9 @@ ag::Variable TGCRN::Forward(const data::Batch& batch) {
     ag::Variable flat = direct_head_->Forward(hidden.back());  // [B,N,Q*d]
     ag::Variable shaped = ag::Reshape(
         flat, {b, n, config_.horizon, config_.output_dim});
-    return ag::Permute(shaped, {0, 2, 1, 3});  // [B, Q, N, d]
+    ag::Variable direct_out = ag::Permute(shaped, {0, 2, 1, 3});  // [B,Q,N,d]
+    TGCRN_HEALTH_TAP("tgcrn.prediction", direct_out.value());
+    return direct_out;
   }
 
   // --- Decoder ---------------------------------------------------------------
@@ -180,7 +184,29 @@ ag::Variable TGCRN::Forward(const data::Batch& batch) {
     }
     prev_slots = slots;
   }
-  return ag::Stack(outputs, 1);  // [B, Q, N, d_out]
+  ag::Variable prediction = ag::Stack(outputs, 1);  // [B, Q, N, d_out]
+  TGCRN_HEALTH_TAP("tgcrn.prediction", prediction.value());
+  return prediction;
+}
+
+bool TGCRN::CollectGraphHealth(const data::Batch& batch,
+                               obs::GraphHealthReport* out) {
+  const int64_t p = batch.x.size(1);
+  if (p < 2) return false;
+  ag::NoGradGuard no_grad;
+  // A^t from the last input step, A^{t-1} from the one before it — the
+  // same (x, slot, prev-slot) triples the encoder feeds TagSL.
+  ag::Variable x_t{batch.x.Slice(1, p - 1, p).Squeeze(1)};
+  ag::Variable x_prev{batch.x.Slice(1, p - 2, p - 1).Squeeze(1)};
+  const std::vector<int64_t> slots = SlotColumn(batch.x_slots, p - 1);
+  const std::vector<int64_t> prev = SlotColumn(batch.x_slots, p - 2);
+  const std::vector<int64_t> prev2 =
+      p >= 3 ? SlotColumn(batch.x_slots, p - 3)
+             : PrevSlots(prev, config_.steps_per_day);
+  *out = tagsl_->ComputeGraphHealth(x_t, x_prev, slots, prev, prev2,
+                                    graph_health_options_,
+                                    &graph_topk_state_);
+  return true;
 }
 
 ag::Variable TGCRN::AuxiliaryLoss(const data::Batch& batch, Rng* rng) {

@@ -70,6 +70,13 @@ class TGCRN : public ForecastModel {
   }
   std::string name() const override { return "TGCRN"; }
 
+  // Learned-graph diagnostics on the batch's last two input steps (entropy,
+  // sparsity, adjacent-step drift, cross-epoch top-k stability). Returns
+  // false when the input window is too short (P < 2). Works for the
+  // ablated graph variants too — TagSL always produces the adjacency.
+  bool CollectGraphHealth(const data::Batch& batch,
+                          obs::GraphHealthReport* out) override;
+
   // The learned time-aware adjacency (normalized) for one step, averaged
   // over the batch dimension - used by the Fig 11 / Fig 12 analyses.
   Tensor LearnedAdjacency(const Tensor& x_t,
@@ -98,6 +105,8 @@ class TGCRN : public ForecastModel {
                                         int64_t steps_per_day);
 
   TGCRNConfig config_;
+  GraphHealthOptions graph_health_options_;
+  GraphTopKState graph_topk_state_;
   int64_t embed_dim_ = 0;
   float teacher_forcing_ = 0.0f;
   Rng sampling_rng_{9177};

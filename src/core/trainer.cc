@@ -92,6 +92,11 @@ TrainResult TrainAndEvaluate(ForecastModel* model,
   result.report.num_threads = result.num_threads;
 
   Rng rng(config.seed);
+  // Health monitor: parameter list cached once here; when disabled, the
+  // only per-step cost below is one branch (the zero-alloc steady state
+  // pinned by autograd_arena_test stays intact).
+  obs::HealthMonitor health_monitor(config.health);
+  if (health_monitor.enabled()) health_monitor.Attach(*model);
   optim::Adam adam(model->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
                    config.weight_decay);
   optim::MultiStepLR scheduler(&adam, config.lr_milestones, config.lr_gamma);
@@ -129,9 +134,11 @@ TrainResult TrainAndEvaluate(ForecastModel* model,
     }
     obs::EpochReport epoch_report;
     epoch_report.epoch = epoch;
+    const bool health_sampled = health_monitor.ShouldSample(epoch);
     double loss_sum = 0.0;
     double grad_norm_sum = 0.0;
     double grad_norm_last = 0.0;
+    int64_t batch_index = 0;
     for (const auto& ids : batches) {
       data::Batch batch;
       {
@@ -153,6 +160,12 @@ TrainResult TrainAndEvaluate(ForecastModel* model,
       // escape the scope, so the scalar is read before it ends.
       ag::StepArenaScope arena_step;
       ag::Variable loss;
+      // Activation taps sample the first training batch of each sampled
+      // epoch (one representative forward, not every batch).
+      const bool sampling_activations = health_sampled && batch_index == 0;
+      if (sampling_activations) {
+        health_monitor.BeginActivationSampling(global_step);
+      }
       {
         PhaseTimer timer(&epoch_report.phase_seconds, obs::kPhaseForward);
         TGCRN_TRACE_SCOPE("train.forward");
@@ -166,6 +179,7 @@ TrainResult TrainAndEvaluate(ForecastModel* model,
           }
         }
       }
+      if (sampling_activations) health_monitor.EndActivationSampling();
       {
         PhaseTimer timer(&epoch_report.phase_seconds, obs::kPhaseBackward);
         TGCRN_TRACE_SCOPE("train.backward");
@@ -177,12 +191,18 @@ TrainResult TrainAndEvaluate(ForecastModel* model,
         grad_norm_last = optim::ClipGradNorm(adam.params(), config.clip_norm);
         grad_norm_sum += grad_norm_last;
       }
+      // Sentinel: a NaN/Inf anywhere in the gradients propagates through
+      // the clip reduction, so this finiteness test detects it for free.
+      if (health_monitor.enabled() && !std::isfinite(grad_norm_last)) {
+        health_monitor.HandleNonFiniteGradients(global_step);
+      }
       {
         PhaseTimer timer(&epoch_report.phase_seconds, obs::kPhaseAdam);
         TGCRN_TRACE_SCOPE("train.adam_step");
         adam.Step();
       }
       loss_sum += loss.value().item();
+      ++batch_index;
     }
     const double train_loss =
         batches.empty() ? 0.0 : loss_sum / static_cast<double>(batches.size());
@@ -204,6 +224,20 @@ TrainResult TrainAndEvaluate(ForecastModel* model,
     epoch_report.grad_norm_mean =
         batches.empty() ? 0.0
                         : grad_norm_sum / static_cast<double>(batches.size());
+    if (health_sampled) {
+      PhaseTimer timer(&epoch_report.phase_seconds, obs::kPhaseHealth);
+      TGCRN_TRACE_SCOPE("train.health");
+      epoch_report.has_health = true;
+      health_monitor.CollectInto(global_step, &epoch_report.health);
+      if (!batches.empty()) {
+        // Learned-graph diagnostics on a deterministic sample: the epoch's
+        // first training batch.
+        const data::Batch sample = dataset.MakeBatch(
+            data::ForecastDataset::Split::kTrain, batches.front());
+        epoch_report.health.has_graph =
+            model->CollectGraphHealth(sample, &epoch_report.health.graph);
+      }
+    }
     epoch_report.seconds = SecondsSince(epoch_start);
     epoch_seconds_sum += epoch_report.seconds;
     if (!config.report_path.empty() &&

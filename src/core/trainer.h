@@ -13,6 +13,7 @@
 #include "core/forecast_model.h"
 #include "data/dataset.h"
 #include "metrics/metrics.h"
+#include "obs/health.h"
 #include "obs/report.h"
 
 namespace tgcrn {
@@ -48,6 +49,12 @@ struct TrainConfig {
   // appended after test evaluation. The same data is always available in
   // TrainResult::report regardless of this setting.
   std::string report_path;
+  // Training-health monitor (obs/health.h): per-module parameter/gradient
+  // statistics, activation taps, learned-graph diagnostics, and the
+  // non-finite-gradient sentinel. Defaults from TGCRN_HEALTH* env vars, so
+  // any training entry point gains the monitor without code changes.
+  // Disabled ⇒ the training loop does zero health work per step.
+  obs::HealthOptions health = obs::HealthOptions::FromEnv();
 };
 
 struct TrainResult {

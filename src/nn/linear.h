@@ -7,6 +7,7 @@
 #include "autograd/ops.h"
 #include "nn/init.h"
 #include "nn/module.h"
+#include "obs/health.h"
 
 namespace tgcrn {
 namespace nn {
@@ -34,6 +35,7 @@ class Linear : public Module {
     ag::Variable out = ag::Matmul(input, weight_);
     if (bias_.defined()) out = ag::Add(out, bias_);
     if (was_vector) out = ag::Squeeze(out, 0);
+    TGCRN_HEALTH_TAP("nn.linear.out", out.value());
     return out;
   }
 

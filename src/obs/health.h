@@ -1,0 +1,155 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Training-health monitor: the second observability tier. Unlike the
+// std-only first tier (json/metrics/trace/report), this header may depend
+// on the tensor and autograd layers — it inspects live parameters,
+// gradients, and activations. Nothing below obs/ includes it.
+//
+// Three jobs:
+//
+//  * Per-module statistics — HealthMonitor caches a module's named
+//    parameters once (Attach) and, at a configurable epoch cadence,
+//    produces a HealthReport with rms/min/max/mean, NaN/Inf counts, and
+//    zero-fraction for every parameter and gradient (obs/report.h structs,
+//    streamed through the trainer's JSONL report).
+//  * Activation taps — TGCRN_HEALTH_TAP(name, tensor) in model code
+//    observes an intermediate tensor. Outside a sampling window the macro
+//    costs one relaxed atomic load and a branch (the same contract as
+//    TGCRN_TRACE_SCOPE); the trainer opens the window for the first batch
+//    of each sampled epoch.
+//  * Fail-fast sentinel — with `fatal` set (TGCRN_HEALTH_FATAL=1), the
+//    first non-finite value in a gradient or parameter aborts via
+//    TGCRN_CHECK with the offending module name, global step, and tensor
+//    stats — instead of surfacing as a silently bad val_mae epochs later.
+//
+// Statistic reductions use fixed-size chunking with a thread-count-
+// independent combine order (the DeterministicChunkedSum contract), so
+// collected stats are bitwise identical at any parallel width. With the
+// monitor disabled the trainer's hot path performs no health work at all:
+// the zero-alloc steady state pinned by autograd_arena_test is preserved.
+#ifndef TGCRN_OBS_HEALTH_H_
+#define TGCRN_OBS_HEALTH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "obs/report.h"
+
+namespace tgcrn {
+
+namespace nn {
+class Module;
+}
+
+namespace obs {
+
+// Runtime knobs, defaulted from the environment by the trainer:
+//   TGCRN_HEALTH=1        enable collection
+//   TGCRN_HEALTH_EVERY=N  collect stats every N epochs (default 1)
+//   TGCRN_HEALTH_FATAL=1  abort on the first non-finite gradient/parameter
+struct HealthOptions {
+  bool enabled = false;
+  int64_t every = 1;
+  bool fatal = false;
+
+  static HealthOptions FromEnv();
+};
+
+// Summary statistics of a tensor's elements. mean/rms/min/max cover the
+// finite elements; NaN/Inf are counted, not averaged. Deterministic at any
+// thread count (fixed chunk boundaries, fixed combine order).
+TensorStatsReport ComputeTensorStats(const Tensor& t);
+
+// One-line human-readable rendering ("count=72 mean=0.01 ... nan=3") for
+// sentinel abort messages and logs.
+std::string DescribeTensorStats(const TensorStatsReport& stats);
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(const HealthOptions& options);
+  ~HealthMonitor();
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  bool enabled() const { return options_.enabled; }
+  bool fatal() const { return options_.fatal; }
+  // True when stats should be collected for this (0-based) epoch.
+  bool ShouldSample(int64_t epoch) const;
+
+  // Caches the module's named parameters (one vector build, so per-step
+  // sentinel scans allocate nothing). Call once before training.
+  void Attach(const nn::Module& module);
+
+  // Sentinel entry point: the trainer calls this when the global gradient
+  // norm comes back non-finite (NaN propagates through the clip reduction,
+  // so the check itself is free). Locates the first offending parameter;
+  // aborts with module/step/stats when fatal, else logs and counts.
+  void HandleNonFiniteGradients(int64_t step);
+
+  // Opens/closes the activation sampling window for TGCRN_HEALTH_TAP.
+  // Only one monitor can sample at a time (process-global tap target).
+  void BeginActivationSampling(int64_t step);
+  void EndActivationSampling();
+
+  // Records one observation of a tapped activation. `name` must be a
+  // string literal (only the pointer is compared/stored). When fatal,
+  // aborts on the first non-finite activation value.
+  void Observe(const char* name, const Tensor& t);
+
+  // Fills `out` with per-module parameter/gradient statistics and the
+  // accumulated activation statistics, then resets the accumulators and
+  // the non-finite step count (so each report covers one interval). When
+  // fatal, aborts if any parameter value is non-finite.
+  void CollectInto(int64_t step, HealthReport* out);
+
+  int64_t non_finite_steps() const { return non_finite_steps_; }
+
+ private:
+  struct ActivationAccum {
+    int64_t samples = 0;
+    TensorStatsReport merged;  // running merge across observations
+  };
+
+  HealthOptions options_;
+  std::vector<std::pair<std::string, ag::Variable>> params_;
+  std::mutex activation_mu_;
+  std::map<std::string, ActivationAccum> activations_;
+  int64_t non_finite_steps_ = 0;
+  int64_t non_finite_logged_ = 0;
+  int64_t sampling_step_ = -1;
+};
+
+namespace internal {
+// The monitor currently inside an activation-sampling window (nullptr
+// almost always — the tap macro's fast path).
+extern std::atomic<HealthMonitor*> g_sampling_monitor;
+}  // namespace internal
+
+// True while some monitor is sampling activations. One relaxed load.
+inline bool HealthSamplingActive() {
+  return internal::g_sampling_monitor.load(std::memory_order_relaxed) !=
+         nullptr;
+}
+
+// Forwards to the sampling monitor, if any (cold path of the tap macro).
+void ObserveActivation(const char* name, const Tensor& t);
+
+}  // namespace obs
+}  // namespace tgcrn
+
+// Observes an intermediate tensor when a health monitor is sampling.
+// `name` must be a string literal; `tensor` is evaluated only while a
+// sampling window is open.
+#define TGCRN_HEALTH_TAP(name, tensor)                   \
+  do {                                                   \
+    if (::tgcrn::obs::HealthSamplingActive()) {          \
+      ::tgcrn::obs::ObserveActivation((name), (tensor)); \
+    }                                                    \
+  } while (false)
+
+#endif  // TGCRN_OBS_HEALTH_H_

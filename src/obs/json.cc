@@ -3,6 +3,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <limits>
 #include <cstdio>
 #include <cstdlib>
 
@@ -315,7 +316,15 @@ const Json& Json::operator[](const std::string& key) const {
 
 double Json::GetDouble(const std::string& key, double fallback) const {
   const Json& v = (*this)[key];
-  return v.is_number() ? v.AsDouble() : fallback;
+  if (v.is_number()) return v.AsDouble();
+  // Round-trip the serializer's non-finite encoding: Dump() writes NaN/Inf
+  // as null (JSON has neither), so a key that is *present but null* parses
+  // back as NaN rather than silently coercing to the fallback. An absent
+  // key still returns the fallback.
+  if (v.is_null() && Has(key)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return fallback;
 }
 
 int64_t Json::GetInt(const std::string& key, int64_t fallback) const {

@@ -2,6 +2,8 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -229,6 +231,42 @@ void Registry::ResetAll() {
   for (auto& [name, counter] : impl_->counters) counter->Reset();
   for (auto& [name, histogram] : impl_->histograms) histogram->Reset();
 }
+
+bool DumpMetricsRegistry(const std::string& target) {
+  const std::string text = Registry::Global().Collect().ToText();
+  if (target == "stderr") {
+    std::fputs(text.c_str(), stderr);
+    return std::fflush(stderr) == 0;
+  }
+  std::FILE* out = std::fopen(target.c_str(), "w");
+  if (out == nullptr) return false;
+  const bool ok = std::fputs(text.c_str(), out) >= 0;
+  return std::fclose(out) == 0 && ok;
+}
+
+const std::string& MetricsDumpTargetFromEnv() {
+  static const std::string* target = [] {
+    const char* v = std::getenv("TGCRN_METRICS_DUMP");
+    return new std::string(v != nullptr ? v : "");
+  }();
+  return *target;
+}
+
+namespace {
+
+// With TGCRN_METRICS_DUMP set, write the registry exposition at clean
+// process exit. (The abort path in common/check.h dumps explicitly, since
+// abort() skips atexit handlers.)
+struct EnvDumpRegistrar {
+  EnvDumpRegistrar() {
+    if (!MetricsDumpTargetFromEnv().empty()) {
+      std::atexit([] { DumpMetricsRegistry(MetricsDumpTargetFromEnv()); });
+    }
+  }
+};
+EnvDumpRegistrar env_dump_registrar;
+
+}  // namespace
 
 }  // namespace obs
 }  // namespace tgcrn

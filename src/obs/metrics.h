@@ -161,6 +161,17 @@ class Registry {
   Impl* impl_;  // leaked: metrics must outlive static destruction
 };
 
+// Writes the global registry's text exposition to `target`: the literal
+// string "stderr", or a file path (overwritten). Returns false on I/O
+// failure. With TGCRN_METRICS_DUMP=<path|stderr> set, this runs
+// automatically at clean process exit and from the TGCRN_CHECK abort path,
+// so bench and CI runs capture counters without code changes.
+bool DumpMetricsRegistry(const std::string& target);
+
+// The TGCRN_METRICS_DUMP target from the environment ("" when unset).
+// Exposed for the abort-flush path in obs/trace.cc.
+const std::string& MetricsDumpTargetFromEnv();
+
 }  // namespace obs
 }  // namespace tgcrn
 

@@ -2,6 +2,7 @@
 #include "obs/report.h"
 
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "obs/json.h"
@@ -30,6 +31,125 @@ std::map<std::string, double> PhaseMapFromJson(const Json& json) {
 
 }  // namespace
 
+Json TensorStatsReport::ToJson() const {
+  Json out = Json::Object();
+  out.Set("count", Json::Int(count));
+  out.Set("mean", Json::Number(mean));
+  out.Set("rms", Json::Number(rms));
+  out.Set("min", Json::Number(min));
+  out.Set("max", Json::Number(max));
+  out.Set("nan", Json::Int(nan_count));
+  out.Set("inf", Json::Int(inf_count));
+  out.Set("zero_fraction", Json::Number(zero_fraction));
+  return out;
+}
+
+TensorStatsReport TensorStatsReport::FromJson(const Json& json) {
+  TensorStatsReport stats;
+  stats.count = json.GetInt("count");
+  stats.mean = json.GetDouble("mean");
+  stats.rms = json.GetDouble("rms");
+  stats.min = json.GetDouble("min");
+  stats.max = json.GetDouble("max");
+  stats.nan_count = json.GetInt("nan");
+  stats.inf_count = json.GetInt("inf");
+  stats.zero_fraction = json.GetDouble("zero_fraction");
+  return stats;
+}
+
+Json ModuleHealthReport::ToJson() const {
+  Json out = Json::Object();
+  out.Set("name", Json::Str(name));
+  out.Set("param", param.ToJson());
+  if (grad.count > 0) out.Set("grad", grad.ToJson());
+  return out;
+}
+
+ModuleHealthReport ModuleHealthReport::FromJson(const Json& json) {
+  ModuleHealthReport report;
+  report.name = json.GetString("name");
+  report.param = TensorStatsReport::FromJson(json["param"]);
+  if (json.Has("grad")) {
+    report.grad = TensorStatsReport::FromJson(json["grad"]);
+  }
+  return report;
+}
+
+Json ActivationHealthReport::ToJson() const {
+  Json out = Json::Object();
+  out.Set("name", Json::Str(name));
+  out.Set("samples", Json::Int(samples));
+  out.Set("stats", stats.ToJson());
+  return out;
+}
+
+ActivationHealthReport ActivationHealthReport::FromJson(const Json& json) {
+  ActivationHealthReport report;
+  report.name = json.GetString("name");
+  report.samples = json.GetInt("samples");
+  report.stats = TensorStatsReport::FromJson(json["stats"]);
+  return report;
+}
+
+Json GraphHealthReport::ToJson() const {
+  Json out = Json::Object();
+  out.Set("row_entropy", Json::Number(row_entropy));
+  out.Set("sparsity", Json::Number(sparsity));
+  out.Set("temporal_drift", Json::Number(temporal_drift));
+  // NaN on the first sampled epoch; the serializer emits null and
+  // GetDouble parses it back as NaN.
+  out.Set("topk_stability", Json::Number(topk_stability));
+  out.Set("topk", Json::Int(topk));
+  return out;
+}
+
+GraphHealthReport GraphHealthReport::FromJson(const Json& json) {
+  GraphHealthReport report;
+  report.row_entropy = json.GetDouble("row_entropy");
+  report.sparsity = json.GetDouble("sparsity");
+  report.temporal_drift = json.GetDouble("temporal_drift");
+  report.topk_stability = json.GetDouble(
+      "topk_stability", std::numeric_limits<double>::quiet_NaN());
+  report.topk = json.GetInt("topk");
+  return report;
+}
+
+Json HealthReport::ToJson() const {
+  Json out = Json::Object();
+  out.Set("non_finite_steps", Json::Int(non_finite_steps));
+  Json module_list = Json::Array();
+  for (const auto& m : modules) module_list.Append(m.ToJson());
+  out.Set("modules", std::move(module_list));
+  Json activation_list = Json::Array();
+  for (const auto& a : activations) activation_list.Append(a.ToJson());
+  out.Set("activations", std::move(activation_list));
+  if (has_graph) out.Set("graph", graph.ToJson());
+  return out;
+}
+
+HealthReport HealthReport::FromJson(const Json& json) {
+  HealthReport report;
+  report.non_finite_steps = json.GetInt("non_finite_steps");
+  const Json& module_list = json["modules"];
+  if (module_list.is_array()) {
+    for (size_t i = 0; i < module_list.size(); ++i) {
+      report.modules.push_back(ModuleHealthReport::FromJson(module_list.at(i)));
+    }
+  }
+  const Json& activation_list = json["activations"];
+  if (activation_list.is_array()) {
+    for (size_t i = 0; i < activation_list.size(); ++i) {
+      report.activations.push_back(
+          ActivationHealthReport::FromJson(activation_list.at(i)));
+    }
+  }
+  if (json.Has("graph")) {
+    report.has_graph = true;
+    report.graph = GraphHealthReport::FromJson(json["graph"]);
+  }
+  return report;
+}
+
 Json EpochReport::ToJson() const {
   Json out = Json::Object();
   out.Set("type", Json::Str("epoch"));
@@ -41,6 +161,7 @@ Json EpochReport::ToJson() const {
   out.Set("grad_norm_last", Json::Number(grad_norm_last));
   out.Set("seconds", Json::Number(seconds));
   out.Set("phase_seconds", PhaseMapToJson(phase_seconds));
+  if (has_health) out.Set("health", health.ToJson());
   return out;
 }
 
@@ -54,6 +175,10 @@ EpochReport EpochReport::FromJson(const Json& json) {
   report.grad_norm_last = json.GetDouble("grad_norm_last");
   report.seconds = json.GetDouble("seconds");
   report.phase_seconds = PhaseMapFromJson(json["phase_seconds"]);
+  if (json.Has("health")) {
+    report.has_health = true;
+    report.health = HealthReport::FromJson(json["health"]);
+  }
   return report;
 }
 
@@ -115,11 +240,19 @@ bool RunReport::FromJsonl(const std::string& content, RunReport* out) {
   while (std::getline(lines, line)) {
     if (line.empty()) continue;
     Json json;
-    if (!Json::Parse(line, &json)) return false;
+    if (!Json::Parse(line, &json)) {
+      // A final line with no trailing newline is the truncated tail of an
+      // interrupted append (a run in progress or killed mid-write): skip
+      // it so live reports stay diffable. Any other bad line is corruption.
+      const bool is_last_line = lines.peek() == EOF;
+      if (is_last_line && !content.empty() && content.back() != '\n') break;
+      return false;
+    }
     const std::string type = json.GetString("type");
     if (type == "epoch") {
       report.epochs.push_back(EpochReport::FromJson(json));
     } else if (type == "summary") {
+      report.has_summary = true;
       report.model = json.GetString("model");
       report.num_parameters = json.GetInt("num_parameters");
       report.num_threads = static_cast<int>(json.GetInt("num_threads", 1));

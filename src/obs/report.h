@@ -21,6 +21,7 @@
 #define TGCRN_OBS_REPORT_H_
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -40,6 +41,79 @@ inline const char* const kPhaseBackward = "backward";
 inline const char* const kPhaseClip = "clip";
 inline const char* const kPhaseAdam = "adam";
 inline const char* const kPhaseEval = "eval";
+// Health-stat collection (only present on sampled epochs with TGCRN_HEALTH).
+inline const char* const kPhaseHealth = "health";
+
+// Summary statistics of one tensor (a parameter, gradient, or activation).
+// mean/rms/min/max cover the finite elements only, so they stay readable
+// when a handful of elements blow up; nan_count/inf_count carry the blowup.
+struct TensorStatsReport {
+  int64_t count = 0;  // total elements
+  double mean = 0.0;
+  double rms = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int64_t nan_count = 0;
+  int64_t inf_count = 0;
+  double zero_fraction = 0.0;  // exact zeros / count
+
+  bool HasNonFinite() const { return nan_count > 0 || inf_count > 0; }
+
+  Json ToJson() const;
+  static TensorStatsReport FromJson(const Json& json);
+};
+
+// Health of one named parameter: the value tensor and (when a backward
+// pass has run) its gradient. `grad.count == 0` means "no gradient".
+struct ModuleHealthReport {
+  std::string name;  // hierarchical dotted name from nn::Module
+  TensorStatsReport param;
+  TensorStatsReport grad;
+
+  Json ToJson() const;
+  static ModuleHealthReport FromJson(const Json& json);
+};
+
+// Accumulated statistics of one tapped activation over `samples`
+// observations inside the sampling window.
+struct ActivationHealthReport {
+  std::string name;
+  int64_t samples = 0;
+  TensorStatsReport stats;
+
+  Json ToJson() const;
+  static ActivationHealthReport FromJson(const Json& json);
+};
+
+// Diagnostics of the learned time-aware graph (TagSL), per epoch:
+// whether the row-stochastic adjacency is collapsing to uniform
+// (entropy -> 1) or to a delta (entropy -> 0), how much mass sits on
+// strong edges, how much the graph moves between adjacent time slots,
+// and how stable each node's top-k neighborhood is across epochs.
+struct GraphHealthReport {
+  double row_entropy = 0.0;     // mean row entropy, normalized to [0, 1]
+  double sparsity = 0.0;        // fraction of total mass on entries >= threshold
+  double temporal_drift = 0.0;  // mean |A^t - A^{t-1}| over entries
+  // Mean top-k neighbor overlap with the previous collection; NaN until a
+  // previous epoch exists (serialized as null).
+  double topk_stability = std::numeric_limits<double>::quiet_NaN();
+  int64_t topk = 0;
+
+  Json ToJson() const;
+  static GraphHealthReport FromJson(const Json& json);
+};
+
+// One epoch's model-health block (obs/health.h produces it).
+struct HealthReport {
+  int64_t non_finite_steps = 0;  // steps with a non-finite gradient norm
+  std::vector<ModuleHealthReport> modules;
+  std::vector<ActivationHealthReport> activations;
+  bool has_graph = false;
+  GraphHealthReport graph;
+
+  Json ToJson() const;
+  static HealthReport FromJson(const Json& json);
+};
 
 struct EpochReport {
   int64_t epoch = 0;
@@ -50,6 +124,10 @@ struct EpochReport {
   double grad_norm_last = 0.0;  // final batch's pre-clip norm
   double seconds = 0.0;         // wall clock for the epoch (train + eval)
   std::map<std::string, double> phase_seconds;
+  // Present only on epochs the health monitor sampled (TGCRN_HEALTH=1 at
+  // the configured cadence); the epoch JSON line gains a "health" object.
+  bool has_health = false;
+  HealthReport health;
 
   Json ToJson() const;
   static EpochReport FromJson(const Json& json);
@@ -73,6 +151,9 @@ struct RunReport {
   std::vector<EpochReport> epochs;
   std::vector<HorizonMetricsReport> test_per_horizon;
   HorizonMetricsReport test_average;
+  // Set by FromJsonl when a summary line was present, so tooling (the
+  // report diff) can tell "no test metrics yet" from "all-zero metrics".
+  bool has_summary = false;
 
   // Sum of each phase across epochs.
   std::map<std::string, double> PhaseTotals() const;
@@ -85,7 +166,10 @@ struct RunReport {
 
   // Parses a JSONL document (epoch lines + optional summary line, in any
   // order) produced by this format. Unknown line types are skipped.
-  // Returns false if any line fails to parse as JSON.
+  // Returns false if any line fails to parse as JSON — except a final
+  // partial line with no trailing newline, which is treated as the
+  // truncated tail of a run still in progress (or killed mid-write) and
+  // ignored, so tailing tools can diff a live report.
   static bool FromJsonl(const std::string& content, RunReport* out);
 };
 

@@ -10,8 +10,26 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace tgcrn {
+
+namespace internal {
+
+// Declared in common/check.h. Runs on the TGCRN_CHECK abort path, so keep
+// it defensive: a reentrant failure (a check firing while flushing) must
+// not recurse, and neither sink being active must be a no-op.
+void FlushObservabilityOnAbort() {
+  static std::atomic<bool> flushing{false};
+  if (flushing.exchange(true)) return;
+  if (obs::TracingEnabled()) obs::StopTracingAndWrite();
+  const std::string& dump = obs::MetricsDumpTargetFromEnv();
+  if (!dump.empty()) obs::DumpMetricsRegistry(dump);
+  flushing.store(false);
+}
+
+}  // namespace internal
+
 namespace obs {
 
 namespace internal {

@@ -22,8 +22,27 @@ namespace optim {
 // tensors are independent rows of work, so chunking never changes results.
 inline constexpr int64_t kOptimizerGrain = 1024;
 
+// Deterministic squared sum of one buffer (the per-parameter piece of the
+// global gradient norm). This is the trainer's gradient-stats capture
+// point: the value feeds the clip below, the per-epoch grad_norm fields in
+// the run report, and — because NaN/Inf propagate through the sum — the
+// health monitor's non-finite sentinel, all from a single reduction.
+inline double GradSquaredSum(const float* data, int64_t n) {
+  return common::DeterministicChunkedSum(
+      n, kOptimizerGrain, [data](int64_t begin, int64_t end) {
+        double sq = 0.0;
+        for (int64_t i = begin; i < end; ++i) {
+          sq += static_cast<double>(data[i]) * data[i];
+        }
+        return sq;
+      });
+}
+
 // Scales all gradients so their global L2 norm is at most `max_norm`.
 // Returns the pre-clip norm. Parameters without gradients are skipped.
+// A non-finite return means some gradient element is non-finite; the
+// `norm > max_norm` comparison is then false, so the offending gradients
+// are left unscaled for the health monitor to inspect.
 inline float ClipGradNorm(const std::vector<ag::Variable>& params,
                           float max_norm) {
   // Per-parameter partials via the deterministic chunked reduction, summed
@@ -32,15 +51,7 @@ inline float ClipGradNorm(const std::vector<ag::Variable>& params,
   for (const auto& p : params) {
     if (!p.has_grad()) continue;
     const Tensor& g = p.grad();
-    const float* data = g.data();
-    total_sq += common::DeterministicChunkedSum(
-        g.numel(), kOptimizerGrain, [data](int64_t begin, int64_t end) {
-          double sq = 0.0;
-          for (int64_t i = begin; i < end; ++i) {
-            sq += static_cast<double>(data[i]) * data[i];
-          }
-          return sq;
-        });
+    total_sq += GradSquaredSum(g.data(), g.numel());
   }
   const float norm = static_cast<float>(std::sqrt(total_sq));
   if (norm > max_norm && norm > 0.0f) {

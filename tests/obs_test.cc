@@ -4,7 +4,9 @@
 // output validity, and the structured run report produced by a real
 // 2-epoch smoke train.
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -13,10 +15,12 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 #include "core/tgcrn.h"
 #include "core/trainer.h"
 #include "datagen/metro_sim.h"
+#include "obs/diff.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -280,6 +284,252 @@ TEST(ReportTest, EpochReportJsonRoundTrip) {
   EXPECT_DOUBLE_EQ(back.seconds, 0.75);
   ASSERT_EQ(back.phase_seconds.size(), 2u);
   EXPECT_DOUBLE_EQ(back.phase_seconds.at(obs::kPhaseForward), 0.4);
+}
+
+TEST(JsonTest, GetDoubleTreatsNullAsNaNAndAbsentAsFallback) {
+  obs::Json obj = obs::Json::Object();
+  obj.Set("present", obs::Json::Number(2.5));
+  obj.Set("missing_value", obs::Json::Null());
+  EXPECT_DOUBLE_EQ(obj.GetDouble("present", -1.0), 2.5);
+  // Present-but-null means "the producer had a non-finite number" (Dump
+  // writes NaN/Inf as null), so it reads back as NaN, not the fallback.
+  EXPECT_TRUE(std::isnan(obj.GetDouble("missing_value", -1.0)));
+  // Absent keys still take the fallback.
+  EXPECT_DOUBLE_EQ(obj.GetDouble("absent", -1.0), -1.0);
+}
+
+TEST(ReportTest, NonFiniteGradNormRoundTripsThroughNull) {
+  obs::EpochReport epoch;
+  epoch.epoch = 0;
+  epoch.train_loss = 0.5;
+  epoch.grad_norm_last = std::numeric_limits<double>::quiet_NaN();
+  epoch.grad_norm_mean = std::numeric_limits<double>::infinity();
+
+  const std::string text = epoch.ToJson().Dump();
+  // JSON has no NaN/Inf literals; both serialize as null and the line must
+  // stay parseable by any standard JSON consumer.
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+  obs::Json parsed;
+  ASSERT_TRUE(obs::Json::Parse(text, &parsed));
+  const obs::EpochReport back = obs::EpochReport::FromJson(parsed);
+  EXPECT_TRUE(std::isnan(back.grad_norm_last));
+  EXPECT_TRUE(std::isnan(back.grad_norm_mean));
+  EXPECT_DOUBLE_EQ(back.train_loss, 0.5);
+}
+
+TEST(ReportTest, FromJsonlToleratesTruncatedFinalLine) {
+  obs::EpochReport epoch;
+  epoch.epoch = 0;
+  epoch.train_loss = 1.5;
+  // A run killed mid-write leaves a partial line with no trailing newline.
+  const std::string content =
+      epoch.ToJson().Dump() + "\n{\"type\":\"epoch\",\"epo";
+  obs::RunReport loaded;
+  ASSERT_TRUE(obs::RunReport::FromJsonl(content, &loaded));
+  ASSERT_EQ(loaded.epochs.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.epochs[0].train_loss, 1.5);
+  EXPECT_FALSE(loaded.has_summary);
+}
+
+TEST(ReportTest, FromJsonlRejectsMalformedInteriorLine) {
+  obs::EpochReport epoch;
+  epoch.epoch = 0;
+  // A broken line followed by a newline is corruption, not a live tail.
+  const std::string content =
+      "{\"type\":\"epoch\",\"epo\n" + epoch.ToJson().Dump() + "\n";
+  obs::RunReport loaded;
+  EXPECT_FALSE(obs::RunReport::FromJsonl(content, &loaded));
+  obs::RunReport loaded2;
+  EXPECT_FALSE(obs::RunReport::FromJsonl("not json at all\n", &loaded2));
+}
+
+TEST(ReportTest, FromJsonlSkipsUnknownTypesAndToleratesWrongTypes) {
+  obs::EpochReport epoch;
+  epoch.epoch = 1;
+  epoch.train_loss = 2.0;
+  const std::string content =
+      "{\"type\":\"comment\",\"text\":\"from a future writer\"}\n" +
+      epoch.ToJson().Dump() +
+      "\n{\"type\":\"epoch\",\"epoch\":\"oops\",\"train_loss\":\"bad\"}\n";
+  obs::RunReport loaded;
+  ASSERT_TRUE(obs::RunReport::FromJsonl(content, &loaded));
+  // The unknown line is skipped; the wrong-typed epoch line degrades to
+  // field defaults instead of aborting.
+  ASSERT_EQ(loaded.epochs.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.epochs[0].train_loss, 2.0);
+  EXPECT_EQ(loaded.epochs[1].epoch, 0);
+}
+
+// ---------------------------------------------------------------- Diff --
+
+// A minimal two-epoch report with a summary, for diff tests.
+obs::RunReport MakeDiffReport() {
+  obs::RunReport report;
+  report.model = "test";
+  report.epochs_run = 2;
+  report.total_seconds = 10.0;
+  report.has_summary = true;
+  for (int i = 0; i < 2; ++i) {
+    obs::EpochReport epoch;
+    epoch.epoch = i;
+    epoch.train_loss = 2.0 - i;
+    epoch.val_mae = 3.0 - i;
+    epoch.seconds = 5.0;
+    epoch.phase_seconds[obs::kPhaseForward] = 2.0;
+    epoch.phase_seconds[obs::kPhaseBackward] = 1.5;
+    report.epochs.push_back(epoch);
+  }
+  obs::HorizonMetricsReport avg;
+  avg.mae = 1.0;
+  avg.rmse = 2.0;
+  avg.mape = 10.0;
+  report.test_average = avg;
+  report.test_per_horizon = {avg, avg};
+  return report;
+}
+
+TEST(DiffTest, SelfDiffPassesEvenAtZeroThreshold) {
+  const obs::RunReport report = MakeDiffReport();
+  obs::ReportDiffOptions options;
+  options.max_regress_pct = 0.0;
+  const obs::ReportDiffResult result =
+      obs::DiffReports(report, report, options);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.regressions, 0);
+  ASSERT_FALSE(result.rows.empty());
+  for (const auto& row : result.rows) {
+    EXPECT_DOUBLE_EQ(row.delta_pct, 0.0) << row.metric;
+  }
+}
+
+TEST(DiffTest, AccuracyRegressionBeyondThresholdGates) {
+  const obs::RunReport baseline = MakeDiffReport();
+  obs::RunReport candidate = MakeDiffReport();
+  candidate.epochs.back().val_mae *= 1.2;  // +20% on a 10% threshold
+  obs::ReportDiffOptions options;
+  options.max_regress_pct = 10.0;
+  const obs::ReportDiffResult result =
+      obs::DiffReports(baseline, candidate, options);
+  EXPECT_FALSE(result.ok());
+  bool found = false;
+  for (const auto& row : result.rows) {
+    if (row.metric == "val_mae.final") {
+      found = true;
+      EXPECT_TRUE(row.gated);
+      EXPECT_TRUE(row.regressed);
+      EXPECT_NEAR(row.delta_pct, 20.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DiffTest, NegativeTimeThresholdReportsWithoutGating) {
+  const obs::RunReport baseline = MakeDiffReport();
+  obs::RunReport candidate = MakeDiffReport();
+  // Wildly slower run; should still pass when timing rows aren't gated.
+  for (auto& epoch : candidate.epochs) {
+    epoch.phase_seconds[obs::kPhaseForward] *= 10.0;
+  }
+  candidate.total_seconds *= 10.0;
+  obs::ReportDiffOptions options;
+  options.max_regress_pct = 10.0;
+  options.max_time_regress_pct = -1.0;
+  const obs::ReportDiffResult result =
+      obs::DiffReports(baseline, candidate, options);
+  EXPECT_TRUE(result.ok());
+  bool found = false;
+  for (const auto& row : result.rows) {
+    if (row.metric == std::string("phase.") + obs::kPhaseForward + "_s") {
+      found = true;
+      EXPECT_FALSE(row.gated);
+      EXPECT_FALSE(row.regressed);
+    }
+  }
+  EXPECT_TRUE(found);
+  // With the threshold inherited (NaN), the same slowdown fails.
+  obs::ReportDiffOptions inherit;
+  inherit.max_regress_pct = 10.0;
+  EXPECT_FALSE(obs::DiffReports(baseline, candidate, inherit).ok());
+}
+
+TEST(DiffTest, NanCandidateOnGatedMetricIsRegression) {
+  const obs::RunReport baseline = MakeDiffReport();
+  obs::RunReport candidate = MakeDiffReport();
+  candidate.epochs.back().train_loss =
+      std::numeric_limits<double>::quiet_NaN();
+  obs::ReportDiffOptions options;
+  options.max_regress_pct = 1e9;  // even an absurdly lax threshold fails
+  const obs::ReportDiffResult result =
+      obs::DiffReports(baseline, candidate, options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DiffTest, HealthCountersGateOnAnyIncrease) {
+  const obs::RunReport baseline = MakeDiffReport();  // no health blocks
+  obs::RunReport candidate = MakeDiffReport();
+  candidate.epochs.back().has_health = true;
+  obs::ModuleHealthReport module;
+  module.name = "w";
+  module.grad.count = 8;
+  module.grad.nan_count = 1;
+  candidate.epochs.back().health.modules.push_back(module);
+  obs::ReportDiffOptions options;
+  options.max_regress_pct = 1e9;
+  const obs::ReportDiffResult result =
+      obs::DiffReports(baseline, candidate, options);
+  EXPECT_FALSE(result.ok());
+  bool found = false;
+  for (const auto& row : result.rows) {
+    if (row.metric == "health.nan_elements") {
+      found = true;
+      EXPECT_TRUE(row.regressed);
+      EXPECT_DOUBLE_EQ(row.baseline, 0.0);
+      EXPECT_DOUBLE_EQ(row.candidate, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  // A clean candidate with health blocks passes against the same baseline.
+  obs::RunReport clean = MakeDiffReport();
+  clean.epochs.back().has_health = true;
+  EXPECT_TRUE(obs::DiffReports(baseline, clean, options).ok());
+}
+
+// -------------------------------------------------------- Metrics dump --
+
+TEST(MetricsDumpTest, WritesRegistrySnapshotToFile) {
+  obs::Registry::Global().GetCounter("test.dump_counter")->Add(9);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "tgcrn_obs_test_dump.txt")
+          .string();
+  std::filesystem::remove(path);
+  ASSERT_TRUE(obs::DumpMetricsRegistry(path));
+  const std::string content = ReadFile(path);
+  EXPECT_NE(content.find("test.dump_counter"), std::string::npos);
+  // "stderr" is the other accepted target; it must not create a file.
+  EXPECT_TRUE(obs::DumpMetricsRegistry("stderr"));
+  std::filesystem::remove(path);
+}
+
+// TGCRN_CHECK failures abort, which skips atexit handlers — the abort hook
+// must still flush the metrics dump so post-mortem state survives.
+TEST(MetricsDumpTest, CheckFailureFlushesMetricsDumpBeforeAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "tgcrn_obs_test_abort_dump.txt")
+                        .string();
+  std::filesystem::remove(path);
+  setenv("TGCRN_METRICS_DUMP", path.c_str(), 1);
+  EXPECT_DEATH(
+      {
+        obs::Registry::Global().GetCounter("test.abort_counter")->Add(1);
+        TGCRN_CHECK(false) << "boom";
+      },
+      "boom");
+  unsetenv("TGCRN_METRICS_DUMP");
+  const std::string content = ReadFile(path);
+  EXPECT_NE(content.find("test.abort_counter"), std::string::npos);
+  std::filesystem::remove(path);
 }
 
 class ObsTrainFixture : public ::testing::Test {

@@ -1,0 +1,122 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Regression gate over two run-report JSONL files (obs/report.h format):
+//
+//   tgcrn_report_diff baseline.jsonl candidate.jsonl \
+//       [--max-regress-pct=10] [--max-time-regress-pct=<pct|-1>]
+//
+// Prints a metric/baseline/candidate/delta table and exits 0 when no gated
+// metric regressed beyond its threshold, 1 on regression, 2 on usage or
+// parse errors. --max-time-regress-pct=-1 reports timing rows without
+// gating them (for machines with noisy clocks); leaving it unset gates
+// timing at --max-regress-pct. See obs/diff.h for the full gating rules.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/table_printer.h"
+#include "obs/diff.h"
+#include "obs/report.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool LoadReport(const std::string& path, tgcrn::obs::RunReport* report) {
+  std::string content;
+  if (!ReadFile(path, &content)) {
+    std::fprintf(stderr, "tgcrn_report_diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  if (!tgcrn::obs::RunReport::FromJsonl(content, report)) {
+    std::fprintf(stderr, "tgcrn_report_diff: %s is not valid report JSONL\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tgcrn_report_diff <baseline.jsonl> <candidate.jsonl>"
+               " [--max-regress-pct=N] [--max-time-regress-pct=N|-1]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string candidate_path;
+  tgcrn::obs::ReportDiffOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--max-regress-pct=", 0) == 0) {
+      options.max_regress_pct = std::atof(arg.c_str() + eq + 1);
+    } else if (arg.rfind("--max-time-regress-pct=", 0) == 0) {
+      options.max_time_regress_pct = std::atof(arg.c_str() + eq + 1);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "tgcrn_report_diff: unknown flag %s\n",
+                   arg.c_str());
+      return Usage();
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (candidate_path.empty()) {
+      candidate_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) return Usage();
+
+  tgcrn::obs::RunReport baseline;
+  tgcrn::obs::RunReport candidate;
+  if (!LoadReport(baseline_path, &baseline) ||
+      !LoadReport(candidate_path, &candidate)) {
+    return 2;
+  }
+  if (candidate.epochs.empty() && !candidate.has_summary) {
+    std::fprintf(stderr, "tgcrn_report_diff: %s holds no epoch or summary"
+                 " lines\n", candidate_path.c_str());
+    return 2;
+  }
+
+  const tgcrn::obs::ReportDiffResult result =
+      tgcrn::obs::DiffReports(baseline, candidate, options);
+
+  tgcrn::TablePrinter table(
+      {"metric", "baseline", "candidate", "delta_pct", "status"});
+  for (const auto& row : result.rows) {
+    const char* status = row.regressed ? "REGRESSED"
+                         : row.gated   ? "ok"
+                                       : "info";
+    table.AddRow({row.metric, tgcrn::TablePrinter::Num(row.baseline, 4),
+                  tgcrn::TablePrinter::Num(row.candidate, 4),
+                  tgcrn::TablePrinter::Num(row.delta_pct, 2), status});
+  }
+  table.Print();
+  if (!result.ok()) {
+    std::fprintf(stderr,
+                 "tgcrn_report_diff: %lld metric(s) regressed beyond "
+                 "threshold (%.6g%% accuracy / %.6g%% time)\n",
+                 static_cast<long long>(result.regressions),
+                 options.max_regress_pct,
+                 std::isnan(options.max_time_regress_pct)
+                     ? options.max_regress_pct
+                     : options.max_time_regress_pct);
+    return 1;
+  }
+  std::printf("tgcrn_report_diff: no regressions (%zu metrics compared)\n",
+              result.rows.size());
+  return 0;
+}
