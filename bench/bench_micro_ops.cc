@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "autograd/ops.h"
+#include "common/cpu_features.h"
 #include "common/thread_pool.h"
 #include "core/gcgru.h"
 #include "core/tagsl.h"
@@ -111,6 +112,68 @@ void BM_SigmoidThreads(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * a.numel());
 }
 BENCHMARK(BM_SigmoidThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// --- ISA sweeps -------------------------------------------------------------
+// The same kernels with the SIMD level pinned (arg: 0 = scalar table,
+// 1 = AVX2 table), single-threaded, so the speedup column in
+// docs/BENCHMARKS.md is reproducible via --benchmark_filter=Isa. Note the
+// "scalar" table is still auto-vectorized by the compiler's baseline SSE2,
+// so this ratio understates the gain over the pre-microkernel seed code.
+
+bool PinIsaOrSkip(benchmark::State& state, int64_t arg) {
+  if (arg == 1 &&
+      !(common::Avx2CompiledIn() && common::CpuSupportsAvx2())) {
+    state.SkipWithError("AVX2 not available in this build/CPU");
+    return false;
+  }
+  return true;
+}
+
+void BM_MatmulSquareIsa(benchmark::State& state) {
+  if (!PinIsaOrSkip(state, state.range(0))) return;
+  common::ScopedSimdIsa pin(state.range(0) == 1 ? common::SimdIsa::kAvx2
+                                                : common::SimdIsa::kScalar);
+  common::ScopedNumThreads threads(1);
+  const int64_t n = 128;
+  Rng rng(25);
+  Tensor a = Tensor::RandUniform({n, n}, -1, 1, &rng);
+  Tensor b = Tensor::RandUniform({n, n}, -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Matmul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulSquareIsa)->Arg(0)->Arg(1);
+
+void BM_BatchedMatmulIsa(benchmark::State& state) {
+  // The m=1 GCGRU inner shape, the per-step hot spot.
+  if (!PinIsaOrSkip(state, state.range(0))) return;
+  common::ScopedSimdIsa pin(state.range(0) == 1 ? common::SimdIsa::kAvx2
+                                                : common::SimdIsa::kScalar);
+  common::ScopedNumThreads threads(1);
+  const int64_t b = 16, n = 20, c = 18, h = 16;
+  Rng rng(26);
+  Tensor lhs = Tensor::RandUniform({b, n, 1, c}, -1, 1, &rng);
+  Tensor rhs = Tensor::RandUniform({b, n, c, h}, -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lhs.Matmul(rhs));
+  }
+}
+BENCHMARK(BM_BatchedMatmulIsa)->Arg(0)->Arg(1);
+
+void BM_SigmoidIsa(benchmark::State& state) {
+  if (!PinIsaOrSkip(state, state.range(0))) return;
+  common::ScopedSimdIsa pin(state.range(0) == 1 ? common::SimdIsa::kAvx2
+                                                : common::SimdIsa::kScalar);
+  common::ScopedNumThreads threads(1);
+  Rng rng(27);
+  Tensor a = Tensor::RandUniform({64, 64, 64}, -4, 4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Sigmoid());
+  }
+  state.SetItemsProcessed(state.iterations() * a.numel());
+}
+BENCHMARK(BM_SigmoidIsa)->Arg(0)->Arg(1);
 
 // --- Backward-pass fast-path kernels ---------------------------------------
 // The transposed-matmul and fused gradient kernels vs the op chains they

@@ -172,6 +172,22 @@ std::shared_ptr<std::vector<float>> TensorBufferPool::AcquireZeroed(
   return WrapHandle(buf);
 }
 
+std::shared_ptr<std::vector<float>> TensorBufferPool::AcquireForOverwrite(
+    int64_t numel) {
+  if (std::vector<float>* buf = TryPop(numel)) {
+    PoolCounters& counters = Counters();
+    counters.hit->Add(1);
+    counters.bytes_reused->Add(numel * static_cast<int64_t>(sizeof(float)));
+    // Shrinking is free and leaves old contents; growing zero-fills only
+    // the delta. Either way the caller overwrites everything.
+    buf->resize(static_cast<size_t>(numel));
+    return WrapHandle(buf);
+  }
+  std::vector<float>* buf = AllocateFresh(numel);
+  buf->resize(static_cast<size_t>(numel));
+  return WrapHandle(buf);
+}
+
 std::shared_ptr<std::vector<float>> TensorBufferPool::AcquireCopy(
     const float* src, int64_t numel) {
   if (std::vector<float>* buf = TryPop(numel)) {

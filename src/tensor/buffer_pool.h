@@ -45,6 +45,14 @@ class TensorBufferPool {
   // Storage holding a copy of src[0, numel).
   std::shared_ptr<std::vector<float>> AcquireCopy(const float* src,
                                                   int64_t numel);
+  // Storage of `numel` elements with UNSPECIFIED contents, for callers
+  // that provably write every element before the buffer escapes (the
+  // GEMM driver: every kernel fully overwrites its output rows). Skips
+  // the zero-fill AcquireZeroed pays — free on recycled buffers, which
+  // is what makes small-matmul-heavy steps measurably faster. The
+  // determinism contract still holds because the caller's writes, not
+  // the buffer's history, define every bit that escapes.
+  std::shared_ptr<std::vector<float>> AcquireForOverwrite(int64_t numel);
 
   // Runtime switch (initialized from TGCRN_TENSOR_POOL; "0" disables).
   // Disabling drops every cached buffer.

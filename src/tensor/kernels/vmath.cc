@@ -1,0 +1,53 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Scalar transcendental kernels (libm, matching the legacy MapT lambdas
+// bit for bit) and the vmath dispatch.
+#include "tensor/kernels/vmath.h"
+
+#include <cmath>
+
+namespace tgcrn {
+namespace vmath {
+namespace {
+
+void ExpScalar(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::exp(x[i]);
+}
+
+void SigmoidScalar(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+}
+
+void TanhScalar(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+constexpr internal::Kernels kScalarVmath = {
+    ExpScalar,
+    SigmoidScalar,
+    TanhScalar,
+};
+
+}  // namespace
+
+const internal::Kernels& GetVmathKernels(common::SimdIsa isa) {
+  if (isa == common::SimdIsa::kAvx2) {
+    const internal::Kernels* avx2 = internal::Avx2VmathOrNull();
+    if (avx2 != nullptr) return *avx2;
+  }
+  return kScalarVmath;
+}
+
+void ExpN(const float* x, float* y, int64_t n) {
+  GetVmathKernels(common::ActiveSimdIsa()).exp_n(x, y, n);
+}
+
+void SigmoidN(const float* x, float* y, int64_t n) {
+  GetVmathKernels(common::ActiveSimdIsa()).sigmoid_n(x, y, n);
+}
+
+void TanhN(const float* x, float* y, int64_t n) {
+  GetVmathKernels(common::ActiveSimdIsa()).tanh_n(x, y, n);
+}
+
+}  // namespace vmath
+}  // namespace tgcrn

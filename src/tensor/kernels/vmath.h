@@ -1,0 +1,49 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Vectorized transcendentals behind the Tensor Exp/Sigmoid/Tanh entry
+// points. Each function maps x[0..n) -> y[0..n) elementwise (in-place
+// allowed: y may alias x).
+//
+// The scalar path calls libm exactly as the legacy MapT lambdas did
+// (std::exp, std::tanh, 1/(1+exp(-x))), so TGCRN_ISA=scalar reproduces
+// the pre-vectorization bits. The AVX2 path uses Cephes-style minimax
+// polynomials (~1-2 ulp for exp over the clamped range) and is
+// lanewise: every element's result depends only on that element, never
+// on its position in a vector or on chunk boundaries, so thread-count
+// chunking and sub-vector tails cannot change bits at a fixed ISA.
+#ifndef TGCRN_TENSOR_KERNELS_VMATH_H_
+#define TGCRN_TENSOR_KERNELS_VMATH_H_
+
+#include <cstdint>
+
+#include "common/cpu_features.h"
+
+namespace tgcrn {
+namespace vmath {
+
+// y[i] = exp(x[i]). AVX2 clamps |x| to ~88.38 (beyond which float exp
+// is 0/inf anyway); NaN propagates.
+void ExpN(const float* x, float* y, int64_t n);
+
+// y[i] = 1 / (1 + exp(-x[i])).
+void SigmoidN(const float* x, float* y, int64_t n);
+
+// y[i] = tanh(x[i]).
+void TanhN(const float* x, float* y, int64_t n);
+
+namespace internal {
+struct Kernels {
+  void (*exp_n)(const float* x, float* y, int64_t n);
+  void (*sigmoid_n)(const float* x, float* y, int64_t n);
+  void (*tanh_n)(const float* x, float* y, int64_t n);
+};
+// Defined in vmath_avx2.cc: the AVX2 table, or nullptr when compiled out.
+const Kernels* Avx2VmathOrNull();
+}  // namespace internal
+
+// Table for `isa`; degrades to scalar when AVX2 is compiled out.
+const internal::Kernels& GetVmathKernels(common::SimdIsa isa);
+
+}  // namespace vmath
+}  // namespace tgcrn
+
+#endif  // TGCRN_TENSOR_KERNELS_VMATH_H_

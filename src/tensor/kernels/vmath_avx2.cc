@@ -1,0 +1,132 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// AVX2 transcendentals: Cephes-style minimax polynomials (the same
+// constants as cephes/expf and cephes/tanhf, the lineage behind
+// avx_mathfun and most SIMD math libraries). All operations are
+// lanewise, so element bits are position-independent: a value computed
+// in a full vector, a tail buffer or any chunk of a ParallelFor range
+// produces identical bits.
+#include "tensor/kernels/vmath.h"
+
+#if !defined(TGCRN_DISABLE_AVX2) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace tgcrn {
+namespace vmath {
+namespace {
+
+// exp(x) via 2^n * exp(r), x = n*ln2 + r with |r| <= ln2/2. Input is
+// clamped to +/-88.376 = ln(2^127.5): above, float exp overflows to inf
+// within a few ulp anyway; below, it underflows to 0. The max/min
+// operand order keeps NaN propagating (maxps/minps return the second
+// operand when either is NaN).
+inline __m256 ExpPs(__m256 x) {
+  const __m256 hi = _mm256_set1_ps(88.3762626647950f);
+  const __m256 lo = _mm256_set1_ps(-88.3762626647949f);
+  x = _mm256_min_ps(hi, _mm256_max_ps(lo, x));
+
+  __m256 fx =
+      _mm256_fmadd_ps(x, _mm256_set1_ps(1.44269504088896341f),  // log2(e)
+                      _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+
+  // Cody-Waite: subtract n*ln2 in two exact-ish pieces.
+  x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693359375f), x);
+  x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.12194440e-4f), x);
+
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_fmadd_ps(y, z, x);
+  y = _mm256_add_ps(y, _mm256_set1_ps(1.0f));
+
+  // 2^n by exponent-field construction.
+  __m256i n = _mm256_cvttps_epi32(fx);
+  n = _mm256_add_epi32(n, _mm256_set1_epi32(127));
+  n = _mm256_slli_epi32(n, 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(n));
+}
+
+inline __m256 SigmoidPs(__m256 x) {
+  const __m256 e = ExpPs(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(_mm256_set1_ps(1.0f),
+                       _mm256_add_ps(e, _mm256_set1_ps(1.0f)));
+}
+
+// Cephes tanhf: odd polynomial for |x| < 0.625 (avoids the catastrophic
+// cancellation of the exp formula near 0), 1 - 2/(exp(2|x|)+1) with the
+// sign restored elsewhere. NaN takes the exp branch and propagates.
+inline __m256 TanhPs(__m256 x) {
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  const __m256 sign_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x80000000));
+  const __m256 ax = _mm256_and_ps(x, abs_mask);
+
+  const __m256 e = ExpPs(_mm256_mul_ps(ax, _mm256_set1_ps(2.0f)));
+  __m256 large = _mm256_sub_ps(
+      _mm256_set1_ps(1.0f),
+      _mm256_div_ps(_mm256_set1_ps(2.0f),
+                    _mm256_add_ps(e, _mm256_set1_ps(1.0f))));
+  large = _mm256_or_ps(large, _mm256_and_ps(x, sign_mask));
+
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 p = _mm256_set1_ps(-5.70498872745e-3f);
+  p = _mm256_fmadd_ps(p, z, _mm256_set1_ps(2.06390887954e-2f));
+  p = _mm256_fmadd_ps(p, z, _mm256_set1_ps(-5.37397155531e-2f));
+  p = _mm256_fmadd_ps(p, z, _mm256_set1_ps(1.33314422036e-1f));
+  p = _mm256_fmadd_ps(p, z, _mm256_set1_ps(-3.33332819422e-1f));
+  const __m256 small = _mm256_fmadd_ps(_mm256_mul_ps(p, z), x, x);
+
+  const __m256 use_small =
+      _mm256_cmp_ps(ax, _mm256_set1_ps(0.625f), _CMP_LT_OQ);
+  return _mm256_blendv_ps(large, small, use_small);
+}
+
+// Runs `Op` over the array 8 lanes at a time; the tail goes through a
+// zero-padded stack buffer with the *same* vector op, so tail elements
+// get bit-identical treatment to full-vector elements.
+template <__m256 (*Op)(__m256)>
+void MapAvx2(const float* x, float* y, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, Op(_mm256_loadu_ps(x + i)));
+  }
+  if (i < n) {
+    alignas(32) float buf[8] = {0};
+    std::copy(x + i, x + n, buf);
+    _mm256_store_ps(buf, Op(_mm256_load_ps(buf)));
+    std::copy(buf, buf + (n - i), y + i);
+  }
+}
+
+constexpr internal::Kernels kAvx2Vmath = {
+    MapAvx2<ExpPs>,
+    MapAvx2<SigmoidPs>,
+    MapAvx2<TanhPs>,
+};
+
+}  // namespace
+
+namespace internal {
+const Kernels* Avx2VmathOrNull() { return &kAvx2Vmath; }
+}  // namespace internal
+
+}  // namespace vmath
+}  // namespace tgcrn
+
+#else  // AVX2 compiled out
+
+namespace tgcrn {
+namespace vmath {
+namespace internal {
+const Kernels* Avx2VmathOrNull() { return nullptr; }
+}  // namespace internal
+}  // namespace vmath
+}  // namespace tgcrn
+
+#endif

@@ -6,10 +6,13 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/cpu_features.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/kernels/gemm.h"
+#include "tensor/kernels/vmath.h"
 
 namespace tgcrn {
 namespace {
@@ -25,6 +28,38 @@ void CountExternalAllocation(int64_t numel) {
       obs::Registry::Global().GetCounter("tensor.allocated_bytes");
   allocs->Add(1);
   bytes->Add(numel * static_cast<int64_t>(sizeof(float)));
+}
+
+// Counts GEMM / vmath kernel dispatches per ISA level (simd.* counters
+// in the metric registry) so tests can assert TGCRN_ISA is honored.
+void CountGemmDispatch(common::SimdIsa isa) {
+  static obs::Counter* scalar_calls =
+      obs::Registry::Global().GetCounter("simd.gemm_scalar_calls");
+  static obs::Counter* avx2_calls =
+      obs::Registry::Global().GetCounter("simd.gemm_avx2_calls");
+  (isa == common::SimdIsa::kAvx2 ? avx2_calls : scalar_calls)->Add(1);
+}
+
+void CountVmathDispatch(common::SimdIsa isa) {
+  static obs::Counter* scalar_calls =
+      obs::Registry::Global().GetCounter("simd.vmath_scalar_calls");
+  static obs::Counter* avx2_calls =
+      obs::Registry::Global().GetCounter("simd.vmath_avx2_calls");
+  (isa == common::SimdIsa::kAvx2 ? avx2_calls : scalar_calls)->Add(1);
+}
+
+// Chunk-parallel elementwise map through a dispatching vmath kernel
+// (tensor/kernels/vmath.h). The kernels are lanewise — each element's
+// bits depend only on that element — so chunk boundaries and sub-vector
+// tails never change results.
+Tensor MapVmath(const Tensor& t,
+                void (*fn)(const float*, float*, int64_t)) {
+  Tensor out(t.shape());
+  const float* p = t.data();
+  float* o = out.mutable_data();
+  common::ParallelFor(0, t.numel(), kElemwiseGrain,
+                      [&](int64_t s, int64_t e) { fn(p + s, o + s, e - s); });
+  return out;
 }
 
 // Minimum multiply-accumulate operations per matmul chunk.
@@ -168,6 +203,16 @@ Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
   const int64_t numel = ShapeNumel(shape_);
   data_ = numel == 0 ? EmptyStorage()
                      : TensorBufferPool::Global().AcquireZeroed(numel);
+}
+
+Tensor Tensor::ForOverwrite(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  const int64_t numel = ShapeNumel(t.shape_);
+  t.data_ = numel == 0
+                ? EmptyStorage()
+                : TensorBufferPool::Global().AcquireForOverwrite(numel);
+  return t;
 }
 
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -330,8 +375,12 @@ Tensor Tensor::Map(const std::function<float(float)>& fn) const {
   return MapT([&fn](float x) { return fn(x); });
 }
 
+// Exp/Tanh/Sigmoid route through the ISA-dispatched vmath kernels
+// (AVX2 minimax polynomials, or libm on the scalar path — bit-identical
+// to the old MapT lambdas). The remaining unary ops stay on MapT.
 Tensor Tensor::Exp() const {
-  return MapT([](float x) { return std::exp(x); });
+  CountVmathDispatch(common::ActiveSimdIsa());
+  return MapVmath(*this, vmath::ExpN);
 }
 Tensor Tensor::Log() const {
   return MapT([](float x) { return std::log(x); });
@@ -343,10 +392,12 @@ Tensor Tensor::Abs() const {
   return MapT([](float x) { return std::fabs(x); });
 }
 Tensor Tensor::Tanh() const {
-  return MapT([](float x) { return std::tanh(x); });
+  CountVmathDispatch(common::ActiveSimdIsa());
+  return MapVmath(*this, vmath::TanhN);
 }
 Tensor Tensor::Sigmoid() const {
-  return MapT([](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  CountVmathDispatch(common::ActiveSimdIsa());
+  return MapVmath(*this, vmath::SigmoidN);
 }
 Tensor Tensor::Relu() const {
   return MapT([](float x) { return x > 0.0f ? x : 0.0f; });
@@ -453,11 +504,17 @@ enum class MatmulMode { kNN, kTransposeA, kTransposeB };
 //   kNN:         A (..., m, red) x B (..., red, n) -> (..., m, n)
 //   kTransposeA: A (..., red, m) x B (..., red, n) -> A^T B = (..., m, n)
 //   kTransposeB: A (..., m, red) x B (..., n, red) -> A B^T = (..., m, n)
-// Batch dims broadcast NumPy-style in all modes. Every output row keeps
-// the exact serial accumulation order (sum over `red` in increasing
-// order), so results are bitwise identical at every thread count and the
-// transposed modes match their materialized-transpose equivalents bit for
-// bit.
+// Batch dims broadcast NumPy-style in all modes.
+//
+// The arithmetic lives in the ISA-dispatched GEMM kernel tables
+// (tensor/kernels/gemm.h). The driver packs each unique B matrix into
+// kNr-wide panels once (skipped for tall-skinny outputs where packing
+// traffic would rival the multiply), then parallelizes over the
+// flattened batch x row dimension. Per output element every kernel
+// accumulates over `red` in ascending order with a structure fixed by
+// the shapes, so results are bitwise identical at every thread count
+// and pool/arena toggle at a fixed ISA level; TGCRN_ISA=scalar
+// reproduces the legacy serial loops bit for bit.
 Tensor BatchedMatmulImpl(const Tensor& a, const Tensor& b, MatmulMode mode) {
   TGCRN_CHECK_GE(a.dim(), 2);
   TGCRN_CHECK_GE(b.dim(), 2);
@@ -481,91 +538,135 @@ Tensor BatchedMatmulImpl(const Tensor& a, const Tensor& b, MatmulMode mode) {
   Shape out_shape = batch;
   out_shape.push_back(m);
   out_shape.push_back(n);
-  Tensor out(out_shape);
+  // Every kernel path below overwrites every output element, so the
+  // zero-fill of a normal construction would be pure overhead.
+  Tensor out = Tensor::ForOverwrite(out_shape);
 
   const int64_t batch_n = ShapeNumel(batch);
-  // Effective batch strides in units of matrices.
-  const int64_t rank = static_cast<int64_t>(batch.size());
-  const auto a_strides = EffectiveStrides(batch, a_batch);
-  const auto b_strides = EffectiveStrides(batch, b_batch);
 
   // Walk the broadcast batch index once up front, recording which operand
-  // matrix each output matrix reads; the row loop below is then free to run
-  // in any order across threads.
-  std::vector<int64_t> a_mats(batch_n), b_mats(batch_n);
-  std::vector<int64_t> index(rank, 0);
-  int64_t a_mat = 0, b_mat = 0;
-  for (int64_t bi = 0; bi < batch_n; ++bi) {
-    a_mats[bi] = a_mat;
-    b_mats[bi] = b_mat;
-    for (int64_t d = rank - 1; d >= 0; --d) {
-      ++index[d];
-      a_mat += a_strides[d];
-      b_mat += b_strides[d];
-      if (index[d] < batch[d]) break;
-      index[d] = 0;
-      a_mat -= a_strides[d] * batch[d];
-      b_mat -= b_strides[d] * batch[d];
+  // matrix each output matrix reads; the row loop below is then free to
+  // run in any order across threads. When neither operand broadcasts the
+  // map is the identity (a null map below) and the walk is skipped — the
+  // per-step m=1 GCGRU shapes hit this path thousands of times.
+  const bool dense_batch = a_batch == batch && b_batch == batch;
+  std::vector<int64_t> a_mats, b_mats;
+  if (!dense_batch) {
+    const int64_t rank = static_cast<int64_t>(batch.size());
+    const auto a_strides = EffectiveStrides(batch, a_batch);
+    const auto b_strides = EffectiveStrides(batch, b_batch);
+    a_mats.resize(batch_n);
+    b_mats.resize(batch_n);
+    std::vector<int64_t> index(rank, 0);
+    int64_t a_mat = 0, b_mat = 0;
+    for (int64_t bi = 0; bi < batch_n; ++bi) {
+      a_mats[bi] = a_mat;
+      b_mats[bi] = b_mat;
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        ++index[d];
+        a_mat += a_strides[d];
+        b_mat += b_strides[d];
+        if (index[d] < batch[d]) break;
+        index[d] = 0;
+        a_mat -= a_strides[d] * batch[d];
+        b_mat -= b_strides[d] * batch[d];
+      }
     }
   }
+  // Null means identity (matrix bi reads operand matrix bi).
+  const int64_t* a_map = dense_batch ? nullptr : a_mats.data();
+  const int64_t* b_map = dense_batch ? nullptr : b_mats.data();
 
   const int64_t a_mat_elems = a_rows * a_cols;
   const int64_t b_mat_elems = b_rows * b_cols;
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.mutable_data();
-  // Parallel over the flattened batch x row dimension: each output row is
-  // computed independently with the exact serial arithmetic, so results
-  // are bitwise identical at every thread count.
+  if (batch_n * m * n == 0) return out;
+
+  const common::SimdIsa isa = common::ActiveSimdIsa();
+  const gemm::Kernels& kern = gemm::GetKernels(isa);
+  CountGemmDispatch(isa);
+
+  // A is addressed as the logical (m x red) left operand via strides;
+  // the transpose-A mode reads its (red x m) buffer in place.
+  const int64_t ars = mode == MatmulMode::kTransposeA ? 1 : red;
+  const int64_t acs = mode == MatmulMode::kTransposeA ? m : 1;
   const int64_t grain_rows = std::max<int64_t>(
       1, kMatmulGrainFlops / std::max<int64_t>(1, red * n));
+
+  if (m == 1 && mode != MatmulMode::kTransposeB) {
+    // Batch of row vectors times a batch of matrices (the GCGRU
+    // per-node shape): the matrix loop lives inside the kernel, one
+    // indirect call per chunk. With m == 1 the transpose-A operand is a
+    // (red x 1) column, contiguous like the kNN row, so both modes
+    // share this path.
+    common::ParallelFor(
+        0, batch_n, grain_rows, [&](int64_t mat_b, int64_t mat_e) {
+          kern.m1_batch(pa, a_map, a_mat_elems, pb, b_map, b_mat_elems, mat_b,
+                        mat_e, red, n, po);
+        });
+    return out;
+  }
+
+  if (m < gemm::kSmallMCutover) {
+    // Tall-skinny outputs (the m=1 GCGRU shapes): no packing, B is read
+    // in place.
+    common::ParallelFor(
+        0, batch_n * m, grain_rows, [&](int64_t row_begin, int64_t row_end) {
+          int64_t r = row_begin;
+          while (r < row_end) {
+            const int64_t bi = r / m;
+            const int64_t i = r - bi * m;
+            const int64_t run = std::min(row_end - r, m - i);
+            const float* A = pa + (a_map ? a_map[bi] : bi) * a_mat_elems;
+            const float* B = pb + (b_map ? b_map[bi] : bi) * b_mat_elems;
+            float* C = po + bi * m * n;
+            if (mode == MatmulMode::kTransposeB) {
+              kern.dot_rows(A, B, i, i + run, red, n, C);
+            } else {
+              kern.gemm_rows_direct(A, ars, acs, B, i, i + run, red, n, C);
+            }
+            r += run;
+          }
+        });
+    return out;
+  }
+
+  // Packed path: repack each unique B matrix into panels once (parallel
+  // over matrices; ParallelFor is a barrier, so the row pass below never
+  // races the packing). Pack scratch comes from the buffer pool, rounded
+  // up to the pool's minimum bucket so steady-state training stays
+  // allocation-free.
+  const int64_t b_unique = ShapeNumel(b_batch);
+  const int64_t per_matrix = gemm::PackedBCount(red, n);
+  std::shared_ptr<std::vector<float>> pack_storage;
+  const float* packed = nullptr;
+  if (per_matrix > 0) {
+    pack_storage = TensorBufferPool::Global().AcquireForOverwrite(
+        std::max<int64_t>(b_unique * per_matrix, 256));
+    float* pack = pack_storage->data();
+    common::ParallelFor(0, b_unique, 1, [&](int64_t mat_b, int64_t mat_e) {
+      for (int64_t mi = mat_b; mi < mat_e; ++mi) {
+        kern.pack_b(pb + mi * b_mat_elems, red, n,
+                    mode == MatmulMode::kTransposeB, pack + mi * per_matrix);
+      }
+    });
+    packed = pack;
+  }
   common::ParallelFor(
       0, batch_n * m, grain_rows, [&](int64_t row_begin, int64_t row_end) {
-        for (int64_t r = row_begin; r < row_end; ++r) {
+        int64_t r = row_begin;
+        while (r < row_end) {
           const int64_t bi = r / m;
-          const int64_t i = r % m;
-          const float* A = pa + a_mats[bi] * a_mat_elems;
-          const float* B = pb + b_mats[bi] * b_mat_elems;
-          float* crow = po + r * n;
-          switch (mode) {
-            case MatmulMode::kNN: {
-              std::fill(crow, crow + n, 0.0f);
-              const float* arow = A + i * red;
-              // i-k-j loop order: streams B and C rows, good cache
-              // behaviour.
-              for (int64_t kk = 0; kk < red; ++kk) {
-                const float a_val = arow[kk];
-                if (a_val == 0.0f) continue;
-                const float* brow = B + kk * n;
-                for (int64_t j = 0; j < n; ++j) crow[j] += a_val * brow[j];
-              }
-              break;
-            }
-            case MatmulMode::kTransposeA: {
-              // A column i read at stride m; otherwise the kNN loop.
-              std::fill(crow, crow + n, 0.0f);
-              for (int64_t kk = 0; kk < red; ++kk) {
-                const float a_val = A[kk * m + i];
-                if (a_val == 0.0f) continue;
-                const float* brow = B + kk * n;
-                for (int64_t j = 0; j < n; ++j) crow[j] += a_val * brow[j];
-              }
-              break;
-            }
-            case MatmulMode::kTransposeB: {
-              // Both operand rows are contiguous: out[j] = arow . brow_j.
-              const float* arow = A + i * red;
-              for (int64_t j = 0; j < n; ++j) {
-                const float* brow = B + j * red;
-                float sum = 0.0f;
-                for (int64_t kk = 0; kk < red; ++kk) {
-                  sum += arow[kk] * brow[kk];
-                }
-                crow[j] = sum;
-              }
-              break;
-            }
-          }
+          const int64_t i = r - bi * m;
+          const int64_t run = std::min(row_end - r, m - i);
+          const float* A = pa + (a_map ? a_map[bi] : bi) * a_mat_elems;
+          float* C = po + bi * m * n;
+          kern.gemm_rows(A, ars, acs,
+                         packed + (b_map ? b_map[bi] : bi) * per_matrix, i,
+                         i + run, red, n, C);
+          r += run;
         }
       });
   return out;
@@ -585,19 +686,10 @@ Tensor Tensor::MatmulTransposeA(const Tensor& other) const {
 
 Tensor Tensor::MatmulTransposeB(const Tensor& other) const {
   TGCRN_TRACE_SCOPE("tensor.MatmulTransposeB");
-  // The strided kernel computes each output as a serial dot product, which
-  // cannot use SIMD lanes; with many output rows the vectorized kNN kernel
-  // wins even after paying for an explicit transpose copy. With few rows
-  // (the m=1 GCGRU backward shape) the copy dominates and the strided
-  // kernel is several times faster. The cutover depends only on the
-  // shapes, so results stay deterministic — and both strategies accumulate
-  // over k in the same order, so they agree bitwise anyway.
-  const int64_t m = dim() >= 2 ? shape_[dim() - 2] : 1;
-  if (other.dim() >= 2 && m >= 8) {
-    return BatchedMatmulImpl(
-        *this, other.Transpose(other.dim() - 2, other.dim() - 1),
-        MatmulMode::kNN);
-  }
+  // The GEMM core absorbs the transpose at packing time (B is packed
+  // column-major into the same panel layout), so no transpose copy is
+  // ever materialized; tall-skinny outputs take the SIMD dot-row kernel
+  // instead of packing. The old materialized-transpose cutover is gone.
   return BatchedMatmulImpl(*this, other, MatmulMode::kTransposeB);
 }
 

@@ -11,10 +11,16 @@
 //  * Shape errors are programmer errors and abort via TGCRN_CHECK.
 //  * Hot kernels (matmul, elementwise, reductions, softmax, permute) run on
 //    the fixed-size pool in common/thread_pool.h, width controlled by
-//    TGCRN_NUM_THREADS / common::SetNumThreads (1 = serial). Outputs are
-//    bitwise identical at every thread count: per-element kernels keep the
-//    exact serial arithmetic, and full reductions use a fixed-chunk tree
-//    whose shape is independent of the thread count.
+//    TGCRN_NUM_THREADS / common::SetNumThreads (1 = serial).
+//  * Matmul and Exp/Sigmoid/Tanh dispatch to ISA-specific SIMD kernels
+//    (tensor/kernels/, selected by TGCRN_ISA / CPUID — see
+//    common/cpu_features.h). The determinism contract: outputs are
+//    bitwise identical at every thread count and pool/arena toggle *at a
+//    fixed ISA level* — per-element accumulation structure depends only
+//    on the shapes, and full reductions use a fixed-chunk tree. ISA
+//    levels may differ from each other in the last bits (FMA
+//    contraction); TGCRN_ISA=scalar reproduces the legacy serial
+//    arithmetic exactly.
 //  * Storage is recycled through the size-bucketed buffer pool in
 //    tensor/buffer_pool.h (TGCRN_TENSOR_POOL=0 opts out). Pooled buffers
 //    are fully re-initialized before reuse, so the determinism contract
@@ -59,6 +65,10 @@ class Tensor {
   explicit Tensor(Shape shape);
 
   // --- Factories -----------------------------------------------------------
+  // Tensor whose contents are UNSPECIFIED (recycled-buffer leftovers).
+  // Strictly for kernels that overwrite every element before the tensor
+  // escapes (the matmul driver); skips the zero-fill Zeros pays.
+  static Tensor ForOverwrite(Shape shape);
   static Tensor Zeros(Shape shape);
   static Tensor Ones(Shape shape);
   static Tensor Full(Shape shape, float value);

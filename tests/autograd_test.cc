@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cpu_features.h"
 #include "gradcheck.h"
 #include "obs/metrics.h"
 
@@ -135,6 +136,63 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<UnaryCase>& info) {
       return info.param.name;
     });
+
+// ISA levels the vmath/fused-kernel gradchecks run at: scalar always,
+// AVX2 when the build and CPU support it.
+std::vector<common::SimdIsa> GradcheckIsas() {
+  std::vector<common::SimdIsa> isas = {common::SimdIsa::kScalar};
+  if (common::Avx2CompiledIn() && common::CpuSupportsAvx2()) {
+    isas.push_back(common::SimdIsa::kAvx2);
+  }
+  return isas;
+}
+
+// Sigmoid/Tanh/Exp route through the SIMD vmath fast paths; the sub-vector
+// tail (length % 8) takes a separate code path in the AVX2 kernels, so
+// gradcheck at every length 1..16 (two full AVX2 vectors) per fixed ISA.
+TEST(AutogradTest, VmathFastPathGradcheckAtTailLengths) {
+  auto fn = [](const std::vector<Variable>& in) {
+    Variable mix = ag::Mul(ag::Sigmoid(in[0]), ag::Tanh(in[0]));
+    return ag::SumAll(ag::Add(mix, ag::Exp(in[0])));
+  };
+  for (const common::SimdIsa isa : GradcheckIsas()) {
+    common::ScopedSimdIsa pin(isa);
+    for (int64_t len = 1; len <= 16; ++len) {
+      SCOPED_TRACE(std::string(common::SimdIsaName(isa)) + " len=" +
+                   std::to_string(len));
+      ExpectGradientsClose(fn, {Leaf({len}, 60 + len, -1.5f, 1.5f)});
+    }
+  }
+}
+
+// The fused gradient kernels (SigmoidGradKernel & co.) are what Backward
+// actually calls; their output must match the explicit chain-rule tensor
+// expression at each fixed ISA.
+TEST(AutogradTest, FusedGradientKernelsMatchChainRulePerIsa) {
+  for (const common::SimdIsa isa : GradcheckIsas()) {
+    common::ScopedSimdIsa pin(isa);
+    SCOPED_TRACE(common::SimdIsaName(isa));
+    Rng rng(91);
+    Tensor x0 = Tensor::RandUniform({3, 13}, -2, 2, &rng);
+
+    Variable xs(x0.Clone(), /*requires_grad=*/true);
+    ag::SumAll(ag::Sigmoid(xs)).Backward();
+    Tensor y = x0.Sigmoid();
+    // d(sigmoid)/dx = y * (1 - y), written out with unfused tensor ops.
+    Tensor expected = y.Mul(Tensor::Ones(y.shape()).Sub(y));
+    EXPECT_TRUE(xs.grad().AllClose(expected, 1e-6f));
+
+    Variable xt(x0.Clone(), /*requires_grad=*/true);
+    ag::SumAll(ag::Tanh(xt)).Backward();
+    Tensor t = x0.Tanh();
+    expected = Tensor::Ones(t.shape()).Sub(t.Mul(t));
+    EXPECT_TRUE(xt.grad().AllClose(expected, 1e-6f));
+
+    Variable xe(x0.Clone(), /*requires_grad=*/true);
+    ag::SumAll(ag::Exp(xe)).Backward();
+    EXPECT_TRUE(xe.grad().AllClose(x0.Exp(), 1e-6f));
+  }
+}
 
 TEST(AutogradTest, ReluGradcheckAwayFromKink) {
   // Keep inputs away from 0 where the derivative is undefined.

@@ -3,7 +3,11 @@
 // computation at 1, 2 and 8 threads must produce byte-identical results on
 // randomized shapes (including sizes not divisible by the chunk grain,
 // empty tensors, and batch=1), and a full Trainer epoch must produce
-// identical losses at 1 vs N threads.
+// identical losses at 1 vs N threads — at each fixed SIMD ISA level, with
+// the buffer pool and autograd arena toggled both ways. A regression test
+// pins that the TGCRN_ISA env override actually routes dispatch (via the
+// simd.* counters in the metric registry).
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -12,10 +16,12 @@
 #include <gtest/gtest.h>
 
 #include "autograd/variable.h"
+#include "common/cpu_features.h"
 #include "common/thread_pool.h"
 #include "core/tgcrn.h"
 #include "core/trainer.h"
 #include "datagen/metro_sim.h"
+#include "obs/metrics.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
 
@@ -23,6 +29,16 @@ namespace tgcrn {
 namespace {
 
 using common::ScopedNumThreads;
+
+// The fixed ISA levels the determinism contract is stated at: scalar
+// always, AVX2 when the build and the CPU have it.
+std::vector<common::SimdIsa> AvailableIsas() {
+  std::vector<common::SimdIsa> isas = {common::SimdIsa::kScalar};
+  if (common::Avx2CompiledIn() && common::CpuSupportsAvx2()) {
+    isas.push_back(common::SimdIsa::kAvx2);
+  }
+  return isas;
+}
 
 // Runs `make` at 1, 2, 4 and 8 threads and asserts the outputs are
 // byte-identical. `make` must build its own inputs (deterministically) so
@@ -506,6 +522,189 @@ TEST(ParallelDeterminismTest, TrainerEpochIdenticalArenaOnOffAcrossThreads) {
   }
   ag::SetAutogradArenaEnabled(true);
   common::SetNumThreads(1);
+}
+
+// Kernel-level sweep at each fixed ISA: thread-count invariance must hold
+// with the scalar kernels pinned and (when available) with the AVX2
+// kernels pinned — not just at whatever level auto-dispatch picked.
+TEST(ParallelDeterminismTest, MatmulAndVmathPerIsa) {
+  for (const common::SimdIsa isa : AvailableIsas()) {
+    common::ScopedSimdIsa pin(isa);
+    const std::string tag = std::string(common::SimdIsaName(isa));
+    ExpectBitwiseIdenticalAcrossThreads(
+        [] {
+          Rng rng(40);
+          Tensor a = Tensor::RandUniform({2, 130, 270}, -1, 1, &rng);
+          Tensor b = Tensor::RandUniform({2, 270, 23}, -1, 1, &rng);
+          return a.Matmul(b);
+        },
+        "matmul (packed path) isa=" + tag);
+    ExpectBitwiseIdenticalAcrossThreads(
+        [] {
+          Rng rng(41);
+          Tensor a = Tensor::RandUniform({6, 1, 17}, -1, 1, &rng);
+          Tensor b = Tensor::RandUniform({6, 17, 16}, -1, 1, &rng);
+          return a.Matmul(b);
+        },
+        "matmul (m=1 batch path) isa=" + tag);
+    ExpectBitwiseIdenticalAcrossThreads(
+        [] {
+          Rng rng(42);
+          Tensor a = Tensor::RandUniform({3, 19, 130}, -1, 1, &rng);
+          Tensor b = Tensor::RandUniform({3, 19, 11}, -1, 1, &rng);
+          return a.MatmulTransposeA(b);
+        },
+        "matmul_ta isa=" + tag);
+    ExpectBitwiseIdenticalAcrossThreads(
+        [] {
+          Rng rng(43);
+          Tensor a = Tensor::RandUniform({130, 21}, -1, 1, &rng);
+          Tensor b = Tensor::RandUniform({29, 21}, -1, 1, &rng);
+          return a.MatmulTransposeB(b);
+        },
+        "matmul_tb isa=" + tag);
+    ExpectBitwiseIdenticalAcrossThreads(
+        [] {
+          Rng rng(44);
+          Tensor x = Tensor::RandUniform({3, 47, 33}, -3, 3, &rng);
+          return x.Sigmoid().Add(x.Tanh()).Add(x.Exp().AddScalar(1.0f).Log());
+        },
+        "vmath isa=" + tag);
+  }
+}
+
+// End-to-end matrix at each fixed ISA: a Trainer epoch must produce
+// bitwise-identical losses across 1/2/4/8 threads x pool on/off x arena
+// on/off. The reference run per ISA is (1 thread, pool on, arena on).
+TEST(ParallelDeterminismTest, TrainerEpochIdenticalThreadsPoolArenaPerIsa) {
+  datagen::MetroSimConfig sim_config;
+  sim_config.num_stations = 6;
+  sim_config.num_days = 8;
+  sim_config.seed = 132;
+  sim_config.keep_od_ground_truth = false;
+
+  auto run_epoch = [&](int threads, bool pool_enabled, bool arena_enabled) {
+    TensorBufferPool::Global().SetEnabled(pool_enabled);
+    ag::SetAutogradArenaEnabled(arena_enabled);
+    auto sim = datagen::SimulateMetro(sim_config);
+    data::ForecastDataset::Options options;
+    options.input_steps = 4;
+    options.output_steps = 2;
+    data::ForecastDataset dataset(std::move(sim.data), options);
+
+    core::TGCRNConfig model_config;
+    model_config.num_nodes = 6;
+    model_config.input_dim = 2;
+    model_config.output_dim = 2;
+    model_config.horizon = 2;
+    model_config.hidden_dim = 8;
+    model_config.num_layers = 1;
+    model_config.node_embed_dim = 6;
+    model_config.time_embed_dim = 4;
+    model_config.steps_per_day = 72;
+    Rng rng(55);
+    core::TGCRN model(model_config, &rng);
+
+    core::TrainConfig train_config;
+    train_config.epochs = 1;
+    train_config.max_batches_per_epoch = 8;
+    train_config.num_threads = threads;
+    train_config.verbose = false;
+    return core::TrainAndEvaluate(&model, dataset, train_config);
+  };
+
+  for (const common::SimdIsa isa : AvailableIsas()) {
+    common::ScopedSimdIsa pin(isa);
+    const std::string tag = std::string(common::SimdIsaName(isa));
+    const auto reference =
+        run_epoch(/*threads=*/1, /*pool_enabled=*/true, /*arena_enabled=*/true);
+    for (const int threads : {1, 2, 4, 8}) {
+      for (const bool pool : {true, false}) {
+        for (const bool arena : {true, false}) {
+          if (threads == 1 && pool && arena) continue;  // the reference run
+          const auto got = run_epoch(threads, pool, arena);
+          const std::string combo = "isa=" + tag +
+                                    " threads=" + std::to_string(threads) +
+                                    " pool=" + std::to_string(pool) +
+                                    " arena=" + std::to_string(arena);
+          ASSERT_EQ(got.train_loss_history.size(),
+                    reference.train_loss_history.size())
+              << combo;
+          for (size_t i = 0; i < reference.train_loss_history.size(); ++i) {
+            EXPECT_EQ(got.train_loss_history[i],
+                      reference.train_loss_history[i])
+                << "train loss diverged (" << combo << ")";
+          }
+          ASSERT_EQ(got.val_mae_history.size(),
+                    reference.val_mae_history.size())
+              << combo;
+          for (size_t i = 0; i < reference.val_mae_history.size(); ++i) {
+            EXPECT_EQ(got.val_mae_history[i], reference.val_mae_history[i])
+                << "val MAE diverged (" << combo << ")";
+          }
+        }
+      }
+    }
+  }
+  TensorBufferPool::Global().ReloadEnabledFromEnv();
+  ag::SetAutogradArenaEnabled(true);
+  common::SetNumThreads(1);
+}
+
+// TGCRN_ISA must actually route dispatch: with the env var set to
+// "scalar", every GEMM and vmath call lands on the scalar kernels (the
+// simd.* counters in the metric registry are the observable), and with
+// "avx2" (when available) on the AVX2 kernels.
+TEST(ParallelDeterminismTest, TgcrnIsaEnvOverrideIsHonored) {
+  // Remember the ambient override (CI pins TGCRN_ISA per job) so the
+  // test can restore it for the rest of the binary.
+  const char* ambient = getenv("TGCRN_ISA");
+  const std::string saved = ambient != nullptr ? ambient : "";
+
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Counter* gemm_scalar = registry.GetCounter("simd.gemm_scalar_calls");
+  obs::Counter* gemm_avx2 = registry.GetCounter("simd.gemm_avx2_calls");
+  obs::Counter* vmath_scalar = registry.GetCounter("simd.vmath_scalar_calls");
+  obs::Counter* vmath_avx2 = registry.GetCounter("simd.vmath_avx2_calls");
+
+  Rng rng(77);
+  Tensor a = Tensor::RandUniform({9, 17}, -1, 1, &rng);
+  Tensor b = Tensor::RandUniform({17, 12}, -1, 1, &rng);
+
+  ASSERT_EQ(setenv("TGCRN_ISA", "scalar", /*overwrite=*/1), 0);
+  common::ResetSimdIsaFromEnv();
+  EXPECT_EQ(common::ActiveSimdIsa(), common::SimdIsa::kScalar);
+  {
+    const int64_t s0 = gemm_scalar->Value(), v0 = gemm_avx2->Value();
+    const int64_t ms0 = vmath_scalar->Value(), mv0 = vmath_avx2->Value();
+    (void)a.Matmul(b);
+    (void)a.Sigmoid();
+    EXPECT_EQ(gemm_scalar->Value(), s0 + 1);
+    EXPECT_EQ(gemm_avx2->Value(), v0);
+    EXPECT_EQ(vmath_scalar->Value(), ms0 + 1);
+    EXPECT_EQ(vmath_avx2->Value(), mv0);
+  }
+
+  if (common::Avx2CompiledIn() && common::CpuSupportsAvx2()) {
+    ASSERT_EQ(setenv("TGCRN_ISA", "avx2", /*overwrite=*/1), 0);
+    common::ResetSimdIsaFromEnv();
+    EXPECT_EQ(common::ActiveSimdIsa(), common::SimdIsa::kAvx2);
+    const int64_t s0 = gemm_scalar->Value(), v0 = gemm_avx2->Value();
+    const int64_t ms0 = vmath_scalar->Value(), mv0 = vmath_avx2->Value();
+    (void)a.Matmul(b);
+    (void)a.Sigmoid();
+    EXPECT_EQ(gemm_scalar->Value(), s0);
+    EXPECT_EQ(gemm_avx2->Value(), v0 + 1);
+    EXPECT_EQ(vmath_scalar->Value(), ms0);
+    EXPECT_EQ(vmath_avx2->Value(), mv0 + 1);
+  }
+
+  if (ambient != nullptr) {
+    ASSERT_EQ(setenv("TGCRN_ISA", saved.c_str(), /*overwrite=*/1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("TGCRN_ISA"), 0);
+  }
+  common::ResetSimdIsaFromEnv();
 }
 
 }  // namespace

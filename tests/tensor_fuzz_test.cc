@@ -1,12 +1,16 @@
 // Copyright 2026 TGCRN Reproduction Authors
 // Tensor kernel fuzzing: every shape-manipulation and broadcast kernel is
 // checked against a straightforward reference implementation on random
-// shapes, plus fast-path vs generic-path consistency checks.
+// shapes, plus fast-path vs generic-path consistency checks, and the
+// scalar-vs-AVX2 differential harness for the SIMD GEMM/vmath kernels.
+#include <cmath>
+#include <cstring>
 #include <numeric>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/cpu_features.h"
 #include "tensor/tensor.h"
 
 namespace tgcrn {
@@ -145,6 +149,189 @@ TEST(ReduceFuzzTest, SumOverEveryAxisMatchesManual) {
     }
     EXPECT_TRUE(reduced.AllClose(manual, 1e-5f)) << "axis " << axis;
   }
+}
+
+// ---- SIMD differential fuzzing ---------------------------------------------
+// The scalar and AVX2 kernel tables must agree within FMA-contraction
+// rounding. Tolerance is ulp-scaled per element: the |A|·|B| product
+// bounds every partial sum, and each of the ~k+8 flops can contribute
+// half an ulp of that bound. At a fixed ISA, results must be bitwise
+// repeatable — and the scalar table bit-exactly matches libm/serial
+// arithmetic, which the repeatability memcmp pins.
+
+bool Avx2Available() {
+  return common::Avx2CompiledIn() && common::CpuSupportsAvx2();
+}
+
+Tensor RunMatmul(const Tensor& a, const Tensor& b, int kind) {
+  if (kind == 0) return a.Matmul(b);
+  if (kind == 1) return a.MatmulTransposeA(b);
+  return a.MatmulTransposeB(b);
+}
+
+bool BitwiseEqual(const Tensor& x, const Tensor& y) {
+  return x.shape() == y.shape() &&
+         std::memcmp(x.data(), y.data(),
+                     static_cast<size_t>(x.numel()) * sizeof(float)) == 0;
+}
+
+void ExpectWithinScaledUlps(const Tensor& s, const Tensor& v,
+                            const Tensor& bound, int64_t k,
+                            const std::string& label) {
+  ASSERT_EQ(s.shape(), v.shape()) << label;
+  ASSERT_EQ(s.shape(), bound.shape()) << label;
+  constexpr float kEps = 1.19209290e-7f;  // 2^-23
+  const float scale = kEps * static_cast<float>(k + 8);
+  const float* ps = s.data();
+  const float* pv = v.data();
+  const float* pb = bound.data();
+  for (int64_t i = 0; i < s.numel(); ++i) {
+    ASSERT_LE(std::fabs(ps[i] - pv[i]), scale * pb[i] + 1e-30f)
+        << label << " at flat index " << i << ": scalar " << ps[i]
+        << " vs avx2 " << pv[i];
+  }
+}
+
+class SimdMatmulDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimdMatmulDifferentialTest, ScalarAndAvx2AgreeWithinUlps) {
+  if (!Avx2Available()) GTEST_SKIP() << "AVX2 not available on this build";
+  Rng rng(11000 + GetParam());
+  // Boundary-rich dims: ragged panel tails (< kNr = 16), partial register
+  // tiles (< kMr = 6), the packing cutover at m = 8, and exact tiles.
+  const std::vector<int64_t> dims = {1, 2, 3, 5, 6, 7, 8, 9, 15, 16, 17, 33};
+  auto pick = [&] { return dims[rng.UniformInt(0, 11)]; };
+  for (int kind = 0; kind < 3; ++kind) {
+    const int64_t m = pick(), k = pick(), n = pick();
+    Shape sa = kind == 1 ? Shape{k, m} : Shape{m, k};
+    Shape sb = kind == 2 ? Shape{n, k} : Shape{k, n};
+    // Mix in batched and broadcast-batched variants.
+    const int batching = rng.UniformInt(0, 2);
+    if (batching == 1) {
+      sa.insert(sa.begin(), rng.UniformInt(2, 4));
+    } else if (batching == 2) {
+      sa.insert(sa.begin(), {2, 1});
+      sb.insert(sb.begin(), 3);
+    }
+    Tensor a = Tensor::RandUniform(sa, -2, 2, &rng);
+    Tensor b = Tensor::RandUniform(sb, -2, 2, &rng);
+    const std::string label = "kind " + std::to_string(kind) + ": " +
+                              ShapeToString(sa) + " x " + ShapeToString(sb);
+
+    Tensor s, v, bound;
+    {
+      common::ScopedSimdIsa pin(common::SimdIsa::kScalar);
+      s = RunMatmul(a, b, kind);
+      // Fixed-ISA exactness: a second run must be bit-identical.
+      EXPECT_TRUE(BitwiseEqual(s, RunMatmul(a, b, kind))) << label;
+      bound = RunMatmul(a.Abs(), b.Abs(), kind);
+    }
+    {
+      common::ScopedSimdIsa pin(common::SimdIsa::kAvx2);
+      v = RunMatmul(a, b, kind);
+      EXPECT_TRUE(BitwiseEqual(v, RunMatmul(a, b, kind))) << label;
+    }
+    ExpectWithinScaledUlps(s, v, bound, k, label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdMatmulDifferentialTest,
+                         ::testing::Range(0, 20));
+
+TEST(SimdMatmulDifferentialTest, ReduceDimCrossesCacheBlock) {
+  if (!Avx2Available()) GTEST_SKIP() << "AVX2 not available on this build";
+  Rng rng(11500);
+  // k spanning the kKc = 256 cache block: the AVX2 packed kernel
+  // accumulates later k-chunks into C from memory, which must not change
+  // agreement (or fixed-ISA bits).
+  for (const int64_t k : {255, 256, 257, 300}) {
+    for (int kind = 0; kind < 3; ++kind) {
+      const int64_t m = 9, n = 17;
+      const Shape sa = kind == 1 ? Shape{k, m} : Shape{m, k};
+      const Shape sb = kind == 2 ? Shape{n, k} : Shape{k, n};
+      Tensor a = Tensor::RandUniform(sa, -1, 1, &rng);
+      Tensor b = Tensor::RandUniform(sb, -1, 1, &rng);
+      const std::string label =
+          "kind " + std::to_string(kind) + " k=" + std::to_string(k);
+      Tensor s, v, bound;
+      {
+        common::ScopedSimdIsa pin(common::SimdIsa::kScalar);
+        s = RunMatmul(a, b, kind);
+        bound = RunMatmul(a.Abs(), b.Abs(), kind);
+      }
+      {
+        common::ScopedSimdIsa pin(common::SimdIsa::kAvx2);
+        v = RunMatmul(a, b, kind);
+        EXPECT_TRUE(BitwiseEqual(v, RunMatmul(a, b, kind))) << label;
+      }
+      ExpectWithinScaledUlps(s, v, bound, k, label);
+    }
+  }
+}
+
+TEST(SimdMatmulDifferentialTest, SlicedOperandsMatch) {
+  if (!Avx2Available()) GTEST_SKIP() << "AVX2 not available on this build";
+  Rng rng(11600);
+  // Operands carved out of larger tensors (materialized strided views).
+  Tensor big_a = Tensor::RandUniform({12, 40}, -2, 2, &rng);
+  Tensor big_b = Tensor::RandUniform({40, 25}, -2, 2, &rng);
+  Tensor a = big_a.Slice(0, 3, 10).Slice(1, 5, 24);   // (7, 19)
+  Tensor b = big_b.Slice(0, 5, 24).Slice(1, 2, 23);   // (19, 21)
+  Tensor s, v, bound;
+  {
+    common::ScopedSimdIsa pin(common::SimdIsa::kScalar);
+    s = a.Matmul(b);
+    bound = a.Abs().Matmul(b.Abs());
+  }
+  {
+    common::ScopedSimdIsa pin(common::SimdIsa::kAvx2);
+    v = a.Matmul(b);
+  }
+  ExpectWithinScaledUlps(s, v, bound, 19, "sliced operands");
+}
+
+TEST(SimdVmathDifferentialTest, TranscendentalsMatchLibmWithinTolerance) {
+  if (!Avx2Available()) GTEST_SKIP() << "AVX2 not available on this build";
+  Rng rng(11700);
+  // Lengths 1..17 cover every sub-vector tail (lanes = 8) plus both
+  // full-vector sides of it; 1000 exercises chunked parallel ranges.
+  for (int64_t len = 1; len <= 17; ++len) {
+    SCOPED_TRACE(len);
+    Tensor x = Tensor::RandUniform({len}, -9, 9, &rng);
+    Tensor es, ev, ss, sv, ts, tv;
+    {
+      common::ScopedSimdIsa pin(common::SimdIsa::kScalar);
+      es = x.Exp();
+      ss = x.Sigmoid();
+      ts = x.Tanh();
+      // Scalar path is libm exactly.
+      for (int64_t i = 0; i < len; ++i) {
+        EXPECT_EQ(es.flat(i), std::exp(x.flat(i)));
+        EXPECT_EQ(ts.flat(i), std::tanh(x.flat(i)));
+      }
+    }
+    {
+      common::ScopedSimdIsa pin(common::SimdIsa::kAvx2);
+      ev = x.Exp();
+      sv = x.Sigmoid();
+      tv = x.Tanh();
+      EXPECT_TRUE(BitwiseEqual(ev, x.Exp()));
+    }
+    for (int64_t i = 0; i < len; ++i) {
+      // Minimax-polynomial error is a few ulp relative for exp, and
+      // absolute (outputs in [-1, 1]) for sigmoid/tanh.
+      EXPECT_LE(std::fabs(es.flat(i) - ev.flat(i)),
+                2e-6f * std::fabs(es.flat(i)) + 1e-30f);
+      EXPECT_LE(std::fabs(ss.flat(i) - sv.flat(i)), 2e-6f);
+      EXPECT_LE(std::fabs(ts.flat(i) - tv.flat(i)), 2e-6f);
+    }
+  }
+  // Long input: chunk boundaries at any thread count must not change the
+  // AVX2 bits (lanewise kernels are position-independent).
+  Tensor x = Tensor::RandUniform({1000}, -9, 9, &rng);
+  common::ScopedSimdIsa pin(common::SimdIsa::kAvx2);
+  Tensor y = x.Sigmoid();
+  EXPECT_TRUE(BitwiseEqual(y, x.Sigmoid()));
 }
 
 TEST(EdgeCaseTest, SingleElementAndDegenerateShapes) {
