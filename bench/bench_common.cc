@@ -6,8 +6,11 @@
 #include <cstring>
 #include <ctime>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "baselines/agcrn.h"
+#include "common/cpu_features.h"
 #include "baselines/ccrnn.h"
 #include "baselines/dcrnn.h"
 #include "baselines/esg.h"
@@ -347,6 +350,39 @@ std::string Cell(double measured, double paper_ref, int precision) {
          TablePrinter::Num(paper_ref, precision) + ")";
 }
 
+namespace {
+
+const char kHistoryHeader[] =
+    "timestamp_utc,scale,model,threads,s_per_epoch,data_s,forward_s,"
+    "backward_s,clip_s,adam_s,eval_s,isa";
+
+// History files written before the isa column existed end their header at
+// "eval_s". Rewrite them in place once: new header, ",unknown" backfilled
+// onto every data row (the producing ISA was not recorded). Returns false
+// on I/O failure (the caller then skips the append rather than corrupting
+// the file).
+bool MigrateHistoryHeader(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string header;
+  if (!std::getline(in, header)) return false;
+  if (header == kHistoryHeader) return true;
+  if (header.find(",isa") != std::string::npos) return true;  // future schema
+  std::ostringstream migrated;
+  migrated << kHistoryHeader << "\n";
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) migrated << line << ",unknown\n";
+  }
+  in.close();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << migrated.str();
+  return out.good();
+}
+
+}  // namespace
+
 void AppendCostHistory(const std::string& bench_name,
                        const std::string& label, const Scale& scale,
                        const core::TrainResult& result) {
@@ -355,16 +391,18 @@ void AppendCostHistory(const std::string& bench_name,
   std::filesystem::create_directories(dir, ec);
   const std::string path = dir + "/" + bench_name + "_history.csv";
   const bool exists = std::filesystem::exists(path, ec);
+  if (exists && !MigrateHistoryHeader(path)) {
+    std::printf("[history append failed: cannot migrate %s]\n", path.c_str());
+    return;
+  }
   std::FILE* out = std::fopen(path.c_str(), "a");
   if (out == nullptr) {
     std::printf("[history append failed: cannot open %s]\n", path.c_str());
     return;
   }
   if (!exists) {
-    std::fputs(
-        "timestamp_utc,scale,model,threads,s_per_epoch,data_s,forward_s,"
-        "backward_s,clip_s,adam_s,eval_s\n",
-        out);
+    std::fputs(kHistoryHeader, out);
+    std::fputc('\n', out);
   }
   char timestamp[32] = "unknown";
   const std::time_t now = std::time(nullptr);
@@ -377,19 +415,25 @@ void AppendCostHistory(const std::string& bench_name,
     const auto it = phases.find(key);
     return it != phases.end() ? it->second : 0.0;
   };
-  std::fprintf(out, "%s,%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+  std::fprintf(out, "%s,%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%s\n",
                timestamp, scale.name.c_str(), label.c_str(),
                result.num_threads, result.seconds_per_epoch,
                phase(obs::kPhaseData), phase(obs::kPhaseForward),
                phase(obs::kPhaseBackward), phase(obs::kPhaseClip),
-               phase(obs::kPhaseAdam), phase(obs::kPhaseEval));
+               phase(obs::kPhaseAdam), phase(obs::kPhaseEval),
+               common::SimdIsaName(common::ActiveSimdIsa()));
   std::fclose(out);
 }
 
 void EmitTable(const std::string& bench_name, const TablePrinter& table) {
   table.Print();
+  // Exported rows are stamped with the resolved SIMD ISA so historical
+  // CSVs stay attributable to the kernel set that produced them; the
+  // console table mirrors the paper's layout and omits the stamp.
+  TablePrinter stamped = table;
+  stamped.AddColumn("isa", common::SimdIsaName(common::ActiveSimdIsa()));
   const std::string path = "bench_results/" + bench_name + ".csv";
-  const Status status = table.WriteCsv(path);
+  const Status status = stamped.WriteCsv(path);
   if (status.ok()) {
     std::printf("[csv written to %s]\n", path.c_str());
   } else {

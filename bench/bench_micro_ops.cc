@@ -11,21 +11,58 @@
 #include "core/gcgru.h"
 #include "core/tagsl.h"
 #include "core/time_encoders.h"
+#include "obs/prof.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
 
 namespace tgcrn {
 namespace {
 
+// Labels the row with the resolved SIMD ISA (every kernel row is
+// attributable to the kernel set that produced it) and, when given a
+// per-iteration flop count, attaches an analytic flops rate next to
+// google-benchmark's wall clock.
+void StampIsa(benchmark::State& state, double flops_per_iter = 0.0) {
+  state.SetLabel(common::SimdIsaName(common::ActiveSimdIsa()));
+  if (flops_per_iter > 0.0) {
+    state.counters["flops"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * flops_per_iter,
+        benchmark::Counter::kIsRate);
+  }
+}
+
+// Samples the calling thread's perf_event group around the timed loop and
+// attaches an "ipc" counter. Silently absent where the kernel denies
+// perf_event_open (most containers) — obs/prof.h handles the fallback.
+class IpcProbe {
+ public:
+  IpcProbe() : start_(obs::SampleThreadPerfCounters()) {}
+  void Attach(benchmark::State& state) {
+    const obs::PerfCounterSample end = obs::SampleThreadPerfCounters();
+    if (!start_.available || !end.available) return;
+    const int64_t cycles = end.cycles - start_.cycles;
+    if (cycles <= 0) return;
+    state.counters["ipc"] = benchmark::Counter(
+        static_cast<double>(end.instructions - start_.instructions) /
+        static_cast<double>(cycles));
+  }
+
+ private:
+  obs::PerfCounterSample start_;
+};
+
 void BM_MatmulSquare(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(1);
   Tensor a = Tensor::RandUniform({n, n}, -1, 1, &rng);
   Tensor b = Tensor::RandUniform({n, n}, -1, 1, &rng);
+  IpcProbe probe;
   for (auto _ : state) {
     benchmark::DoNotOptimize(a.Matmul(b));
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  StampIsa(state, 2.0 * static_cast<double>(n) * n * n);
+  probe.Attach(state);
 }
 BENCHMARK(BM_MatmulSquare)->Arg(16)->Arg(64)->Arg(128);
 
@@ -72,10 +109,13 @@ void BM_BatchedMatmulThreads(benchmark::State& state) {
   Rng rng(20);
   Tensor lhs = Tensor::RandUniform({b, n, c}, -1, 1, &rng);
   Tensor rhs = Tensor::RandUniform({b, c, h}, -1, 1, &rng);
+  IpcProbe probe;
   for (auto _ : state) {
     benchmark::DoNotOptimize(lhs.Matmul(rhs));
   }
   state.SetItemsProcessed(state.iterations() * 2 * b * n * c * h);
+  StampIsa(state, 2.0 * static_cast<double>(b) * n * c * h);
+  probe.Attach(state);
 }
 BENCHMARK(BM_BatchedMatmulThreads)->Arg(1)->Arg(2)->Arg(4);
 
@@ -84,10 +124,13 @@ void BM_ElementwiseMulThreads(benchmark::State& state) {
   Rng rng(21);
   Tensor a = Tensor::RandUniform({64, 64, 64}, -1, 1, &rng);
   Tensor b = Tensor::RandUniform({64, 64, 64}, -1, 1, &rng);
+  IpcProbe probe;
   for (auto _ : state) {
     benchmark::DoNotOptimize(a.Mul(b));
   }
   state.SetItemsProcessed(state.iterations() * a.numel());
+  StampIsa(state, static_cast<double>(a.numel()));
+  probe.Attach(state);
 }
 BENCHMARK(BM_ElementwiseMulThreads)->Arg(1)->Arg(2)->Arg(4);
 
@@ -95,10 +138,13 @@ void BM_SumAllThreads(benchmark::State& state) {
   common::ScopedNumThreads threads(static_cast<int>(state.range(0)));
   Rng rng(22);
   Tensor a = Tensor::RandUniform({64, 64, 64}, -1, 1, &rng);
+  IpcProbe probe;
   for (auto _ : state) {
     benchmark::DoNotOptimize(a.SumAll());
   }
   state.SetItemsProcessed(state.iterations() * a.numel());
+  StampIsa(state, static_cast<double>(a.numel()));
+  probe.Attach(state);
 }
 BENCHMARK(BM_SumAllThreads)->Arg(1)->Arg(2)->Arg(4);
 
@@ -106,10 +152,14 @@ void BM_SigmoidThreads(benchmark::State& state) {
   common::ScopedNumThreads threads(static_cast<int>(state.range(0)));
   Rng rng(23);
   Tensor a = Tensor::RandUniform({64, 64, 64}, -4, 4, &rng);
+  IpcProbe probe;
   for (auto _ : state) {
     benchmark::DoNotOptimize(a.Sigmoid());
   }
   state.SetItemsProcessed(state.iterations() * a.numel());
+  // 10 flops/element, the analytic model RecordKernelCost uses.
+  StampIsa(state, 10.0 * static_cast<double>(a.numel()));
+  probe.Attach(state);
 }
 BENCHMARK(BM_SigmoidThreads)->Arg(1)->Arg(2)->Arg(4);
 
@@ -138,10 +188,13 @@ void BM_MatmulSquareIsa(benchmark::State& state) {
   Rng rng(25);
   Tensor a = Tensor::RandUniform({n, n}, -1, 1, &rng);
   Tensor b = Tensor::RandUniform({n, n}, -1, 1, &rng);
+  IpcProbe probe;
   for (auto _ : state) {
     benchmark::DoNotOptimize(a.Matmul(b));
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  StampIsa(state, 2.0 * static_cast<double>(n) * n * n);
+  probe.Attach(state);
 }
 BENCHMARK(BM_MatmulSquareIsa)->Arg(0)->Arg(1);
 
@@ -155,9 +208,12 @@ void BM_BatchedMatmulIsa(benchmark::State& state) {
   Rng rng(26);
   Tensor lhs = Tensor::RandUniform({b, n, 1, c}, -1, 1, &rng);
   Tensor rhs = Tensor::RandUniform({b, n, c, h}, -1, 1, &rng);
+  IpcProbe probe;
   for (auto _ : state) {
     benchmark::DoNotOptimize(lhs.Matmul(rhs));
   }
+  StampIsa(state, 2.0 * static_cast<double>(b) * n * c * h);
+  probe.Attach(state);
 }
 BENCHMARK(BM_BatchedMatmulIsa)->Arg(0)->Arg(1);
 
@@ -168,10 +224,13 @@ void BM_SigmoidIsa(benchmark::State& state) {
   common::ScopedNumThreads threads(1);
   Rng rng(27);
   Tensor a = Tensor::RandUniform({64, 64, 64}, -4, 4, &rng);
+  IpcProbe probe;
   for (auto _ : state) {
     benchmark::DoNotOptimize(a.Sigmoid());
   }
   state.SetItemsProcessed(state.iterations() * a.numel());
+  StampIsa(state, 10.0 * static_cast<double>(a.numel()));
+  probe.Attach(state);
 }
 BENCHMARK(BM_SigmoidIsa)->Arg(0)->Arg(1);
 

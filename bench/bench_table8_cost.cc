@@ -6,13 +6,16 @@
 // reproduction's dimensions in the same 1:1 and 4:2 ratios).
 #include <cstdio>
 
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "autograd/variable.h"
 #include "bench_common.h"
+#include "common/cpu_features.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/report.h"
 #include "paper_refs.h"
 
@@ -39,12 +42,42 @@ double PhaseSeconds(const core::TrainResult& result, const char* key) {
   return it != totals.end() ? it->second : 0.0;
 }
 
-// The per-model row: params, epoch time, and the phase breakdown measured
-// by the trainer's observability report (fwd/bwd are the network passes;
-// "optim" folds clipping into the Adam step; "data" is batch assembly).
+// Profiler delta over one timed run (obs/prof.h): the armed profiler keeps
+// accumulating across models, so each row subtracts the snapshot taken
+// before its epoch. GFLOP/s sums the analytic kernel flops over kernel
+// caller-exclusive seconds; IPC is NaN (rendered "-") where perf_event is
+// unavailable.
+struct KernelRates {
+  double gflops = 0.0;
+  double ipc = std::numeric_limits<double>::quiet_NaN();
+};
+
+KernelRates RatesFromDelta(const obs::ProfReport& delta) {
+  KernelRates rates;
+  double flops = 0.0, seconds = 0.0;
+  int64_t instructions = 0, cycles = 0;
+  for (const auto& kernel : delta.kernels) {
+    flops += kernel.flops;
+    seconds += kernel.exclusive_seconds;
+    instructions += kernel.instructions;
+    cycles += kernel.cycles;
+  }
+  if (seconds > 0.0) rates.gflops = flops / seconds / 1e9;
+  if (delta.counters_available && cycles > 0) {
+    rates.ipc = static_cast<double>(instructions) /
+                static_cast<double>(cycles);
+  }
+  return rates;
+}
+
+// The per-model row: params, epoch time, the phase breakdown measured by
+// the trainer's observability report (fwd/bwd are the network passes;
+// "optim" folds clipping into the Adam step; "data" is batch assembly),
+// and the kernel roofline rates from the profiler delta.
 std::vector<std::string> CostRow(const std::string& label,
                                  const core::TrainResult& result,
-                                 double params_ref, double seconds_ref) {
+                                 double params_ref, double seconds_ref,
+                                 const KernelRates& rates) {
   return {label,
           Cell(static_cast<double>(result.num_parameters), params_ref, 0),
           Cell(result.seconds_per_epoch, seconds_ref, 3),
@@ -53,7 +86,9 @@ std::vector<std::string> CostRow(const std::string& label,
           Cell(PhaseSeconds(result, obs::kPhaseClip) +
                    PhaseSeconds(result, obs::kPhaseAdam),
                -1.0, 3),
-          Cell(PhaseSeconds(result, obs::kPhaseData), -1.0, 3)};
+          Cell(PhaseSeconds(result, obs::kPhaseData), -1.0, 3),
+          Cell(rates.gflops, -1.0, 2),
+          Cell(rates.ipc, -1.0, 2)};
 }
 
 void Run() {
@@ -63,17 +98,33 @@ void Run() {
               scale.name.c_str(), max_threads);
   const DatasetBundle bundle = MakeHzSim(scale);
 
+  // Kernel-cost attribution for the GFLOP/s and IPC columns: armed once
+  // here, snapshotted around every timed epoch below.
+  obs::ProfOptions prof_options;
+  prof_options.enabled = true;
+  obs::StartProfiling(prof_options);
+  obs::ProfReport prof_prev = obs::CollectProfReport();
+  auto take_delta = [&prof_prev] {
+    obs::ProfReport snapshot = obs::CollectProfReport();
+    const obs::ProfReport delta = snapshot.DeltaFrom(prof_prev);
+    prof_prev = std::move(snapshot);
+    return RatesFromDelta(delta);
+  };
+
   TablePrinter table({"Model", "#Params (paper)", "s/epoch (paper)",
-                      "fwd s", "bwd s", "optim s", "data s"});
+                      "fwd s", "bwd s", "optim s", "data s", "GFLOP/s",
+                      "IPC"});
   const std::vector<std::string> methods = {"DCRNN", "AGCRN", "GraphWaveNet",
                                             "PVCGN", "ESG"};
   for (const auto& method : methods) {
     std::printf("  timing %s...\n", method.c_str());
     std::fflush(stdout);
     auto model = MakeModel(method, bundle, scale, 5000);
+    prof_prev = obs::CollectProfReport();
     const auto result = TimeOneEpoch(model.get(), bundle, scale);
     const CostRef& ref = CostRefs().at(method);
-    table.AddRow(CostRow(method, result, ref.params, ref.seconds_per_epoch));
+    table.AddRow(CostRow(method, result, ref.params, ref.seconds_per_epoch,
+                         take_delta()));
     AppendCostHistory("table8_cost", method, scale, result);
   }
   // TGCRN small embeddings (paper: d_nu = d_tau = 16).
@@ -91,10 +142,11 @@ void Run() {
     config.steps_per_day = bundle.steps_per_day;
     Rng rng(5001);
     core::TGCRN model(config, &rng);
+    prof_prev = obs::CollectProfReport();
     const auto result = TimeOneEpoch(&model, bundle, scale);
     const CostRef& ref = CostRefs().at("TGCRN (16,16)");
     table.AddRow(CostRow("TGCRN (small emb)", result, ref.params,
-                         ref.seconds_per_epoch));
+                         ref.seconds_per_epoch, take_delta()));
     AppendCostHistory("table8_cost", "TGCRN-small-emb", scale, result);
   }
   // TGCRN large embeddings (paper: d_nu = 64, d_tau = 32 -> 2x ratio).
@@ -112,10 +164,11 @@ void Run() {
     config.steps_per_day = bundle.steps_per_day;
     Rng rng(5002);
     core::TGCRN model(config, &rng);
+    prof_prev = obs::CollectProfReport();
     const auto result = TimeOneEpoch(&model, bundle, scale);
     const CostRef& ref = CostRefs().at("TGCRN (64,32)");
     table.AddRow(CostRow("TGCRN (large emb)", result, ref.params,
-                         ref.seconds_per_epoch));
+                         ref.seconds_per_epoch, take_delta()));
     AppendCostHistory("table8_cost", "TGCRN-large-emb", scale, result);
   }
   std::printf("\n=== Table VIII (cost): measured (paper) ===\n");

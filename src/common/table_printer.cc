@@ -22,6 +22,12 @@ void TablePrinter::AddRow(std::vector<std::string> row) {
   rows_.push_back(std::move(row));
 }
 
+void TablePrinter::AddColumn(const std::string& header,
+                             const std::string& value) {
+  header_.push_back(header);
+  for (auto& row : rows_) row.push_back(value);
+}
+
 std::string TablePrinter::Num(double value, int precision) {
   if (std::isnan(value)) return "-";
   char buf[64];

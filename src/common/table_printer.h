@@ -19,6 +19,11 @@ class TablePrinter {
   // Appends a row; must have the same arity as the header.
   void AddRow(std::vector<std::string> row);
 
+  // Appends a constant-valued column: `header` on the header row, `value`
+  // on every existing row. Used by the bench harness to stamp run context
+  // (e.g. the resolved SIMD ISA) onto exported CSVs.
+  void AddColumn(const std::string& header, const std::string& value);
+
   // Convenience: formats doubles with the given precision ("-" for NaN).
   static std::string Num(double value, int precision = 2);
 

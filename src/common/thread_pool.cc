@@ -15,6 +15,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 
 namespace tgcrn {
@@ -72,10 +73,18 @@ struct Job {
   std::mutex mu;
   std::condition_variable cv;
   std::exception_ptr exception;
+  // Innermost profiler scope open on the dispatching thread (nullptr when
+  // the profiler is off): helpers attribute their chunk time to it.
+  const char* prof_attr = nullptr;
 };
 
-void WorkOnJob(const std::shared_ptr<Job>& job) {
-  TGCRN_TRACE_SCOPE("ParallelFor.worker");
+void WorkOnJob(const std::shared_ptr<Job>& job, bool helper) {
+  // Trace-only span: the caller thread already sits inside the kernel's
+  // own profiler scope, so letting this span into the attribution tree
+  // would steal the kernel's exclusive time. Helpers instead attribute
+  // through WorkerAttributionScope (root -> "worker" -> kernel).
+  obs::ScopedSpan span("ParallelFor.worker", obs::internal::kScopeTraceBit);
+  obs::WorkerAttributionScope attribution(helper ? job->prof_attr : nullptr);
   while (true) {
     const int64_t c = job->next.fetch_add(1);
     if (c >= job->num_chunks) break;
@@ -243,12 +252,13 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
     const int64_t s = begin + c * chunk;
     fn(s, std::min(end, s + chunk));
   };
+  job->prof_attr = obs::CurrentProfLeafName();
   const int64_t helpers =
       std::min<int64_t>(threads - 1, num_chunks - 1);
   for (int64_t i = 0; i < helpers; ++i) {
-    pool.Enqueue([job] { WorkOnJob(job); });
+    pool.Enqueue([job] { WorkOnJob(job, /*helper=*/true); });
   }
-  WorkOnJob(job);  // the caller participates
+  WorkOnJob(job, /*helper=*/false);  // the caller participates
   {
     std::unique_lock<std::mutex> lock(job->mu);
     job->cv.wait(lock,

@@ -97,6 +97,13 @@ TrainResult TrainAndEvaluate(ForecastModel* model,
   // pinned by autograd_arena_test stays intact).
   obs::HealthMonitor health_monitor(config.health);
   if (health_monitor.enabled()) health_monitor.Attach(*model);
+  // Profiler: snapshots are cumulative, so each epoch's "prof" block is
+  // the delta against the previous epoch's snapshot.
+  obs::ProfReport prof_prev;
+  if (config.prof.enabled) {
+    obs::StartProfiling(config.prof);
+    prof_prev = obs::CollectProfReport();
+  }
   optim::Adam adam(model->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
                    config.weight_decay);
   optim::MultiStepLR scheduler(&adam, config.lr_milestones, config.lr_gamma);
@@ -237,6 +244,13 @@ TrainResult TrainAndEvaluate(ForecastModel* model,
         epoch_report.health.has_graph =
             model->CollectGraphHealth(sample, &epoch_report.health.graph);
       }
+    }
+    if (config.prof.enabled) {
+      PhaseTimer timer(&epoch_report.phase_seconds, obs::kPhaseProf);
+      obs::ProfReport snapshot = obs::CollectProfReport();
+      epoch_report.has_prof = true;
+      epoch_report.prof = snapshot.DeltaFrom(prof_prev);
+      prof_prev = std::move(snapshot);
     }
     epoch_report.seconds = SecondsSince(epoch_start);
     epoch_seconds_sum += epoch_report.seconds;

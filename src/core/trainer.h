@@ -14,6 +14,7 @@
 #include "data/dataset.h"
 #include "metrics/metrics.h"
 #include "obs/health.h"
+#include "obs/prof.h"
 #include "obs/report.h"
 
 namespace tgcrn {
@@ -55,6 +56,12 @@ struct TrainConfig {
   // any training entry point gains the monitor without code changes.
   // Disabled ⇒ the training loop does zero health work per step.
   obs::HealthOptions health = obs::HealthOptions::FromEnv();
+  // Kernel-cost profiler (obs/prof.h): when enabled, every epoch JSONL
+  // line gains a "prof" object — that epoch's attribution-tree delta with
+  // per-kernel invocation counts, analytic GFLOP/s, and (where perf_event
+  // is available) IPC. Defaults from TGCRN_PROF{,_COUNTERS} env vars.
+  // Disabled ⇒ one relaxed load per span, nothing else.
+  obs::ProfOptions prof = obs::ProfOptions::FromEnv();
 };
 
 struct TrainResult {

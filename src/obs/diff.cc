@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 namespace tgcrn {
 namespace obs {
@@ -111,6 +112,54 @@ const GraphHealthReport* LastGraphHealth(const RunReport& report) {
   return nullptr;
 }
 
+// Sums the per-epoch "prof" deltas back into one whole-run profile.
+// Returns false when no epoch carried a prof block.
+bool AccumulateProf(const RunReport& report, ProfReport* out) {
+  bool present = false;
+  for (const auto& epoch : report.epochs) {
+    if (!epoch.has_prof) continue;
+    present = true;
+    out->Accumulate(epoch.prof);
+  }
+  return present;
+}
+
+// Shared between DiffReports (accumulated epoch blocks) and DiffProfiles
+// (standalone profile files): per-kernel invocations gate, instruction
+// totals gate when both sides measured them, cycles/IPC are informational.
+void AddProfRows(DiffBuilder* builder, const ProfReport& baseline,
+                 const ProfReport& candidate, double acc_pct) {
+  std::map<std::string, const ProfKernelReport*> base_kernels;
+  for (const auto& kernel : baseline.kernels) {
+    base_kernels[kernel.name] = &kernel;
+  }
+  for (const auto& kernel : candidate.kernels) {
+    const auto it = base_kernels.find(kernel.name);
+    if (it == base_kernels.end()) continue;  // new kernel: nothing to gate
+    builder->AddGated("prof." + kernel.name + ".invocations",
+                      static_cast<double>(it->second->invocations),
+                      static_cast<double>(kernel.invocations), acc_pct);
+  }
+  if (baseline.counters_available && candidate.counters_available) {
+    auto totals = [](const ProfReport& report) {
+      double instructions = 0.0;
+      double cycles = 0.0;
+      for (const auto& kernel : report.kernels) {
+        instructions += static_cast<double>(kernel.instructions);
+        cycles += static_cast<double>(kernel.cycles);
+      }
+      return std::make_pair(instructions, cycles);
+    };
+    const auto [base_instr, base_cycles] = totals(baseline);
+    const auto [cand_instr, cand_cycles] = totals(candidate);
+    builder->AddGated("prof.instructions", base_instr, cand_instr, acc_pct);
+    builder->AddInfo("prof.cycles", base_cycles, cand_cycles);
+    builder->AddInfo("prof.ipc",
+                     base_cycles > 0.0 ? base_instr / base_cycles : 0.0,
+                     cand_cycles > 0.0 ? cand_instr / cand_cycles : 0.0);
+  }
+}
+
 }  // namespace
 
 ReportDiffResult DiffReports(const RunReport& baseline,
@@ -198,6 +247,23 @@ ReportDiffResult DiffReports(const RunReport& baseline,
                     candidate_graph->temporal_drift);
   }
 
+  // --- Profiler cost attribution ----------------------------------------
+  ProfReport baseline_prof;
+  ProfReport candidate_prof;
+  if (AccumulateProf(baseline, &baseline_prof) &&
+      AccumulateProf(candidate, &candidate_prof)) {
+    AddProfRows(&builder, baseline_prof, candidate_prof, acc_pct);
+  }
+
+  return result;
+}
+
+ReportDiffResult DiffProfiles(const ProfReport& baseline,
+                              const ProfReport& candidate,
+                              const ReportDiffOptions& options) {
+  ReportDiffResult result;
+  DiffBuilder builder(&result);
+  AddProfRows(&builder, baseline, candidate, options.max_regress_pct);
   return result;
 }
 

@@ -150,6 +150,238 @@ HealthReport HealthReport::FromJson(const Json& json) {
   return report;
 }
 
+Json ProfKernelReport::ToJson() const {
+  Json out = Json::Object();
+  out.Set("name", Json::Str(name));
+  out.Set("invocations", Json::Int(invocations));
+  out.Set("exclusive_s", Json::Number(exclusive_seconds));
+  out.Set("worker_s", Json::Number(worker_seconds));
+  out.Set("flops", Json::Number(flops));
+  out.Set("bytes", Json::Number(bytes));
+  out.Set("instructions", Json::Int(instructions));
+  out.Set("cycles", Json::Int(cycles));
+  out.Set("l1_misses", Json::Int(l1_misses));
+  out.Set("llc_misses", Json::Int(llc_misses));
+  out.Set("branch_misses", Json::Int(branch_misses));
+  // Derived, for human/tooling consumption; recomputed on parse.
+  out.Set("gflops", Json::Number(GFlops()));
+  out.Set("intensity", Json::Number(ArithmeticIntensity()));
+  out.Set("ipc", Json::Number(Ipc()));
+  return out;
+}
+
+ProfKernelReport ProfKernelReport::FromJson(const Json& json) {
+  ProfKernelReport k;
+  k.name = json.GetString("name");
+  k.invocations = json.GetInt("invocations");
+  k.exclusive_seconds = json.GetDouble("exclusive_s");
+  k.worker_seconds = json.GetDouble("worker_s");
+  k.flops = json.GetDouble("flops");
+  k.bytes = json.GetDouble("bytes");
+  k.instructions = json.GetInt("instructions");
+  k.cycles = json.GetInt("cycles");
+  k.l1_misses = json.GetInt("l1_misses");
+  k.llc_misses = json.GetInt("llc_misses");
+  k.branch_misses = json.GetInt("branch_misses");
+  return k;
+}
+
+Json ProfNodeReport::ToJson() const {
+  Json out = Json::Object();
+  out.Set("name", Json::Str(name));
+  out.Set("parent", Json::Int(parent));
+  out.Set("count", Json::Int(count));
+  out.Set("inclusive_s", Json::Number(inclusive_seconds));
+  out.Set("exclusive_s", Json::Number(exclusive_seconds));
+  out.Set("flops", Json::Number(flops));
+  out.Set("instructions", Json::Int(instructions));
+  out.Set("cycles", Json::Int(cycles));
+  return out;
+}
+
+ProfNodeReport ProfNodeReport::FromJson(const Json& json) {
+  ProfNodeReport n;
+  n.name = json.GetString("name");
+  n.parent = json.GetInt("parent", -1);
+  n.count = json.GetInt("count");
+  n.inclusive_seconds = json.GetDouble("inclusive_s");
+  n.exclusive_seconds = json.GetDouble("exclusive_s");
+  n.flops = json.GetDouble("flops");
+  n.instructions = json.GetInt("instructions");
+  n.cycles = json.GetInt("cycles");
+  return n;
+}
+
+Json ProfReport::ToJson() const {
+  Json out = Json::Object();
+  out.Set("counters_available", Json::Bool(counters_available));
+  out.Set("isa", Json::Str(isa));
+  out.Set("threads", Json::Int(threads));
+  Json node_list = Json::Array();
+  for (const auto& n : nodes) node_list.Append(n.ToJson());
+  out.Set("nodes", std::move(node_list));
+  Json kernel_list = Json::Array();
+  for (const auto& k : kernels) kernel_list.Append(k.ToJson());
+  out.Set("kernels", std::move(kernel_list));
+  return out;
+}
+
+ProfReport ProfReport::FromJson(const Json& json) {
+  ProfReport report;
+  const Json& avail = json["counters_available"];
+  report.counters_available = avail.is_bool() && avail.AsBool();
+  report.isa = json.GetString("isa");
+  report.threads = json.GetInt("threads");
+  const Json& node_list = json["nodes"];
+  if (node_list.is_array()) {
+    for (size_t i = 0; i < node_list.size(); ++i) {
+      report.nodes.push_back(ProfNodeReport::FromJson(node_list.at(i)));
+    }
+  }
+  const Json& kernel_list = json["kernels"];
+  if (kernel_list.is_array()) {
+    for (size_t i = 0; i < kernel_list.size(); ++i) {
+      report.kernels.push_back(ProfKernelReport::FromJson(kernel_list.at(i)));
+    }
+  }
+  return report;
+}
+
+namespace {
+
+// Root path of every node: path[i] = path[parent] + '\x1f' + name (the
+// separator cannot appear in span names, which are C identifier-ish).
+std::vector<std::string> NodePaths(const std::vector<ProfNodeReport>& nodes) {
+  std::vector<std::string> paths;
+  paths.reserve(nodes.size());
+  for (const auto& node : nodes) {
+    if (node.parent >= 0 &&
+        node.parent < static_cast<int64_t>(paths.size())) {
+      paths.push_back(paths[node.parent] + '\x1f' + node.name);
+    } else {
+      paths.push_back(node.name);
+    }
+  }
+  return paths;
+}
+
+}  // namespace
+
+std::string ProfReport::ToCollapsed() const {
+  const std::vector<std::string> paths = NodePaths(nodes);
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const long long ns =
+        static_cast<long long>(nodes[i].exclusive_seconds * 1e9 + 0.5);
+    if (ns <= 0 && nodes[i].count <= 0) continue;
+    std::string line = paths[i];
+    for (char& c : line) {
+      if (c == '\x1f') c = ';';
+    }
+    line += ' ';
+    line += std::to_string(ns > 0 ? ns : 0);
+    line += '\n';
+    out += line;
+  }
+  return out;
+}
+
+ProfReport ProfReport::DeltaFrom(const ProfReport& prev) const {
+  ProfReport out = *this;
+  const std::vector<std::string> prev_paths = NodePaths(prev.nodes);
+  std::map<std::string, const ProfNodeReport*> prev_by_path;
+  for (size_t i = 0; i < prev.nodes.size(); ++i) {
+    prev_by_path[prev_paths[i]] = &prev.nodes[i];
+  }
+  const std::vector<std::string> paths = NodePaths(out.nodes);
+  for (size_t i = 0; i < out.nodes.size(); ++i) {
+    const auto it = prev_by_path.find(paths[i]);
+    if (it == prev_by_path.end()) continue;
+    const ProfNodeReport& p = *it->second;
+    out.nodes[i].count -= p.count;
+    out.nodes[i].inclusive_seconds -= p.inclusive_seconds;
+    out.nodes[i].exclusive_seconds -= p.exclusive_seconds;
+    out.nodes[i].flops -= p.flops;
+    out.nodes[i].instructions -= p.instructions;
+    out.nodes[i].cycles -= p.cycles;
+  }
+  std::map<std::string, const ProfKernelReport*> prev_kernels;
+  for (const auto& k : prev.kernels) prev_kernels[k.name] = &k;
+  for (auto& k : out.kernels) {
+    const auto it = prev_kernels.find(k.name);
+    if (it == prev_kernels.end()) continue;
+    const ProfKernelReport& p = *it->second;
+    k.invocations -= p.invocations;
+    k.exclusive_seconds -= p.exclusive_seconds;
+    k.worker_seconds -= p.worker_seconds;
+    k.flops -= p.flops;
+    k.bytes -= p.bytes;
+    k.instructions -= p.instructions;
+    k.cycles -= p.cycles;
+    k.l1_misses -= p.l1_misses;
+    k.llc_misses -= p.llc_misses;
+    k.branch_misses -= p.branch_misses;
+  }
+  return out;
+}
+
+void ProfReport::Accumulate(const ProfReport& other) {
+  counters_available = counters_available || other.counters_available;
+  if (isa.empty()) isa = other.isa;
+  if (threads == 0) threads = other.threads;
+  std::vector<std::string> paths = NodePaths(nodes);
+  std::map<std::string, size_t> index_by_path;
+  for (size_t i = 0; i < nodes.size(); ++i) index_by_path[paths[i]] = i;
+  const std::vector<std::string> other_paths = NodePaths(other.nodes);
+  // Preorder guarantees a node's parent is mapped before the node itself.
+  std::vector<int64_t> remap(other.nodes.size(), -1);
+  for (size_t i = 0; i < other.nodes.size(); ++i) {
+    const auto it = index_by_path.find(other_paths[i]);
+    size_t target;
+    if (it != index_by_path.end()) {
+      target = it->second;
+      const ProfNodeReport& o = other.nodes[i];
+      nodes[target].count += o.count;
+      nodes[target].inclusive_seconds += o.inclusive_seconds;
+      nodes[target].exclusive_seconds += o.exclusive_seconds;
+      nodes[target].flops += o.flops;
+      nodes[target].instructions += o.instructions;
+      nodes[target].cycles += o.cycles;
+    } else {
+      ProfNodeReport copy = other.nodes[i];
+      copy.parent = copy.parent >= 0 ? remap[copy.parent] : -1;
+      target = nodes.size();
+      nodes.push_back(std::move(copy));
+      paths.push_back(other_paths[i]);
+      index_by_path[other_paths[i]] = target;
+    }
+    remap[i] = static_cast<int64_t>(target);
+  }
+  std::map<std::string, size_t> kernel_by_name;
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    kernel_by_name[kernels[i].name] = i;
+  }
+  for (const auto& o : other.kernels) {
+    const auto it = kernel_by_name.find(o.name);
+    if (it == kernel_by_name.end()) {
+      kernel_by_name[o.name] = kernels.size();
+      kernels.push_back(o);
+      continue;
+    }
+    ProfKernelReport& k = kernels[it->second];
+    k.invocations += o.invocations;
+    k.exclusive_seconds += o.exclusive_seconds;
+    k.worker_seconds += o.worker_seconds;
+    k.flops += o.flops;
+    k.bytes += o.bytes;
+    k.instructions += o.instructions;
+    k.cycles += o.cycles;
+    k.l1_misses += o.l1_misses;
+    k.llc_misses += o.llc_misses;
+    k.branch_misses += o.branch_misses;
+  }
+}
+
 Json EpochReport::ToJson() const {
   Json out = Json::Object();
   out.Set("type", Json::Str("epoch"));
@@ -162,6 +394,7 @@ Json EpochReport::ToJson() const {
   out.Set("seconds", Json::Number(seconds));
   out.Set("phase_seconds", PhaseMapToJson(phase_seconds));
   if (has_health) out.Set("health", health.ToJson());
+  if (has_prof) out.Set("prof", prof.ToJson());
   return out;
 }
 
@@ -178,6 +411,10 @@ EpochReport EpochReport::FromJson(const Json& json) {
   if (json.Has("health")) {
     report.has_health = true;
     report.health = HealthReport::FromJson(json["health"]);
+  }
+  if (json.Has("prof")) {
+    report.has_prof = true;
+    report.prof = ProfReport::FromJson(json["prof"]);
   }
   return report;
 }

@@ -43,6 +43,8 @@ inline const char* const kPhaseAdam = "adam";
 inline const char* const kPhaseEval = "eval";
 // Health-stat collection (only present on sampled epochs with TGCRN_HEALTH).
 inline const char* const kPhaseHealth = "health";
+// Profiler snapshot collection (only present with TGCRN_PROF).
+inline const char* const kPhaseProf = "prof";
 
 // Summary statistics of one tensor (a parameter, gradient, or activation).
 // mean/rms/min/max cover the finite elements only, so they stay readable
@@ -115,6 +117,91 @@ struct HealthReport {
   static HealthReport FromJson(const Json& json);
 };
 
+// One kernel entry point's aggregated cost over a profiling interval
+// (obs/prof.h produces it). `exclusive_seconds` is caller-thread time spent
+// inside the kernel scope minus nested scopes; `worker_seconds` is the
+// additional pool-helper time attributed to this kernel through
+// ParallelFor. `invocations`/`flops`/`bytes` come from the analytic cost
+// models at the dispatch site, so they are deterministic — identical at any
+// thread count and for any ISA. Hardware counters are zero when perf_event
+// was unavailable.
+struct ProfKernelReport {
+  std::string name;
+  int64_t invocations = 0;
+  double exclusive_seconds = 0.0;
+  double worker_seconds = 0.0;
+  double flops = 0.0;
+  double bytes = 0.0;
+  int64_t instructions = 0;
+  int64_t cycles = 0;
+  int64_t l1_misses = 0;
+  int64_t llc_misses = 0;
+  int64_t branch_misses = 0;
+
+  // Derived roofline quantities (serialized for readers, recomputed from
+  // state on parse). GFlops uses caller-exclusive time: helper seconds
+  // overlap the caller's wall clock, so adding them would undercount rate.
+  double GFlops() const {
+    return exclusive_seconds > 0.0 ? flops / exclusive_seconds / 1e9 : 0.0;
+  }
+  double ArithmeticIntensity() const {
+    return bytes > 0.0 ? flops / bytes : 0.0;
+  }
+  double Ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+
+  Json ToJson() const;
+  static ProfKernelReport FromJson(const Json& json);
+};
+
+// One node of the aggregated attribution call tree. Nodes are stored in
+// preorder; `parent` indexes into the same vector (-1 for the root). The
+// path from the root is the node's identity when two profiles are
+// subtracted or merged.
+struct ProfNodeReport {
+  std::string name;
+  int64_t parent = -1;
+  int64_t count = 0;
+  double inclusive_seconds = 0.0;
+  double exclusive_seconds = 0.0;
+  double flops = 0.0;
+  int64_t instructions = 0;
+  int64_t cycles = 0;
+
+  Json ToJson() const;
+  static ProfNodeReport FromJson(const Json& json);
+};
+
+// One profiling interval: the attribution tree plus the per-kernel cost
+// summary. Produced by obs::CollectProfReport(); the trainer embeds the
+// per-epoch delta as a "prof" object in epoch JSONL lines.
+struct ProfReport {
+  bool counters_available = false;  // perf_event group opened successfully
+  std::string isa;                  // resolved SIMD ISA ("scalar"/"avx2")
+  int64_t threads = 0;              // pool width during the interval
+  std::vector<ProfNodeReport> nodes;      // preorder, parent-indexed
+  std::vector<ProfKernelReport> kernels;  // sorted by name
+
+  Json ToJson() const;
+  static ProfReport FromJson(const Json& json);
+
+  // Collapsed-stack lines ("root;a;b <exclusive-ns>\n"), consumable by
+  // standard flamegraph tooling. Zero-time frames are kept when they carry
+  // invocation counts so the structure stays visible.
+  std::string ToCollapsed() const;
+
+  // this - prev, matching nodes by root path and kernels by name (entries
+  // missing from `prev` subtract zero). Cumulative snapshots only grow, so
+  // per-epoch deltas are exact.
+  ProfReport DeltaFrom(const ProfReport& prev) const;
+
+  // this += other, same matching rules; inserts paths `this` lacks.
+  void Accumulate(const ProfReport& other);
+};
+
 struct EpochReport {
   int64_t epoch = 0;
   double train_loss = 0.0;
@@ -128,6 +215,10 @@ struct EpochReport {
   // the configured cadence); the epoch JSON line gains a "health" object.
   bool has_health = false;
   HealthReport health;
+  // Present only when the profiler is armed (TGCRN_PROF / --prof); the
+  // epoch JSON line gains a "prof" object holding this epoch's delta.
+  bool has_prof = false;
+  ProfReport prof;
 
   Json ToJson() const;
   static EpochReport FromJson(const Json& json);

@@ -11,6 +11,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 
 namespace tgcrn {
 
@@ -23,6 +24,7 @@ void FlushObservabilityOnAbort() {
   static std::atomic<bool> flushing{false};
   if (flushing.exchange(true)) return;
   if (obs::TracingEnabled()) obs::StopTracingAndWrite();
+  obs::DumpProfileOnAbort();
   const std::string& dump = obs::MetricsDumpTargetFromEnv();
   if (!dump.empty()) obs::DumpMetricsRegistry(dump);
   flushing.store(false);
@@ -33,7 +35,7 @@ void FlushObservabilityOnAbort() {
 namespace obs {
 
 namespace internal {
-std::atomic<bool> g_tracing_enabled{false};
+std::atomic<uint32_t> g_scope_mask{0};
 }  // namespace internal
 
 namespace {
@@ -134,7 +136,8 @@ void StartTracing(const std::string& path) {
     state.atexit_registered = true;
     std::atexit(AtExitFlush);
   }
-  internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
+  internal::g_scope_mask.fetch_or(internal::kScopeTraceBit,
+                                  std::memory_order_relaxed);
 }
 
 int64_t BufferedTraceEventCount() {
@@ -166,10 +169,9 @@ int64_t DroppedTraceEventCount() {
 bool StopTracingAndWrite() {
   TracerState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
-  if (!internal::g_tracing_enabled.exchange(false,
-                                            std::memory_order_relaxed)) {
-    return false;
-  }
+  const uint32_t prev = internal::g_scope_mask.fetch_and(
+      ~internal::kScopeTraceBit, std::memory_order_relaxed);
+  if ((prev & internal::kScopeTraceBit) == 0) return false;
   if (state.path.empty()) return false;
 
   struct TaggedEvent {

@@ -28,16 +28,26 @@ namespace tgcrn {
 namespace obs {
 
 namespace internal {
-extern std::atomic<bool> g_tracing_enabled;
+// Which scope consumers are live: bit 0 the tracer, bit 1 the profiler
+// (obs/prof.h). A single combined mask keeps the off-path cost of a span
+// at one relaxed load + branch even with two consumers.
+inline constexpr uint32_t kScopeTraceBit = 1u;
+inline constexpr uint32_t kScopeProfBit = 2u;
+extern std::atomic<uint32_t> g_scope_mask;
 // Monotonic nanoseconds (steady clock).
 int64_t TraceNowNs();
 // Appends one complete span to the calling thread's ring buffer.
 void RecordSpan(const char* name, int64_t start_ns, int64_t dur_ns);
+// Profiler hooks (defined in obs/prof.cc): push/pop one frame of the
+// calling thread's attribution stack.
+void ProfEnterScope(const char* name);
+void ProfExitScope(int64_t dur_ns);
 }  // namespace internal
 
-// True while spans are being recorded. One relaxed load.
+// True while spans are being recorded by the tracer. One relaxed load.
 inline bool TracingEnabled() {
-  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+  return (internal::g_scope_mask.load(std::memory_order_relaxed) &
+          internal::kScopeTraceBit) != 0;
 }
 
 // Clears any previously recorded events and starts recording. The trace is
@@ -56,19 +66,31 @@ bool StopTracingAndWrite();
 int64_t BufferedTraceEventCount();
 int64_t DroppedTraceEventCount();
 
-// RAII span: stamps the start on construction, records on destruction.
+// RAII span: stamps the start on construction, records on destruction to
+// every consumer whose bit was set at construction (captured in `mask_`,
+// so a Stop racing the span cannot unbalance the profiler's stack).
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name) {
-    if (TracingEnabled()) {
+  explicit ScopedSpan(const char* name) : ScopedSpan(name, ~0u) {}
+  // `mask_filter` restricts which consumers see the span; used by the
+  // thread pool to keep its worker span out of the attribution tree.
+  ScopedSpan(const char* name, uint32_t mask_filter) {
+    const uint32_t mask =
+        internal::g_scope_mask.load(std::memory_order_relaxed) & mask_filter;
+    if (mask != 0) {
+      mask_ = mask;
       name_ = name;
+      if (mask & internal::kScopeProfBit) internal::ProfEnterScope(name);
       start_ns_ = internal::TraceNowNs();
     }
   }
   ~ScopedSpan() {
     if (name_ != nullptr) {
-      internal::RecordSpan(name_, start_ns_,
-                           internal::TraceNowNs() - start_ns_);
+      const int64_t dur_ns = internal::TraceNowNs() - start_ns_;
+      if (mask_ & internal::kScopeTraceBit) {
+        internal::RecordSpan(name_, start_ns_, dur_ns);
+      }
+      if (mask_ & internal::kScopeProfBit) internal::ProfExitScope(dur_ns);
     }
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -76,6 +98,7 @@ class ScopedSpan {
 
  private:
   const char* name_ = nullptr;
+  uint32_t mask_ = 0;
   int64_t start_ns_ = 0;
 };
 

@@ -9,6 +9,7 @@
 #include "common/cpu_features.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels/gemm.h"
@@ -378,8 +379,15 @@ Tensor Tensor::Map(const std::function<float(float)>& fn) const {
 // Exp/Tanh/Sigmoid route through the ISA-dispatched vmath kernels
 // (AVX2 minimax polynomials, or libm on the scalar path — bit-identical
 // to the old MapT lambdas). The remaining unary ops stay on MapT.
+// The vmath flop models are nominal per-element polynomial costs (the
+// scalar libm path spends more, the AVX2 minimax path about this much);
+// traffic is one read + one write per element. Shape-only, so profiles
+// carry the same counts for every ISA and thread count.
 Tensor Tensor::Exp() const {
+  TGCRN_TRACE_SCOPE("tensor.Exp");
   CountVmathDispatch(common::ActiveSimdIsa());
+  obs::RecordKernelCost("tensor.Exp", 8.0 * static_cast<double>(numel()),
+                        8.0 * static_cast<double>(numel()));
   return MapVmath(*this, vmath::ExpN);
 }
 Tensor Tensor::Log() const {
@@ -392,11 +400,17 @@ Tensor Tensor::Abs() const {
   return MapT([](float x) { return std::fabs(x); });
 }
 Tensor Tensor::Tanh() const {
+  TGCRN_TRACE_SCOPE("tensor.Tanh");
   CountVmathDispatch(common::ActiveSimdIsa());
+  obs::RecordKernelCost("tensor.Tanh", 12.0 * static_cast<double>(numel()),
+                        8.0 * static_cast<double>(numel()));
   return MapVmath(*this, vmath::TanhN);
 }
 Tensor Tensor::Sigmoid() const {
+  TGCRN_TRACE_SCOPE("tensor.Sigmoid");
   CountVmathDispatch(common::ActiveSimdIsa());
+  obs::RecordKernelCost("tensor.Sigmoid", 10.0 * static_cast<double>(numel()),
+                        8.0 * static_cast<double>(numel()));
   return MapVmath(*this, vmath::SigmoidN);
 }
 Tensor Tensor::Relu() const {
@@ -543,6 +557,20 @@ Tensor BatchedMatmulImpl(const Tensor& a, const Tensor& b, MatmulMode mode) {
   Tensor out = Tensor::ForOverwrite(out_shape);
 
   const int64_t batch_n = ShapeNumel(batch);
+
+  // Analytic cost (shape-only, so identical for every ISA and thread
+  // count): 2 flops per multiply-accumulate; logical traffic reads each
+  // operand once and writes the output (fp32). The kernel name matches
+  // the entry point's span so the cost lands on the open scope.
+  obs::RecordKernelCost(
+      mode == MatmulMode::kTransposeA   ? "tensor.MatmulTransposeA"
+      : mode == MatmulMode::kTransposeB ? "tensor.MatmulTransposeB"
+                                        : "tensor.Matmul",
+      2.0 * static_cast<double>(batch_n) * static_cast<double>(m) *
+          static_cast<double>(n) * static_cast<double>(red),
+      4.0 * (static_cast<double>(a.numel()) + static_cast<double>(b.numel()) +
+             static_cast<double>(batch_n) * static_cast<double>(m) *
+                 static_cast<double>(n)));
 
   // Walk the broadcast batch index once up front, recording which operand
   // matrix each output matrix reads; the row loop below is then free to
@@ -890,6 +918,9 @@ float Tensor::SumAll() const {
   // Deterministic chunked reduction: fixed chunking + fixed combine order
   // make the result bitwise identical at every thread count. Tensors of at
   // most one chunk reduce exactly like the legacy serial loop.
+  TGCRN_TRACE_SCOPE("tensor.SumAll");
+  obs::RecordKernelCost("tensor.SumAll", static_cast<double>(numel()),
+                        4.0 * static_cast<double>(numel()));
   const float* p = data();
   return static_cast<float>(common::DeterministicChunkedSum(
       numel(), kReductionChunk, [p](int64_t begin, int64_t end) {
@@ -1004,6 +1035,13 @@ Tensor Tensor::Softmax(int64_t axis) const {
   if (axis == rank - 1 && rank >= 1) {
     const int64_t span = shape_[axis];
     const int64_t rows = span > 0 ? numel() / span : 0;
+    // Nominal per-element cost of the single fused pass (max scan + exp +
+    // sum + scale); the slow path below self-reports through Sub/Exp/Div.
+    obs::RecordKernelCost("tensor.Softmax",
+                          12.0 * static_cast<double>(rows) *
+                              static_cast<double>(span),
+                          8.0 * static_cast<double>(rows) *
+                              static_cast<double>(span));
     Tensor out(shape_);
     const float* p = data();
     float* o = out.mutable_data();
@@ -1062,7 +1100,11 @@ Tensor FusedBinary(const Tensor& x, const Tensor& y, Fn fn) {
 }  // namespace
 
 Tensor SigmoidGradKernel(const Tensor& y, const Tensor& g) {
+  TGCRN_TRACE_SCOPE("tensor.SigmoidGrad");
   CheckSameShapes(y, g, "SigmoidGradKernel");
+  obs::RecordKernelCost("tensor.SigmoidGrad",
+                        3.0 * static_cast<double>(y.numel()),
+                        12.0 * static_cast<double>(y.numel()));
   // (g*y)*(1-y) in the unfused chain's association order.
   return FusedBinary(y, g, [](float yv, float gv) {
     return (gv * yv) * (-yv + 1.0f);
@@ -1070,21 +1112,32 @@ Tensor SigmoidGradKernel(const Tensor& y, const Tensor& g) {
 }
 
 Tensor TanhGradKernel(const Tensor& y, const Tensor& g) {
+  TGCRN_TRACE_SCOPE("tensor.TanhGrad");
   CheckSameShapes(y, g, "TanhGradKernel");
+  obs::RecordKernelCost("tensor.TanhGrad",
+                        3.0 * static_cast<double>(y.numel()),
+                        12.0 * static_cast<double>(y.numel()));
   return FusedBinary(y, g, [](float yv, float gv) {
     return gv * (-(yv * yv) + 1.0f);
   });
 }
 
 Tensor ReluGradKernel(const Tensor& x, const Tensor& g) {
+  TGCRN_TRACE_SCOPE("tensor.ReluGrad");
   CheckSameShapes(x, g, "ReluGradKernel");
+  obs::RecordKernelCost("tensor.ReluGrad", static_cast<double>(x.numel()),
+                        12.0 * static_cast<double>(x.numel()));
   return FusedBinary(x, g, [](float xv, float gv) {
     return xv > 0.0f ? gv : 0.0f;
   });
 }
 
 Tensor SoftmaxGradKernel(const Tensor& y, const Tensor& g) {
+  TGCRN_TRACE_SCOPE("tensor.SoftmaxGrad");
   CheckSameShapes(y, g, "SoftmaxGradKernel");
+  obs::RecordKernelCost("tensor.SoftmaxGrad",
+                        4.0 * static_cast<double>(y.numel()),
+                        12.0 * static_cast<double>(y.numel()));
   TGCRN_CHECK_GE(y.dim(), 1);
   const int64_t span = y.shape()[y.dim() - 1];
   const int64_t rows = span > 0 ? y.numel() / span : 0;
@@ -1112,8 +1165,12 @@ Tensor SoftmaxGradKernel(const Tensor& y, const Tensor& g) {
 }
 
 Tensor DivGradRhsKernel(const Tensor& g, const Tensor& a, const Tensor& b) {
+  TGCRN_TRACE_SCOPE("tensor.DivGradRhs");
   CheckSameShapes(g, a, "DivGradRhsKernel");
   CheckSameShapes(g, b, "DivGradRhsKernel");
+  obs::RecordKernelCost("tensor.DivGradRhs",
+                        4.0 * static_cast<double>(g.numel()),
+                        16.0 * static_cast<double>(g.numel()));
   Tensor out(g.shape());
   float* o = out.mutable_data();
   const float* pg = g.data();

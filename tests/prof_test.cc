@@ -1,0 +1,676 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Tests of the kernel cost profiler (obs/prof.h): attribution-tree shape on
+// hand-built nested scopes, the determinism contract (invocation/flop
+// counts bitwise identical across thread counts and ISA levels), the
+// perf_event fallback path, report arithmetic (delta/accumulate/collapsed),
+// the DiffProfiles gating rules, the per-epoch "prof" JSONL round trip —
+// and the guarantee that the profiler never changes what training computes
+// (bitwise losses, zero-alloc steady state when off).
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cpu_features.h"
+#include "common/thread_pool.h"
+#include "core/tgcrn.h"
+#include "core/trainer.h"
+#include "datagen/metro_sim.h"
+#include "obs/diff.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "tensor/tensor.h"
+
+namespace tgcrn {
+namespace {
+
+using common::ScopedNumThreads;
+using common::ScopedSimdIsa;
+using common::SimdIsa;
+
+// Arms the profiler for one test body and guarantees it is disarmed (and
+// the accumulators cleared) on every exit path, so tests cannot leak an
+// armed profiler into each other.
+class ScopedProfiler {
+ public:
+  explicit ScopedProfiler(bool counters = false) {
+    obs::ProfOptions options;
+    options.enabled = true;
+    options.counters = counters;
+    obs::StartProfiling(options);
+  }
+  ~ScopedProfiler() {
+    obs::StopProfiling();
+    obs::ResetProfile();
+  }
+};
+
+const obs::ProfNodeReport* FindNode(const obs::ProfReport& report,
+                                    const std::string& name) {
+  for (const auto& node : report.nodes) {
+    if (node.name == name) return &node;
+  }
+  return nullptr;
+}
+
+const obs::ProfKernelReport* FindKernel(const obs::ProfReport& report,
+                                        const std::string& name) {
+  for (const auto& kernel : report.kernels) {
+    if (kernel.name == name) return &kernel;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------ Options --
+
+TEST(ProfOptionsTest, FromEnvParsesOffOnAndPath) {
+  unsetenv("TGCRN_PROF");
+  unsetenv("TGCRN_PROF_COUNTERS");
+  obs::ProfOptions off = obs::ProfOptions::FromEnv();
+  EXPECT_FALSE(off.enabled);
+  EXPECT_TRUE(off.counters);
+  EXPECT_TRUE(off.path.empty());
+
+  setenv("TGCRN_PROF", "0", 1);
+  EXPECT_FALSE(obs::ProfOptions::FromEnv().enabled);
+
+  setenv("TGCRN_PROF", "1", 1);
+  obs::ProfOptions on = obs::ProfOptions::FromEnv();
+  EXPECT_TRUE(on.enabled);
+  EXPECT_TRUE(on.path.empty());
+
+  setenv("TGCRN_PROF", "/tmp/run.prof.json", 1);
+  setenv("TGCRN_PROF_COUNTERS", "0", 1);
+  obs::ProfOptions with_path = obs::ProfOptions::FromEnv();
+  EXPECT_TRUE(with_path.enabled);
+  EXPECT_EQ(with_path.path, "/tmp/run.prof.json");
+  EXPECT_FALSE(with_path.counters);
+
+  unsetenv("TGCRN_PROF");
+  unsetenv("TGCRN_PROF_COUNTERS");
+}
+
+// ----------------------------------------------------- Tree structure --
+
+void LeafScope() {
+  TGCRN_TRACE_SCOPE("test.leaf");
+  obs::RecordKernelCost("test.leaf", 100.0, 40.0);
+}
+
+void MiddleScope(int leaf_calls) {
+  TGCRN_TRACE_SCOPE("test.middle");
+  for (int i = 0; i < leaf_calls; ++i) LeafScope();
+}
+
+TEST(ProfTreeTest, NestedScopesBuildAttributionTree) {
+  ScopedProfiler profiler;
+  {
+    TGCRN_TRACE_SCOPE("test.outer");
+    MiddleScope(3);
+    MiddleScope(2);
+    LeafScope();  // same leaf under a different parent
+  }
+  const obs::ProfReport report = obs::CollectProfReport();
+
+  ASSERT_FALSE(report.nodes.empty());
+  EXPECT_EQ(report.nodes[0].name, "root");
+  EXPECT_EQ(report.nodes[0].parent, -1);
+
+  const obs::ProfNodeReport* outer = FindNode(report, "test.outer");
+  const obs::ProfNodeReport* middle = FindNode(report, "test.middle");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(middle, nullptr);
+  EXPECT_EQ(outer->parent, 0);
+  EXPECT_EQ(outer->count, 1);
+  EXPECT_EQ(middle->count, 2);
+  EXPECT_EQ(report.nodes[static_cast<size_t>(middle->parent)].name,
+            "test.outer");
+
+  // "test.leaf" appears twice: under middle and directly under outer. The
+  // path, not the name, is a node's identity.
+  int leaf_nodes = 0;
+  int64_t leaf_count_total = 0;
+  for (const auto& node : report.nodes) {
+    if (node.name != "test.leaf") continue;
+    ++leaf_nodes;
+    leaf_count_total += node.count;
+    const auto& parent = report.nodes[static_cast<size_t>(node.parent)];
+    EXPECT_TRUE(parent.name == "test.middle" || parent.name == "test.outer");
+  }
+  EXPECT_EQ(leaf_nodes, 2);
+  EXPECT_EQ(leaf_count_total, 6);
+
+  // Inclusive >= exclusive >= 0 everywhere; parents precede children
+  // (preorder).
+  for (size_t i = 0; i < report.nodes.size(); ++i) {
+    const auto& node = report.nodes[i];
+    EXPECT_GE(node.inclusive_seconds, node.exclusive_seconds) << node.name;
+    EXPECT_GE(node.exclusive_seconds, 0.0) << node.name;
+    if (node.parent >= 0) EXPECT_LT(node.parent, static_cast<int64_t>(i));
+  }
+
+  // The kernel summary aggregated both leaf paths.
+  const obs::ProfKernelReport* leaf = FindKernel(report, "test.leaf");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->invocations, 6);
+  EXPECT_DOUBLE_EQ(leaf->flops, 600.0);
+  EXPECT_DOUBLE_EQ(leaf->bytes, 240.0);
+}
+
+TEST(ProfTreeTest, CurrentProfLeafNameTracksInnermostScope) {
+  EXPECT_EQ(obs::CurrentProfLeafName(), nullptr);  // profiler off
+  ScopedProfiler profiler;
+  EXPECT_EQ(obs::CurrentProfLeafName(), nullptr);  // no scope open
+  {
+    TGCRN_TRACE_SCOPE("test.outer");
+    EXPECT_STREQ(obs::CurrentProfLeafName(), "test.outer");
+    {
+      TGCRN_TRACE_SCOPE("test.inner");
+      EXPECT_STREQ(obs::CurrentProfLeafName(), "test.inner");
+    }
+    EXPECT_STREQ(obs::CurrentProfLeafName(), "test.outer");
+  }
+}
+
+TEST(ProfTreeTest, WorkerAttributionScopeBuildsWorkerFrame) {
+  ScopedProfiler profiler;
+  {
+    obs::WorkerAttributionScope attribution("test.kernel");
+    obs::RecordKernelCost("test.kernel", 10.0, 4.0);
+  }
+  { obs::WorkerAttributionScope no_op(nullptr); }
+  const obs::ProfReport report = obs::CollectProfReport();
+
+  const obs::ProfNodeReport* worker = FindNode(report, "worker");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->parent, 0);
+  const obs::ProfNodeReport* kernel = FindNode(report, "test.kernel");
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(report.nodes[static_cast<size_t>(kernel->parent)].name, "worker");
+
+  // Helper-side analytic costs count invocations but land as worker time,
+  // not caller-exclusive time.
+  const obs::ProfKernelReport* summary = FindKernel(report, "test.kernel");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->invocations, 1);
+  EXPECT_GE(summary->worker_seconds, 0.0);
+}
+
+TEST(ProfTreeTest, ResetProfileClearsAccumulatorsKeepsCollection) {
+  ScopedProfiler profiler;
+  LeafScope();
+  obs::ResetProfile();
+  const obs::ProfReport cleared = obs::CollectProfReport();
+  const obs::ProfKernelReport* leaf = FindKernel(cleared, "test.leaf");
+  if (leaf != nullptr) EXPECT_EQ(leaf->invocations, 0);
+
+  LeafScope();  // collection is still armed
+  const obs::ProfReport after = obs::CollectProfReport();
+  leaf = FindKernel(after, "test.leaf");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->invocations, 1);
+}
+
+TEST(ProfTreeTest, RecordKernelCostOffIsANoOp) {
+  ASSERT_FALSE(obs::ProfilingEnabled());
+  obs::RecordKernelCost("test.never", 1e9, 1e9);
+  ScopedProfiler profiler;
+  EXPECT_EQ(FindKernel(obs::CollectProfReport(), "test.never"), nullptr);
+}
+
+// -------------------------------------------------------- Determinism --
+
+// One fixed workload touching GEMM, vmath, softmax, and reduction kernels.
+void RunWorkload() {
+  Rng rng(1234);
+  const Tensor a = Tensor::RandUniform({64, 96}, -1.0f, 1.0f, &rng);
+  const Tensor b = Tensor::RandUniform({96, 48}, -1.0f, 1.0f, &rng);
+  const Tensor c = a.Matmul(b);
+  const Tensor s = c.Sigmoid().Tanh();
+  const Tensor soft = s.Softmax(-1);
+  (void)soft.SumAll();
+}
+
+// Kernel invocation counts and analytic flop/byte totals come from shapes
+// only: bitwise identical at 1/2/4/8 threads and for scalar vs AVX2.
+TEST(ProfDeterminismTest, KernelCountsInvariantAcrossThreadsAndIsa) {
+  struct KernelCost {
+    int64_t invocations;
+    double flops;
+    double bytes;
+  };
+  std::vector<SimdIsa> isas = {SimdIsa::kScalar};
+  if (common::CpuSupportsAvx2() && common::Avx2CompiledIn()) {
+    isas.push_back(SimdIsa::kAvx2);
+  }
+
+  std::map<std::string, KernelCost> reference;
+  bool have_reference = false;
+  for (const SimdIsa isa : isas) {
+    ScopedSimdIsa isa_guard(isa);
+    for (const int threads : {1, 2, 4, 8}) {
+      ScopedNumThreads thread_guard(threads);
+      ScopedProfiler profiler;
+      RunWorkload();
+      const obs::ProfReport report = obs::CollectProfReport();
+
+      std::map<std::string, KernelCost> got;
+      for (const auto& kernel : report.kernels) {
+        got[kernel.name] = {kernel.invocations, kernel.flops, kernel.bytes};
+      }
+      ASSERT_FALSE(got.empty());
+      EXPECT_EQ(got.count("tensor.Matmul"), 1u);
+      EXPECT_EQ(got.count("tensor.Softmax"), 1u);
+      if (!have_reference) {
+        reference = got;
+        have_reference = true;
+        continue;
+      }
+      ASSERT_EQ(got.size(), reference.size())
+          << "kernel set changed at " << threads << " threads, "
+          << common::SimdIsaName(isa);
+      for (const auto& [name, cost] : reference) {
+        ASSERT_EQ(got.count(name), 1u) << name;
+        EXPECT_EQ(got[name].invocations, cost.invocations) << name;
+        EXPECT_EQ(got[name].flops, cost.flops) << name;  // bitwise
+        EXPECT_EQ(got[name].bytes, cost.bytes) << name;
+      }
+    }
+  }
+}
+
+TEST(ProfDeterminismTest, MatmulFlopModelMatchesShape) {
+  ScopedProfiler profiler;
+  Rng rng(7);
+  const Tensor a = Tensor::RandUniform({32, 80}, -1.0f, 1.0f, &rng);
+  const Tensor b = Tensor::RandUniform({80, 24}, -1.0f, 1.0f, &rng);
+  (void)a.Matmul(b);
+  const obs::ProfKernelReport* kernel =
+      FindKernel(obs::CollectProfReport(), "tensor.Matmul");
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(kernel->invocations, 1);
+  EXPECT_DOUBLE_EQ(kernel->flops, 2.0 * 32 * 24 * 80);
+  EXPECT_DOUBLE_EQ(kernel->bytes,
+                   4.0 * (32 * 80 + 80 * 24 + 32 * 24));
+  EXPECT_GT(kernel->ArithmeticIntensity(), 0.0);
+}
+
+// ------------------------------------------------- perf_event fallback --
+
+TEST(ProfPerfTest, ForcedUnavailableFallsBackCleanly) {
+  obs::SetPerfForceUnavailableForTesting(true);
+  const obs::PerfCounterSample sample = obs::SampleThreadPerfCounters();
+  EXPECT_FALSE(sample.available);
+  EXPECT_EQ(sample.cycles, 0);
+  EXPECT_EQ(sample.instructions, 0);
+  EXPECT_FALSE(obs::PerfCountersAvailable());
+
+  // Profiling still works end to end without counters.
+  {
+    ScopedProfiler profiler(/*counters=*/true);
+    LeafScope();
+    const obs::ProfReport report = obs::CollectProfReport();
+    EXPECT_FALSE(report.counters_available);
+    const obs::ProfKernelReport* leaf = FindKernel(report, "test.leaf");
+    ASSERT_NE(leaf, nullptr);
+    EXPECT_EQ(leaf->invocations, 1);
+    EXPECT_EQ(leaf->instructions, 0);
+    EXPECT_EQ(leaf->cycles, 0);
+    EXPECT_EQ(leaf->Ipc(), 0.0);
+  }
+  obs::SetPerfForceUnavailableForTesting(false);
+}
+
+// -------------------------------------------------- Report arithmetic --
+
+obs::ProfReport MakeReport(int64_t invocations, double flops,
+                           double seconds) {
+  obs::ProfReport report;
+  report.isa = "scalar";
+  report.threads = 1;
+  obs::ProfNodeReport root;
+  root.name = "root";
+  root.parent = -1;
+  root.inclusive_seconds = seconds;
+  obs::ProfNodeReport kernel_node;
+  kernel_node.name = "tensor.Matmul";
+  kernel_node.parent = 0;
+  kernel_node.count = invocations;
+  kernel_node.inclusive_seconds = seconds;
+  kernel_node.exclusive_seconds = seconds;
+  kernel_node.flops = flops;
+  report.nodes = {root, kernel_node};
+  obs::ProfKernelReport kernel;
+  kernel.name = "tensor.Matmul";
+  kernel.invocations = invocations;
+  kernel.exclusive_seconds = seconds;
+  kernel.flops = flops;
+  kernel.bytes = flops / 2.0;
+  report.kernels = {kernel};
+  return report;
+}
+
+TEST(ProfReportTest, DeltaFromSubtractsByPathAndName) {
+  const obs::ProfReport prev = MakeReport(10, 1000.0, 1.0);
+  const obs::ProfReport now = MakeReport(35, 3500.0, 4.5);
+  const obs::ProfReport delta = now.DeltaFrom(prev);
+  const obs::ProfKernelReport* kernel = FindKernel(delta, "tensor.Matmul");
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(kernel->invocations, 25);
+  EXPECT_DOUBLE_EQ(kernel->flops, 2500.0);
+  EXPECT_DOUBLE_EQ(kernel->exclusive_seconds, 3.5);
+  const obs::ProfNodeReport* node = FindNode(delta, "tensor.Matmul");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->count, 25);
+}
+
+TEST(ProfReportTest, AccumulateIsDeltaInverse) {
+  obs::ProfReport total = MakeReport(10, 1000.0, 1.0);
+  total.Accumulate(MakeReport(25, 2500.0, 3.5));
+  const obs::ProfKernelReport* kernel = FindKernel(total, "tensor.Matmul");
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(kernel->invocations, 35);
+  EXPECT_DOUBLE_EQ(kernel->flops, 3500.0);
+  EXPECT_DOUBLE_EQ(kernel->exclusive_seconds, 4.5);
+  // Node tree merged by path too.
+  const obs::ProfNodeReport* node = FindNode(total, "tensor.Matmul");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->count, 35);
+  EXPECT_EQ(total.nodes.size(), 2u);  // no duplicate paths
+}
+
+TEST(ProfReportTest, JsonRoundTripPreservesEverything) {
+  obs::ProfReport report = MakeReport(10, 1000.0, 1.0);
+  report.counters_available = true;
+  report.kernels[0].instructions = 4000;
+  report.kernels[0].cycles = 2000;
+  report.kernels[0].l1_misses = 7;
+  const obs::ProfReport loaded =
+      obs::ProfReport::FromJson(report.ToJson());
+  EXPECT_TRUE(loaded.counters_available);
+  EXPECT_EQ(loaded.isa, "scalar");
+  EXPECT_EQ(loaded.threads, 1);
+  ASSERT_EQ(loaded.nodes.size(), report.nodes.size());
+  EXPECT_EQ(loaded.nodes[1].parent, 0);
+  EXPECT_EQ(loaded.nodes[1].count, 10);
+  ASSERT_EQ(loaded.kernels.size(), 1u);
+  EXPECT_EQ(loaded.kernels[0].invocations, 10);
+  EXPECT_DOUBLE_EQ(loaded.kernels[0].flops, 1000.0);
+  EXPECT_EQ(loaded.kernels[0].instructions, 4000);
+  EXPECT_EQ(loaded.kernels[0].cycles, 2000);
+  EXPECT_EQ(loaded.kernels[0].l1_misses, 7);
+  EXPECT_DOUBLE_EQ(loaded.kernels[0].Ipc(), 2.0);
+}
+
+TEST(ProfReportTest, CollapsedStacksUsePathsAndExclusiveNanos) {
+  obs::ProfReport report = MakeReport(10, 1000.0, 1.0);
+  const std::string collapsed = report.ToCollapsed();
+  // "root;tensor.Matmul 1000000000" — semicolon-joined path, exclusive ns.
+  EXPECT_NE(collapsed.find("root;tensor.Matmul 1000000000"),
+            std::string::npos)
+      << collapsed;
+}
+
+// ------------------------------------------------------- Diff gating --
+
+TEST(DiffProfilesTest, SelfDiffPassesAtZeroThreshold) {
+  const obs::ProfReport report = MakeReport(10, 1000.0, 1.0);
+  obs::ReportDiffOptions options;
+  options.max_regress_pct = 0.0;
+  const obs::ReportDiffResult result =
+      obs::DiffProfiles(report, report, options);
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(result.rows.empty());
+}
+
+TEST(DiffProfilesTest, InvocationIncreaseGatesAndCyclesAreInfo) {
+  obs::ProfReport baseline = MakeReport(100, 1000.0, 1.0);
+  obs::ProfReport candidate = MakeReport(120, 1200.0, 1.2);
+  obs::ReportDiffOptions options;
+  options.max_regress_pct = 10.0;
+
+  // Without counters, only invocations are compared: +20% regresses.
+  obs::ReportDiffResult result =
+      obs::DiffProfiles(baseline, candidate, options);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].metric, "prof.tensor.Matmul.invocations");
+  EXPECT_TRUE(result.rows[0].regressed);
+
+  // With counters on both sides: instructions gate, cycles/ipc never do.
+  baseline.counters_available = true;
+  candidate.counters_available = true;
+  baseline.kernels[0].instructions = 1000;
+  baseline.kernels[0].cycles = 500;
+  candidate.kernels[0].instructions = 5000;  // way past 10%
+  candidate.kernels[0].cycles = 50000;       // huge, but info-only
+  result = obs::DiffProfiles(baseline, candidate, options);
+  bool instructions_regressed = false;
+  for (const auto& row : result.rows) {
+    if (row.metric == "prof.instructions") {
+      EXPECT_TRUE(row.gated);
+      instructions_regressed = row.regressed;
+    }
+    if (row.metric == "prof.cycles" || row.metric == "prof.ipc") {
+      EXPECT_FALSE(row.gated);
+      EXPECT_FALSE(row.regressed);
+    }
+  }
+  EXPECT_TRUE(instructions_regressed);
+
+  // Counters on one side only: the hardware rows disappear entirely.
+  candidate.counters_available = false;
+  result = obs::DiffProfiles(baseline, candidate, options);
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row.metric.find("prof.instructions"), std::string::npos);
+  }
+}
+
+// -------------------------------------------- Trainer integration ------
+
+class ProfTrainFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::MetroSimConfig config;
+    config.num_stations = 6;
+    config.num_days = 10;
+    config.seed = 77;
+    config.target_mean_inflow = 50.0;
+    config.keep_od_ground_truth = false;
+    auto sim = datagen::SimulateMetro(config);
+    data::ForecastDataset::Options options;
+    options.input_steps = 4;
+    options.output_steps = 2;
+    dataset_ = new data::ForecastDataset(std::move(sim.data), options);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static core::TGCRNConfig SmallModelConfig() {
+    core::TGCRNConfig config;
+    config.num_nodes = 6;
+    config.input_dim = 2;
+    config.output_dim = 2;
+    config.horizon = 2;
+    config.hidden_dim = 8;
+    config.num_layers = 1;
+    config.node_embed_dim = 6;
+    config.time_embed_dim = 4;
+    config.steps_per_day = 72;
+    return config;
+  }
+
+  static data::ForecastDataset* dataset_;
+};
+
+data::ForecastDataset* ProfTrainFixture::dataset_ = nullptr;
+
+TEST_F(ProfTrainFixture, EpochJsonlCarriesProfDeltas) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "tgcrn_prof_test_run.jsonl")
+          .string();
+  std::filesystem::remove(path);
+
+  Rng rng(41);
+  core::TGCRN model(SmallModelConfig(), &rng);
+  core::TrainConfig config;
+  config.epochs = 2;
+  config.max_batches_per_epoch = 6;
+  config.verbose = false;
+  config.report_path = path;
+  config.health.enabled = false;
+  config.prof.enabled = true;
+  config.prof.counters = false;
+  const auto result = core::TrainAndEvaluate(&model, *dataset_, config);
+  obs::StopProfiling();
+  obs::ResetProfile();
+
+  ASSERT_EQ(result.report.epochs.size(), 2u);
+  for (const auto& epoch : result.report.epochs) {
+    ASSERT_TRUE(epoch.has_prof);
+    EXPECT_FALSE(epoch.prof.kernels.empty());
+    EXPECT_FALSE(epoch.prof.nodes.empty());
+    EXPECT_FALSE(epoch.prof.isa.empty());
+    EXPECT_GT(epoch.prof.threads, 0);
+    // The prof phase was timed like any other phase.
+    EXPECT_GT(epoch.phase_seconds.count(obs::kPhaseProf), 0u);
+    const obs::ProfKernelReport* matmul =
+        FindKernel(epoch.prof, "tensor.Matmul");
+    ASSERT_NE(matmul, nullptr);
+    EXPECT_GT(matmul->invocations, 0);
+    EXPECT_GT(matmul->flops, 0.0);
+  }
+  // Same batch count per epoch => identical per-epoch kernel invocations:
+  // the deltas are exact, not smeared across epoch boundaries.
+  const obs::ProfKernelReport* first =
+      FindKernel(result.report.epochs[0].prof, "tensor.Matmul");
+  const obs::ProfKernelReport* second =
+      FindKernel(result.report.epochs[1].prof, "tensor.Matmul");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->invocations, second->invocations);
+
+  // JSONL round trip preserves the prof blocks.
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  obs::RunReport loaded;
+  ASSERT_TRUE(obs::RunReport::FromJsonl(buffer.str(), &loaded));
+  ASSERT_EQ(loaded.epochs.size(), 2u);
+  for (size_t i = 0; i < loaded.epochs.size(); ++i) {
+    ASSERT_TRUE(loaded.epochs[i].has_prof);
+    const obs::ProfReport& got = loaded.epochs[i].prof;
+    const obs::ProfReport& want = result.report.epochs[i].prof;
+    ASSERT_EQ(got.kernels.size(), want.kernels.size());
+    for (size_t k = 0; k < got.kernels.size(); ++k) {
+      EXPECT_EQ(got.kernels[k].name, want.kernels[k].name);
+      EXPECT_EQ(got.kernels[k].invocations, want.kernels[k].invocations);
+      EXPECT_DOUBLE_EQ(got.kernels[k].flops, want.kernels[k].flops);
+    }
+    ASSERT_EQ(got.nodes.size(), want.nodes.size());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(ProfTrainFixture, ProfilerDoesNotPerturbTraining) {
+  core::TrainConfig config;
+  config.epochs = 2;
+  config.max_batches_per_epoch = 6;
+  config.verbose = false;
+  config.health.enabled = false;
+  config.prof.enabled = false;
+
+  Rng rng_off(55);
+  core::TGCRN model_off(SmallModelConfig(), &rng_off);
+  const auto result_off =
+      core::TrainAndEvaluate(&model_off, *dataset_, config);
+
+  config.prof.enabled = true;
+  config.prof.counters = false;
+  Rng rng_on(55);
+  core::TGCRN model_on(SmallModelConfig(), &rng_on);
+  const auto result_on = core::TrainAndEvaluate(&model_on, *dataset_, config);
+  obs::StopProfiling();
+  obs::ResetProfile();
+
+  // The profiler observes; it must never change what the model computes.
+  ASSERT_EQ(result_on.train_loss_history.size(),
+            result_off.train_loss_history.size());
+  for (size_t i = 0; i < result_on.train_loss_history.size(); ++i) {
+    EXPECT_EQ(result_on.train_loss_history[i],
+              result_off.train_loss_history[i]);  // bitwise
+  }
+  EXPECT_EQ(result_on.average.mae, result_off.average.mae);
+}
+
+// With the profiler off, instrumented kernels keep the zero-alloc
+// steady-state contract: one relaxed load per scope, no bookkeeping.
+TEST(ProfZeroAllocTest, ProfilerOffSteadyStateAllocatesNothing) {
+  ASSERT_FALSE(obs::ProfilingEnabled());
+  obs::Counter* allocs =
+      obs::Registry::Global().GetCounter("tensor.allocations");
+
+  Rng rng(9);
+  const Tensor a = Tensor::RandUniform({32, 64}, -1.0f, 1.0f, &rng);
+  const Tensor b = Tensor::RandUniform({64, 32}, -1.0f, 1.0f, &rng);
+  auto step = [&] { (void)a.Matmul(b).Sigmoid().Softmax(-1).SumAll(); };
+  for (int i = 0; i < 3; ++i) step();  // warm the buffer pool
+
+  const int64_t before = allocs->Value();
+  for (int i = 0; i < 5; ++i) step();
+  EXPECT_EQ(allocs->Value(), before)
+      << "profiler-off steady-state step allocated tensor storage";
+}
+
+// ----------------------------------------------------------- Files -----
+
+TEST(ProfFilesTest, WriteProfileFilesEmitsJsonAndCollapsed) {
+  const auto base =
+      (std::filesystem::temp_directory_path() / "tgcrn_prof_test_profile")
+          .string();
+  const std::string json_path = base + ".json";
+  std::filesystem::remove(json_path);
+  std::filesystem::remove(json_path + ".collapsed");
+
+  {
+    ScopedProfiler profiler;
+    {
+      TGCRN_TRACE_SCOPE("test.outer");
+      LeafScope();
+    }
+    ASSERT_TRUE(obs::WriteProfileFiles(json_path));
+  }
+
+  std::ifstream json_in(json_path);
+  ASSERT_TRUE(json_in.good());
+  std::ostringstream json_buffer;
+  json_buffer << json_in.rdbuf();
+  obs::Json json;
+  ASSERT_TRUE(obs::Json::Parse(json_buffer.str(), &json));
+  ASSERT_TRUE(json.Has("kernels"));
+  const obs::ProfReport loaded = obs::ProfReport::FromJson(json);
+  EXPECT_NE(FindKernel(loaded, "test.leaf"), nullptr);
+
+  std::ifstream collapsed_in(json_path + ".collapsed");
+  ASSERT_TRUE(collapsed_in.good());
+  std::ostringstream collapsed_buffer;
+  collapsed_buffer << collapsed_in.rdbuf();
+  EXPECT_NE(collapsed_buffer.str().find("root;test.outer;test.leaf"),
+            std::string::npos);
+
+  std::filesystem::remove(json_path);
+  std::filesystem::remove(json_path + ".collapsed");
+}
+
+}  // namespace
+}  // namespace tgcrn

@@ -1,0 +1,206 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Pretty-printer and regression gate for kernel cost profiles (obs/prof.h):
+//
+//   tgcrn_prof show <profile>                    kernel roofline table + tree
+//   tgcrn_prof stacks <profile>                  collapsed flamegraph lines
+//   tgcrn_prof diff <baseline> <candidate> [--max-regress-pct=N]
+//
+// <profile> is either a profile JSON file (written by TGCRN_PROF=<path> or
+// `train_model --prof`) or a run-report JSONL file whose epoch lines carry
+// "prof" blocks — the per-epoch deltas are accumulated back into one
+// whole-run profile. `diff` gates per-kernel invocation counts (and total
+// instructions when both runs had perf counters) on --max-regress-pct;
+// cycles/IPC are informational. See obs/diff.h for the gating rules.
+//
+// Exit codes: 0 ok / no regression, 1 regression, 2 usage or parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "obs/diff.h"
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// Loads either format into one ProfReport. A profile JSON file is a single
+// object with a "kernels" array; anything else is treated as run JSONL and
+// must hold at least one epoch with a "prof" block.
+bool LoadProfile(const std::string& path, tgcrn::obs::ProfReport* out) {
+  std::string content;
+  if (!ReadFile(path, &content)) {
+    std::fprintf(stderr, "tgcrn_prof: cannot read %s\n", path.c_str());
+    return false;
+  }
+  tgcrn::obs::Json json;
+  if (tgcrn::obs::Json::Parse(content, &json) && json.Has("kernels")) {
+    *out = tgcrn::obs::ProfReport::FromJson(json);
+    return true;
+  }
+  tgcrn::obs::RunReport run;
+  if (!tgcrn::obs::RunReport::FromJsonl(content, &run)) {
+    std::fprintf(stderr,
+                 "tgcrn_prof: %s is neither a profile JSON file nor report "
+                 "JSONL\n",
+                 path.c_str());
+    return false;
+  }
+  bool any = false;
+  for (const auto& epoch : run.epochs) {
+    if (!epoch.has_prof) continue;
+    any = true;
+    out->Accumulate(epoch.prof);
+  }
+  if (!any) {
+    std::fprintf(stderr,
+                 "tgcrn_prof: %s holds no epoch \"prof\" blocks (run with "
+                 "TGCRN_PROF=1 or train_model --prof)\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void PrintShow(const tgcrn::obs::ProfReport& report) {
+  std::printf("isa: %s  threads: %lld  perf counters: %s\n",
+              report.isa.empty() ? "unknown" : report.isa.c_str(),
+              static_cast<long long>(report.threads),
+              report.counters_available ? "yes" : "no");
+
+  std::printf("\nkernel cost summary (exclusive = caller thread):\n");
+  std::vector<std::string> columns = {"kernel",  "invocations", "excl_s",
+                                      "worker_s", "gflop/s",    "flop/byte"};
+  if (report.counters_available) {
+    columns.push_back("ipc");
+    columns.push_back("l1_miss");
+    columns.push_back("llc_miss");
+  }
+  tgcrn::TablePrinter table(columns);
+  for (const auto& k : report.kernels) {
+    std::vector<std::string> row = {
+        k.name,
+        tgcrn::TablePrinter::Num(static_cast<double>(k.invocations), 0),
+        tgcrn::TablePrinter::Num(k.exclusive_seconds, 4),
+        tgcrn::TablePrinter::Num(k.worker_seconds, 4),
+        tgcrn::TablePrinter::Num(k.GFlops(), 2),
+        tgcrn::TablePrinter::Num(k.ArithmeticIntensity(), 2)};
+    if (report.counters_available) {
+      row.push_back(tgcrn::TablePrinter::Num(k.Ipc(), 2));
+      row.push_back(
+          tgcrn::TablePrinter::Num(static_cast<double>(k.l1_misses), 0));
+      row.push_back(
+          tgcrn::TablePrinter::Num(static_cast<double>(k.llc_misses), 0));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf("\nattribution tree (inclusive / exclusive seconds):\n");
+  std::vector<int> depth(report.nodes.size(), 0);
+  for (size_t i = 0; i < report.nodes.size(); ++i) {
+    const int64_t parent = report.nodes[i].parent;
+    if (parent >= 0) depth[i] = depth[static_cast<size_t>(parent)] + 1;
+    const auto& node = report.nodes[i];
+    std::printf("%*s%-*s %10lld  %9.4f  %9.4f\n", depth[i] * 2, "",
+                40 - depth[i] * 2, node.name.c_str(),
+                static_cast<long long>(node.count), node.inclusive_seconds,
+                node.exclusive_seconds);
+  }
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: tgcrn_prof show <profile>\n"
+      "       tgcrn_prof stacks <profile>\n"
+      "       tgcrn_prof diff <baseline> <candidate> [--max-regress-pct=N]\n"
+      "<profile> is a profile JSON (TGCRN_PROF=<path>, train_model --prof)\n"
+      "or a run-report JSONL whose epoch lines carry \"prof\" blocks.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+
+  if (command == "show" || command == "stacks") {
+    if (argc != 3) return Usage();
+    tgcrn::obs::ProfReport report;
+    if (!LoadProfile(argv[2], &report)) return 2;
+    if (command == "show") {
+      PrintShow(report);
+    } else {
+      std::fputs(report.ToCollapsed().c_str(), stdout);
+    }
+    return 0;
+  }
+
+  if (command == "diff") {
+    std::string baseline_path;
+    std::string candidate_path;
+    tgcrn::obs::ReportDiffOptions options;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--max-regress-pct=", 0) == 0) {
+        options.max_regress_pct = std::atof(arg.c_str() + arg.find('=') + 1);
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "tgcrn_prof: unknown flag %s\n", arg.c_str());
+        return Usage();
+      } else if (baseline_path.empty()) {
+        baseline_path = arg;
+      } else if (candidate_path.empty()) {
+        candidate_path = arg;
+      } else {
+        return Usage();
+      }
+    }
+    if (baseline_path.empty() || candidate_path.empty()) return Usage();
+
+    tgcrn::obs::ProfReport baseline;
+    tgcrn::obs::ProfReport candidate;
+    if (!LoadProfile(baseline_path, &baseline) ||
+        !LoadProfile(candidate_path, &candidate)) {
+      return 2;
+    }
+    const tgcrn::obs::ReportDiffResult result =
+        tgcrn::obs::DiffProfiles(baseline, candidate, options);
+    tgcrn::TablePrinter table(
+        {"metric", "baseline", "candidate", "delta_pct", "status"});
+    for (const auto& row : result.rows) {
+      const char* status = row.regressed ? "REGRESSED"
+                           : row.gated   ? "ok"
+                                         : "info";
+      table.AddRow({row.metric, tgcrn::TablePrinter::Num(row.baseline, 4),
+                    tgcrn::TablePrinter::Num(row.candidate, 4),
+                    tgcrn::TablePrinter::Num(row.delta_pct, 2), status});
+    }
+    table.Print();
+    if (!result.ok()) {
+      std::fprintf(stderr,
+                   "tgcrn_prof: %lld metric(s) regressed beyond %.6g%%\n",
+                   static_cast<long long>(result.regressions),
+                   options.max_regress_pct);
+      return 1;
+    }
+    std::printf("tgcrn_prof: no regressions (%zu metrics compared)\n",
+                result.rows.size());
+    return 0;
+  }
+
+  return Usage();
+}

@@ -8,6 +8,7 @@
 //       [--input-steps P] [--output-steps Q] [--epochs E] [--hidden H]
 //       [--variant tgcrn|no-tagsl|no-tdl|no-pdf|direct] [--save model.ckpt]
 //       [--seed S] [--lr LR] [--report run.jsonl] [--trace run.trace.json]
+//       [--prof run.prof.json]
 #include <cstdio>
 #include <string>
 
@@ -15,6 +16,7 @@
 #include "core/tgcrn.h"
 #include "core/trainer.h"
 #include "data/csv_loader.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 
 namespace {
@@ -33,6 +35,7 @@ struct Args {
   std::string save_path;
   std::string report_path;
   std::string trace_path;
+  std::string prof_path;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -57,6 +60,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     else if (flag == "--save") args->save_path = value;
     else if (flag == "--report") args->report_path = value;
     else if (flag == "--trace") args->trace_path = value;
+    else if (flag == "--prof") args->prof_path = value;
     else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -77,7 +81,8 @@ int main(int argc, char** argv) {
         "  [--input-steps P] [--output-steps Q] [--epochs E] [--hidden H]\n"
         "  [--variant tgcrn|no-tagsl|no-tdl|no-pdf|direct] [--save f.ckpt]\n"
         "  [--seed S] [--lr LR] [--threads T]\n"
-        "  [--report run.jsonl] [--trace run.trace.json]\n",
+        "  [--report run.jsonl] [--trace run.trace.json]\n"
+        "  [--prof run.prof.json]\n",
         argv[0]);
     return 2;
   }
@@ -129,11 +134,23 @@ int main(int argc, char** argv) {
   train.seed = args.seed;
   train.num_threads = args.threads;
   train.report_path = args.report_path;
+  if (!args.prof_path.empty()) {
+    // Overrides (rather than augments) any TGCRN_PROF env setting; the
+    // trainer arms the profiler and epoch JSONL lines gain "prof" blocks.
+    train.prof.enabled = true;
+    train.prof.path = args.prof_path;
+  }
   if (!args.trace_path.empty()) tgcrn::obs::StartTracing(args.trace_path);
   const auto result = tgcrn::core::TrainAndEvaluate(&model, dataset, train);
   if (!args.trace_path.empty()) {
     if (tgcrn::obs::StopTracingAndWrite()) {
       std::printf("trace written to %s\n", args.trace_path.c_str());
+    }
+  }
+  if (!args.prof_path.empty()) {
+    if (tgcrn::obs::WriteProfileFiles(args.prof_path)) {
+      std::printf("profile written to %s (+ %s.collapsed)\n",
+                  args.prof_path.c_str(), args.prof_path.c_str());
     }
   }
   if (!args.report_path.empty()) {
