@@ -6,11 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include "autograd/ops.h"
+#include "autograd/sparse_ops.h"
 #include "common/cpu_features.h"
 #include "common/thread_pool.h"
 #include "core/gcgru.h"
 #include "core/tagsl.h"
 #include "core/time_encoders.h"
+#include "graph/csr.h"
 #include "obs/prof.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
@@ -391,6 +393,124 @@ void BM_AutogradStepArena(benchmark::State& state) {
   ag::SetAutogradArenaEnabled(true);
 }
 BENCHMARK(BM_AutogradStepArena)->Arg(0)->Arg(1);
+
+// --- Sparse graph kernels ---------------------------------------------------
+// The TGCRN_GRAPH_TOPK path: dense -> top-k -> CSR sparsify, and the CSR
+// SpMM aggregation it feeds. Selection is a scalar compare kernel (thread
+// sweep only); SpMM has scalar and AVX2 tables (ISA + thread sweeps).
+
+// Batch of row-stochastic matrices, the sparsify/SpMM input shape.
+Tensor DenseAdjacency(int64_t b, int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::RandUniform({b, n, n}, 0.0f, 1.0f, &rng).Softmax(-1);
+}
+
+void BM_SparsifyTopK(benchmark::State& state) {
+  const int64_t n = state.range(0), k = state.range(1);
+  const Tensor dense = DenseAdjacency(8, n, 50);
+  IpcProbe probe;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::SparsifyTopK(dense, k));
+  }
+  state.SetItemsProcessed(state.iterations() * dense.numel());
+  StampIsa(state);
+  probe.Attach(state);
+}
+BENCHMARK(BM_SparsifyTopK)->Args({256, 16})->Args({1024, 16});
+
+void BM_SparsifyTopKThreads(benchmark::State& state) {
+  common::ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  const Tensor dense = DenseAdjacency(8, 1024, 51);
+  IpcProbe probe;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::SparsifyTopK(dense, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * dense.numel());
+  StampIsa(state);
+  probe.Attach(state);
+}
+BENCHMARK(BM_SparsifyTopKThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SpmmIsa(benchmark::State& state) {
+  if (!PinIsaOrSkip(state, state.range(0))) return;
+  common::ScopedSimdIsa pin(state.range(0) == 1 ? common::SimdIsa::kAvx2
+                                                : common::SimdIsa::kScalar);
+  common::ScopedNumThreads threads(1);
+  const int64_t b = 8, n = 512, c = 32, k = 16;
+  graph::CsrBatch csr = graph::SparsifyTopK(DenseAdjacency(b, n, 52), k);
+  ag::SparseGraph sg;
+  sg.index = csr.index;
+  sg.values = ag::Variable(csr.values);
+  Rng rng(53);
+  ag::Variable x(Tensor::RandUniform({b, n, c}, -1, 1, &rng));
+  IpcProbe probe;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::SpmmCsr(sg, x));
+  }
+  const double flops = 2.0 * static_cast<double>(b) * n * k * c;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(flops));
+  StampIsa(state, flops);
+  probe.Attach(state);
+}
+BENCHMARK(BM_SpmmIsa)->Arg(0)->Arg(1);
+
+void BM_SpmmThreads(benchmark::State& state) {
+  common::ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  const int64_t b = 8, n = 512, c = 32, k = 16;
+  graph::CsrBatch csr = graph::SparsifyTopK(DenseAdjacency(b, n, 54), k);
+  ag::SparseGraph sg;
+  sg.index = csr.index;
+  sg.values = ag::Variable(csr.values);
+  Rng rng(55);
+  ag::Variable x(Tensor::RandUniform({b, n, c}, -1, 1, &rng));
+  IpcProbe probe;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::SpmmCsr(sg, x));
+  }
+  const double flops = 2.0 * static_cast<double>(b) * n * k * c;
+  StampIsa(state, flops);
+  probe.Attach(state);
+}
+BENCHMARK(BM_SpmmThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// Sparse vs dense aggregation at growing N, fixed k = 16: the N*k-vs-N^2
+// crossover that motivates TGCRN_GRAPH_TOPK. Args: (N, 0 = dense batched
+// matmul, 1 = CSR SpMM). Dense stops at 2048 (the [4, N, N] operand alone
+// is 64 MB there).
+void BM_AggregationNSweep(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const bool sparse = state.range(1) != 0;
+  const int64_t b = 4, c = 16, k = 16;
+  const Tensor dense = DenseAdjacency(b, n, 56);
+  Rng rng(57);
+  ag::Variable x(Tensor::RandUniform({b, n, c}, -1, 1, &rng));
+  const double flops = sparse ? 2.0 * static_cast<double>(b) * n * k * c
+                              : 2.0 * static_cast<double>(b) * n * n * c;
+  if (sparse) {
+    graph::CsrBatch csr = graph::SparsifyTopK(dense, k);
+    ag::SparseGraph sg;
+    sg.index = csr.index;
+    sg.values = ag::Variable(csr.values);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(ag::SpmmCsr(sg, x));
+    }
+  } else {
+    ag::Variable adj(dense);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(ag::Matmul(adj, x));
+    }
+  }
+  StampIsa(state, flops);
+}
+BENCHMARK(BM_AggregationNSweep)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({2048, 0})
+    ->Args({2048, 1})
+    ->Args({4096, 1});
 
 void BM_TagslBuildGraph(benchmark::State& state) {
   const int64_t n = state.range(0);

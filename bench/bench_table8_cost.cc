@@ -260,6 +260,114 @@ void Run() {
     ag::SetAutogradArenaEnabled(true);
     EmitTable("table8_cost_arena", arena_table);
   }
+
+  // Sparse scale-out addendum (TGCRN_GRAPH_TOPK): one TGCRN epoch on a
+  // neighbor-limited metro_sim at city-scale N, dense path vs top-k CSR
+  // path. The "s/epoch / (N*k)" column is the linearity check: roughly
+  // flat for the sparse path (all autograd compute is O(N*k); the
+  // remaining growth is the low-constant O(N^2) no-grad selection scan),
+  // quadrupling per N-doubling for the dense path. The dense leg stops
+  // where [B, N, N] adjacency temporaries stop fitting a sane budget.
+  // Every row also lands in bench_results/history/ (ISA-stamped) so the
+  // regression gate can diff the sparse path across commits.
+  {
+    const int64_t k = 16;
+    std::vector<int64_t> sweep_ns;
+    int64_t dense_max_n;
+    if (scale.name == "quick") {
+      sweep_ns = {128, 256};
+      dense_max_n = 256;
+    } else if (scale.name == "full") {
+      sweep_ns = {1024, 2048, 4096, 8192};
+      dense_max_n = 1024;
+    } else {
+      sweep_ns = {512, 1024, 2048, 4096};
+      dense_max_n = 1024;
+    }
+    std::printf("\n=== sparse scale-out (TGCRN, 1 epoch, top-k=%lld) ===\n",
+                static_cast<long long>(k));
+    // "select s" splits out the exact-top-k selection scan
+    // (tagsl.SelectTopK inclusive time): it is the only O(N^2) piece of
+    // the sparse path, and it carries no autograd state. The last column
+    // is the linearity check on everything else — the learned O(N*k)
+    // compute — and should stay roughly flat down the sparse rows.
+    TablePrinter sparse_table({"N", "mode", "s/epoch", "select s",
+                               "us/epoch per N*k (excl select)"});
+    auto select_seconds = [](const obs::ProfReport& delta) {
+      double seconds = 0.0;
+      for (const auto& node : delta.nodes) {
+        if (node.name == "tagsl.SelectTopK") {
+          seconds += node.inclusive_seconds;
+        }
+      }
+      return seconds;
+    };
+    for (const int64_t n : sweep_ns) {
+      std::printf("  timing N=%lld...\n", static_cast<long long>(n));
+      std::fflush(stdout);
+      datagen::MetroSimConfig sim_config;
+      sim_config.num_stations = n;
+      // One week (the simulator's minimum) at hourly slots: enough windows
+      // to train on while keeping the untimed eval tail a small fraction
+      // of the epoch at city-scale N.
+      sim_config.num_days = 7;
+      sim_config.steps_per_day = 18;
+      sim_config.seed = 6001;
+      sim_config.target_mean_inflow = 40.0;
+      sim_config.keep_od_ground_truth = false;
+      sim_config.max_od_pairs_per_station = 8;  // O(T*N*m) generation
+      auto sim = datagen::SimulateMetro(sim_config);
+      data::ForecastDataset::Options data_options;
+      data_options.input_steps = 4;
+      data_options.output_steps = 2;
+      data::ForecastDataset dataset(std::move(sim.data), data_options);
+      for (const bool sparse : {false, true}) {
+        if (!sparse && n > dense_max_n) continue;
+        core::TGCRNConfig config;
+        config.num_nodes = n;
+        config.horizon = 2;
+        config.hidden_dim = 8;
+        config.num_layers = 1;
+        config.node_embed_dim = 8;
+        config.time_embed_dim = 4;
+        config.steps_per_day = sim_config.steps_per_day;
+        Rng rng(6002);
+        core::TGCRN model(config, &rng);
+        core::TrainConfig train_config;
+        train_config.epochs = 1;
+        train_config.batch_size = 4;
+        train_config.max_batches_per_epoch = 4;
+        train_config.verbose = false;
+        // Explicit per-leg override: beats any TGCRN_GRAPH_TOPK env value.
+        train_config.graph_topk = sparse ? k : 0;
+        // Per-epoch prof blocks share the exact boundary of
+        // seconds_per_epoch (snapshot taken inside the epoch, after val
+        // eval) — a whole-call delta would also count the untimed test
+        // eval's selection scans and overshoot.
+        train_config.prof.enabled = true;
+        const auto result =
+            core::TrainAndEvaluate(&model, dataset, train_config);
+        double select_s = 0.0;
+        for (const auto& epoch : result.report.epochs) {
+          if (epoch.has_prof) select_s += select_seconds(epoch.prof);
+        }
+        if (result.epochs_run > 0) select_s /= result.epochs_run;
+        const double per_nk =
+            (result.seconds_per_epoch - select_s) /
+            (static_cast<double>(n) * k) * 1e6;
+        sparse_table.AddRow(
+            {std::to_string(n), sparse ? "topk" : "dense",
+             Cell(result.seconds_per_epoch, -1.0, 3),
+             Cell(select_s, -1.0, 3), Cell(per_nk, -1.0, 3)});
+        AppendCostHistory(
+            "table8_cost",
+            std::string(sparse ? "nsweep-sparse-N" : "nsweep-dense-N") +
+                std::to_string(n),
+            scale, result);
+      }
+    }
+    EmitTable("table8_cost_sparse", sparse_table);
+  }
 }
 
 }  // namespace

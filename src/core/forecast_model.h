@@ -38,6 +38,12 @@ class ForecastModel : public nn::Module {
   // Weight of the auxiliary loss (lambda in Eq 17).
   virtual float auxiliary_weight() const { return 0.0f; }
 
+  // Learned-graph sparsity: k > 0 switches the model to the top-k CSR
+  // execution path (adjacency rows keep their k largest entries,
+  // renormalized; aggregation runs as SpMM), k == 0 restores the dense
+  // path. Models without a learned graph ignore it.
+  virtual void SetGraphTopK(int64_t k) { (void)k; }
+
   // Scheduled sampling (curriculum learning, as in DCRNN): probability of
   // feeding the decoder the ground-truth previous step instead of the
   // model's own prediction during training. The trainer anneals this from

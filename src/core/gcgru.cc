@@ -42,7 +42,7 @@ GCGRUCell::GCGRUCell(int64_t input_dim, int64_t hidden_dim,
 }
 
 ag::Variable GCGRUCell::NodeAdaptiveConv(
-    const ag::Variable& value, const ag::Variable& adj,
+    const ag::Variable& value, const Adjacency& adj,
     const ag::Variable& node_embed, const ag::Variable& time_embed,
     const ag::Variable& pool_w_node, const ag::Variable& pool_w_time,
     const ag::Variable& pool_b_node, const ag::Variable& pool_b_time,
@@ -51,8 +51,12 @@ ag::Variable GCGRUCell::NodeAdaptiveConv(
   const int64_t n = value.size(1);
   TGCRN_CHECK_EQ(2 * value.size(2), in_dim);
   // Order-2 spatial aggregation over the time-aware graph: [I v ; A v].
-  ag::Variable support =
-      ag::Concat({value, ag::Matmul(adj, value)}, -1);  // [B, N, 2C]
+  // The aggregation is the only place the adjacency representation matters:
+  // dense batched matmul or CSR SpMM over the kept edges.
+  ag::Variable aggregated = adj.is_sparse()
+                                ? ag::SpmmCsr(adj.sparse, value)
+                                : ag::Matmul(adj.dense, value);
+  ag::Variable support = ag::Concat({value, aggregated}, -1);  // [B, N, 2C]
 
   // Node term: W_nu[n] = E_nu[n] @ pool, contracted per node.
   ag::Variable w_node = ag::Reshape(ag::Matmul(node_embed, pool_w_node),
@@ -78,7 +82,7 @@ ag::Variable GCGRUCell::NodeAdaptiveConv(
 }
 
 ag::Variable GCGRUCell::Forward(const ag::Variable& x, const ag::Variable& h,
-                                const ag::Variable& adj,
+                                const Adjacency& adj,
                                 const ag::Variable& node_embed,
                                 const ag::Variable& time_embed) const {
   TGCRN_CHECK_EQ(x.size(2), input_dim_);

@@ -15,11 +15,29 @@
 #define TGCRN_CORE_GCGRU_H_
 
 #include "autograd/ops.h"
+#include "autograd/sparse_ops.h"
 #include "nn/init.h"
 #include "nn/module.h"
 
 namespace tgcrn {
 namespace core {
+
+// The aggregation operand of one recurrent step: either the dense
+// normalized adjacency [B, N, N] or its top-k CSR form (the
+// TGCRN_GRAPH_TOPK execution path). Exactly one side is set; the GCGRU
+// dispatches its spatial aggregation to dense batched matmul or to
+// ag::SpmmCsr accordingly.
+struct Adjacency {
+  ag::Variable dense;
+  ag::SparseGraph sparse;
+
+  Adjacency() = default;
+  /*implicit*/ Adjacency(ag::Variable d) : dense(std::move(d)) {}
+  /*implicit*/ Adjacency(ag::SparseGraph s) : sparse(std::move(s)) {}
+
+  bool is_sparse() const { return sparse.defined(); }
+  bool defined() const { return dense.defined() || sparse.defined(); }
+};
 
 class GCGRUCell : public nn::Module {
  public:
@@ -31,14 +49,13 @@ class GCGRUCell : public nn::Module {
   // One recurrent step.
   //   x:          [B, N, input_dim]   current input
   //   h:          [B, N, hidden_dim]  previous hidden state
-  //   adj:        [B, N, N]           normalized time-aware adjacency
+  //   adj:        dense [B, N, N] or top-k CSR adjacency (see Adjacency)
   //   node_embed: [N, d_nu]           E_nu
   //   time_embed: [B, d_tau]          E_tau at this step (undefined Variable
   //                                   when constructed with d_tau == 0)
   // Returns the next hidden state [B, N, hidden_dim].
   ag::Variable Forward(const ag::Variable& x, const ag::Variable& h,
-                       const ag::Variable& adj,
-                       const ag::Variable& node_embed,
+                       const Adjacency& adj, const ag::Variable& node_embed,
                        const ag::Variable& time_embed) const;
 
   int64_t hidden_dim() const { return hidden_dim_; }
@@ -47,7 +64,7 @@ class GCGRUCell : public nn::Module {
  private:
   // (adj @ value) W + b with the factorized node/time weight pools.
   ag::Variable NodeAdaptiveConv(const ag::Variable& value,
-                                const ag::Variable& adj,
+                                const Adjacency& adj,
                                 const ag::Variable& node_embed,
                                 const ag::Variable& time_embed,
                                 const ag::Variable& pool_w_node,

@@ -4,11 +4,14 @@
 #include <algorithm>
 #include <cmath>
 #include <iterator>
+#include <memory>
 #include <numeric>
 
 #include "common/thread_pool.h"
 #include "nn/init.h"
 #include "obs/health.h"
+#include "obs/prof.h"
+#include "obs/trace.h"
 
 namespace tgcrn {
 namespace core {
@@ -73,6 +76,162 @@ ag::Variable TagSL::BuildRawGraph(const ag::Variable& x_t,
                                   options_.num_nodes});
   }
   return base;
+}
+
+namespace {
+
+// Row-block height of the selection scan: bounds the dense score
+// temporaries to kSelectBlockRows x N floats regardless of N. Blocking
+// only moves loop boundaries, never accumulation order.
+constexpr int64_t kSelectBlockRows = 256;
+
+}  // namespace
+
+ag::SparseGraph TagSL::BuildSparseGraph(
+    const ag::Variable& x_t, const std::vector<int64_t>& slots,
+    const std::vector<int64_t>& prev_slots, int64_t k) const {
+  const int64_t batch = x_t.size(0);
+  const int64_t n = options_.num_nodes;
+  TGCRN_CHECK_EQ(x_t.size(1), n);
+  const int64_t kept = std::min<int64_t>(std::max<int64_t>(k, 1), n);
+  const int64_t nnz = n * kept;
+  const float pdf_scale =
+      1.0f / std::sqrt(static_cast<float>(x_t.size(2)));
+
+  // Trend factor eta_t (Eq 7), shared by both stages: its value drives the
+  // selection ranking, and the same Variable joins the kept-edge logits so
+  // the time encoder trains through the sparse path.
+  ag::Variable eta;  // [B, 1]
+  if (options_.use_time) {
+    TGCRN_CHECK_EQ(static_cast<int64_t>(slots.size()), batch);
+    ag::Variable e_t = time_encoder_->Encode(slots);
+    ag::Variable e_prev = time_encoder_->Encode(prev_slots);
+    eta = ag::MulScalar(ag::Sum(ag::Mul(e_t, e_prev), 1, /*keepdim=*/true),
+                        1.0f / static_cast<float>(time_encoder_->dim()));
+  }
+
+  // --- Stage 1: exact top-k selection (no gradients) ----------------------
+  auto index = std::make_shared<graph::CsrIndex>();
+  index->batch = batch;
+  index->rows = n;
+  index->cols = n;
+  index->row_offsets.resize(n + 1);
+  for (int64_t r = 0; r <= n; ++r) index->row_offsets[r] = r * kept;
+  index->slot_rows.resize(nnz);
+  for (int64_t s = 0; s < nnz; ++s) index->slot_rows[s] = s / kept;
+  index->col_ids.resize(batch * nnz);
+  {
+    ag::NoGradGuard no_grad;
+    TGCRN_TRACE_SCOPE("tagsl.SelectTopK");
+    // Shape-only analytic cost: one raw-score recompute per entry (the
+    // d_nu-dot is hoisted per block, the C-dot runs per batch item) plus
+    // the selection scan.
+    obs::RecordKernelCost(
+        "tagsl.SelectTopK",
+        static_cast<double>(batch) * static_cast<double>(n) *
+            static_cast<double>(n) *
+            (2.0 * static_cast<double>(options_.node_dim) +
+             (options_.use_pdf ? 2.0 * static_cast<double>(x_t.size(2))
+                               : 0.0) +
+             4.0),
+        4.0 * static_cast<double>(batch) * static_cast<double>(n) *
+                static_cast<double>(n) +
+            8.0 * static_cast<double>(batch) * static_cast<double>(nnz));
+    const Tensor node_embed = node_embedding_.value();  // [N, d_nu]
+    const Tensor x = x_t.value();                       // [B, N, C]
+    const float* eta_data =
+        options_.use_time ? eta.value().data() : nullptr;
+    const int64_t topk_grain =
+        std::max<int64_t>(1, int64_t{16384} / std::max<int64_t>(1, n));
+    for (int64_t r0 = 0; r0 < n; r0 += kSelectBlockRows) {
+      const int64_t r1 = std::min<int64_t>(n, r0 + kSelectBlockRows);
+      // Eq 6 block: <E_nu[r0:r1], E_nu^T>, batch-independent.
+      const Tensor a_nu_blk =
+          node_embed.Slice(0, r0, r1).MatmulTransposeB(node_embed);
+      for (int64_t b = 0; b < batch; ++b) {
+        Tensor score = a_nu_blk;
+        if (eta_data != nullptr) score = score.AddScalar(eta_data[b]);
+        if (options_.use_pdf) {
+          const Tensor xb = x.Slice(0, b, b + 1).Squeeze(0);  // [N, C]
+          const Tensor gate = xb.Slice(0, r0, r1)
+                                  .MatmulTransposeB(xb)
+                                  .MulScalar(pdf_scale)
+                                  .Tanh()
+                                  .Sigmoid()
+                                  .MulScalar(options_.alpha)
+                                  .AddScalar(1.0f);
+          score = gate.Mul(score);
+        }
+        // Relu ties (clipped entries) break on the lower column id, the
+        // same total order graph::SparsifyTopK applies to the dense
+        // softmax; softmax is strictly monotone, so the kept sets match.
+        const Tensor clipped = score.Relu();
+        const float* rows = clipped.data();
+        int64_t* ids = index->col_ids.data() + b * nnz;
+        common::ParallelFor(
+            0, r1 - r0, topk_grain, [&](int64_t lo, int64_t hi) {
+              std::vector<int64_t> scratch(n);
+              for (int64_t r = lo; r < hi; ++r) {
+                graph::TopKRow(rows + r * n, n, kept,
+                               ids + (r0 + r) * kept, scratch.data());
+              }
+            });
+      }
+    }
+  }
+
+  // --- Stage 2: differentiable kept-edge logits ---------------------------
+  // Flat gather ids over the kept edges, in (batch, row, slot) order.
+  std::vector<int64_t> row_ids;  // edge's row node
+  std::vector<int64_t> col_ids;  // edge's column node
+  row_ids.reserve(batch * nnz);
+  col_ids.reserve(batch * nnz);
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t* ids = index->col_ids.data() + b * nnz;
+    for (int64_t s = 0; s < nnz; ++s) {
+      row_ids.push_back(s / kept);
+      col_ids.push_back(ids[s]);
+    }
+  }
+
+  // Eq 6 on the kept edges: <E_nu[row], E_nu[col]>.
+  ag::Variable e_row = ag::EmbeddingLookup(node_embedding_, row_ids);
+  ag::Variable e_col = ag::EmbeddingLookup(node_embedding_, col_ids);
+  ag::Variable logit = ag::Reshape(
+      ag::Sum(ag::Mul(e_row, e_col), 1), {batch, nnz});
+  if (options_.use_time) {
+    logit = ag::Add(logit, eta);  // [B, 1] broadcast over the edges
+  }
+  if (options_.use_pdf) {
+    // Eq 8-9 on the kept edges: per-edge <x[row], x[col]> via flat gathers.
+    std::vector<int64_t> flat_row(batch * nnz);
+    std::vector<int64_t> flat_col(batch * nnz);
+    for (int64_t i = 0; i < batch * nnz; ++i) {
+      const int64_t b = i / nnz;
+      flat_row[i] = b * n + row_ids[i];
+      flat_col[i] = b * n + col_ids[i];
+    }
+    ag::Variable x_flat =
+        ag::Reshape(x_t, {batch * n, x_t.size(2)});
+    ag::Variable dot = ag::Sum(
+        ag::Mul(ag::EmbeddingLookup(x_flat, flat_row),
+                ag::EmbeddingLookup(x_flat, flat_col)),
+        1);
+    ag::Variable gate = ag::AddScalar(
+        ag::MulScalar(ag::Sigmoid(ag::Tanh(ag::MulScalar(dot, pdf_scale))),
+                      options_.alpha),
+        1.0f);
+    logit = ag::Mul(ag::Reshape(gate, {batch, nnz}), logit);
+  }
+  // Eq 11 restricted to the kept set: softmax over each row's k logits ==
+  // the dense row-softmax renormalized over the kept entries (the dropped
+  // mass cancels), with all-zero rows degrading to uniform 1/k.
+  ag::SparseGraph out;
+  out.index = index;
+  out.values = ag::Reshape(
+      ag::Softmax(ag::Reshape(ag::Relu(logit), {batch * n, kept}), -1),
+      {batch, nnz});
+  return out;
 }
 
 ag::Variable TagSL::BuildGraph(const ag::Variable& x_t,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "autograd/sparse_ops.h"
 #include "core/time_encoders.h"
 #include "nn/module.h"
 #include "obs/report.h"
@@ -64,6 +65,25 @@ class TagSL : public nn::Module {
   ag::Variable BuildRawGraph(const ag::Variable& x_t,
                              const std::vector<int64_t>& slots,
                              const std::vector<int64_t>& prev_slots) const;
+
+  // Sparse top-k variant of BuildGraph (the TGCRN_GRAPH_TOPK execution
+  // path). Two stages: (1) an exact no-grad selection pass scans the raw
+  // scores in fixed row blocks and keeps each row's k largest relu'd
+  // logits (value-descending, index-ascending tie-breaks — the same
+  // ranking graph::SparsifyTopK applies to the dense softmax, since
+  // softmax is strictly monotone); (2) only the B*N*k kept-edge logits are
+  // recomputed differentiably (gathers + dots) and row-softmaxed, which
+  // equals the dense softmax renormalized over the kept entries — so
+  // gradients reach E_nu, the time encoder and x_t through the kept edges
+  // and dropped edges get exactly zero gradient (the sparse-training
+  // contract, autograd/sparse_ops.h). Autograd memory and compute are
+  // O(B*N*k); only the selection scan (a low-constant, gradient-free
+  // pass) remains O(N^2). All-zero rows degrade to uniform over the kept
+  // set, matching graph::SparsifyTopK's fallback.
+  ag::SparseGraph BuildSparseGraph(const ag::Variable& x_t,
+                                   const std::vector<int64_t>& slots,
+                                   const std::vector<int64_t>& prev_slots,
+                                   int64_t k) const;
 
   // Diagnostics of the learned graph at one time step, collected per epoch
   // by the health monitor (no gradients recorded):

@@ -88,6 +88,17 @@ std::vector<int64_t> TGCRN::PrevSlots(const std::vector<int64_t>& slots,
   return out;
 }
 
+Adjacency TGCRN::BuildAdjacency(const ag::Variable& x,
+                                const std::vector<int64_t>& slots,
+                                const std::vector<int64_t>& prev_slots)
+    const {
+  if (config_.graph_topk > 0) {
+    return Adjacency(
+        tagsl_->BuildSparseGraph(x, slots, prev_slots, config_.graph_topk));
+  }
+  return Adjacency(tagsl_->BuildGraph(x, slots, prev_slots));
+}
+
 ag::Variable TGCRN::BuildEmbed(int64_t batch,
                                const std::vector<int64_t>& slots) const {
   // The per-step time representation E_tau,t of Eq 12 ([B, d_tau]); the
@@ -112,7 +123,7 @@ ag::Variable TGCRN::Forward(const data::Batch& batch) {
   ag::Variable x_all{batch.x};  // constant input [B, P, N, d]
   const int64_t refresh = std::max<int64_t>(config_.graph_refresh_interval,
                                             1);
-  std::vector<ag::Variable> cached_adj(config_.num_layers);
+  std::vector<Adjacency> cached_adj(config_.num_layers);
   for (int64_t t = 0; t < p; ++t) {
     const std::vector<int64_t> slots = SlotColumn(batch.x_slots, t);
     const std::vector<int64_t> prev =
@@ -126,7 +137,7 @@ ag::Variable TGCRN::Forward(const data::Batch& batch) {
       // state (Section III-C: X^i = h^{i-1}); with refresh > 1 the graph
       // is rebuilt lazily (paper Section IV-C3's proposed optimization).
       if (t % refresh == 0 || !cached_adj[l].defined()) {
-        cached_adj[l] = tagsl_->BuildGraph(input, slots, prev);
+        cached_adj[l] = BuildAdjacency(input, slots, prev);
       }
       input = encoder_cells_[l]->Forward(input, hidden[l], cached_adj[l],
                                          tagsl_->node_embedding(),
@@ -163,7 +174,7 @@ ag::Variable TGCRN::Forward(const data::Batch& batch) {
     ag::Variable input = dec_input;
     for (int64_t l = 0; l < config_.num_layers; ++l) {
       if (q % refresh == 0 || !cached_adj[l].defined()) {
-        cached_adj[l] = tagsl_->BuildGraph(input, slots, prev_slots);
+        cached_adj[l] = BuildAdjacency(input, slots, prev_slots);
       }
       input = decoder_cells_[l]->Forward(input, hidden[l], cached_adj[l],
                                          tagsl_->node_embedding(),

@@ -7,6 +7,7 @@
 #ifndef TGCRN_CORE_TGCRN_H_
 #define TGCRN_CORE_TGCRN_H_
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,13 @@ struct TGCRNConfig {
   // recurrent step (per layer) and reused in between. k = 1 is the paper's
   // model. bench_ablation_refresh measures the accuracy/time trade-off.
   int64_t graph_refresh_interval = 1;
+  // Learned-graph sparsity (the TGCRN_GRAPH_TOPK path): > 0 keeps only
+  // each row's top-k adjacency entries, renormalized, and runs the GCGRU
+  // aggregation as CSR SpMM — autograd compute/memory O(N*k) instead of
+  // O(N^2). 0 (default) is the dense paper model, bit-exact with the
+  // pre-sparse behavior. Dropped edges receive exactly zero gradient
+  // (the sparse-training contract, autograd/sparse_ops.h).
+  int64_t graph_topk = 0;
   // Dropout applied between stacked GCGRU layers at train time (0 = off;
   // the paper does not specify one - provided as a regularization option).
   float inter_layer_dropout = 0.0f;
@@ -67,6 +75,9 @@ class TGCRN : public ForecastModel {
   }
   void SetTeacherForcingProbability(float probability) override {
     teacher_forcing_ = config_.allow_teacher_forcing ? probability : 0.0f;
+  }
+  void SetGraphTopK(int64_t k) override {
+    config_.graph_topk = std::max<int64_t>(k, 0);
   }
   std::string name() const override { return "TGCRN"; }
 
@@ -98,6 +109,11 @@ class TGCRN : public ForecastModel {
   // Builds E_hat^t = [E_nu ; E_tau,t] broadcast to [B, N, embed_dim].
   ag::Variable BuildEmbed(int64_t batch,
                           const std::vector<int64_t>& slots) const;
+  // The per-step aggregation operand: dense TagSL graph, or its top-k CSR
+  // form when config_.graph_topk > 0.
+  Adjacency BuildAdjacency(const ag::Variable& x,
+                           const std::vector<int64_t>& slots,
+                           const std::vector<int64_t>& prev_slots) const;
   // Per-sample slots at step t of the batch (column of slot rows).
   static std::vector<int64_t> SlotColumn(
       const std::vector<std::vector<int64_t>>& rows, int64_t t);

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 
 #include "autograd/ops.h"
 #include "common/logging.h"
@@ -80,11 +81,19 @@ std::vector<metrics::Metrics> EvaluateModel(
                                      Tensor::Concat(targets, 0), options);
 }
 
+int64_t GraphTopKFromEnv() {
+  if (const char* env = std::getenv("TGCRN_GRAPH_TOPK")) {
+    return static_cast<int64_t>(std::strtoll(env, nullptr, 10));
+  }
+  return -1;
+}
+
 TrainResult TrainAndEvaluate(ForecastModel* model,
                              const data::ForecastDataset& dataset,
                              const TrainConfig& config) {
   TrainResult result;
   result.num_parameters = model->NumParameters();
+  if (config.graph_topk >= 0) model->SetGraphTopK(config.graph_topk);
   if (config.num_threads > 0) common::SetNumThreads(config.num_threads);
   result.num_threads = common::GetNumThreads();
   result.report.model = model->name();

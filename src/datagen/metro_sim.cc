@@ -1,10 +1,15 @@
 // Copyright 2026 TGCRN Reproduction Authors
 #include "datagen/metro_sim.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "graph/csr.h"
 
 namespace tgcrn {
 namespace datagen {
@@ -86,6 +91,161 @@ double MetroAttractionProfile(AreaType type, double hour, bool weekend) {
   return base;
 }
 
+namespace {
+
+// The neighbor-limited generation path (max_od_pairs_per_station > 0):
+// identical phenomenology restricted to each origin's top-m gravity
+// destinations, O(T*N*m) time and O(N*m) memory. The station layout (and
+// the RNG draws that produce it) is shared with the dense path; all later
+// draws follow the kept-pair order (origin ascending, destination
+// ascending within an origin), so output is deterministic for a config.
+void SimulateNeighborLimited(const MetroSimConfig& config, Rng* rng,
+                             const std::vector<float>& xs,
+                             const std::vector<float>& ys,
+                             const std::vector<float>& sizes,
+                             MetroSimOutput* out) {
+  TGCRN_CHECK(!config.keep_od_ground_truth)
+      << "neighbor-limited metro_sim does not materialize OD ground truth";
+  const int64_t n = config.num_stations;
+  const int64_t spd = config.steps_per_day;
+  const int64_t total = config.num_days * spd;
+  const int64_t m = std::min<int64_t>(config.max_od_pairs_per_station, n - 1);
+
+  // --- Top-m destinations per origin, row by row (no [N, N] tensor) ---------
+  std::vector<int64_t> nbr(n * m);
+  std::vector<float> nbr_gravity(n * m);
+  std::vector<int64_t> nbr_delay(n * m);
+  const int64_t row_grain =
+      std::max<int64_t>(1, int64_t{16384} / std::max<int64_t>(1, n));
+  common::ParallelFor(0, n, row_grain, [&](int64_t i0, int64_t i1) {
+    std::vector<float> row(n);
+    std::vector<int64_t> scratch(n);
+    for (int64_t i = i0; i < i1; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) {
+          row[j] = -1.0f;  // self-pairs carry no flow; rank last
+          continue;
+        }
+        const float dx = xs[i] - xs[j];
+        const float dy = ys[i] - ys[j];
+        const float dist = std::sqrt(dx * dx + dy * dy);
+        row[j] = sizes[i] * sizes[j] * std::exp(-dist / 6.0f);
+      }
+      // Same deterministic (value desc, index asc) selection as the
+      // learned-graph sparsifier; kept ids come out ascending.
+      graph::TopKRow(row.data(), n, m, nbr.data() + i * m, scratch.data());
+      for (int64_t s = 0; s < m; ++s) {
+        const int64_t j = nbr[i * m + s];
+        const float dx = xs[i] - xs[j];
+        const float dy = ys[i] - ys[j];
+        const float dist = std::sqrt(dx * dx + dy * dy);
+        nbr_gravity[i * m + s] = row[j];
+        nbr_delay[i * m + s] = TravelDelaySlots(dist);
+      }
+    }
+  });
+  out->od_neighbors.resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    out->od_neighbors[i].assign(nbr.begin() + i * m,
+                                nbr.begin() + (i + 1) * m);
+  }
+
+  // --- Calibration over the kept pairs (noiseless intensity mean) -----------
+  const double intensity_sum = common::DeterministicChunkedSum(
+      total, /*grain=*/8, [&](int64_t t0, int64_t t1) {
+        double sum = 0.0;
+        for (int64_t t = t0; t < t1; ++t) {
+          const int64_t slot = t % spd;
+          const double hour = 6.0 + 18.0 * static_cast<double>(slot) / spd;
+          const bool weekend = ((t / spd) % 7) >= 5;
+          for (int64_t i = 0; i < n; ++i) {
+            const double oi =
+                MetroOriginProfile(out->area_types[i], hour, weekend);
+            for (int64_t s = 0; s < m; ++s) {
+              const int64_t j = nbr[i * m + s];
+              sum += nbr_gravity[i * m + s] * oi *
+                     MetroAttractionProfile(out->area_types[j], hour,
+                                            weekend) *
+                     PairModulation(hour, config.pair_phase_strength,
+                                    PairPhase(i, j, n));
+            }
+          }
+        }
+        return sum;
+      });
+  const double mean_inflow = intensity_sum / (total * n);
+  const double scale =
+      config.target_mean_inflow / std::max(mean_inflow, 1e-9);
+
+  // --- Main simulation -------------------------------------------------------
+  out->data.values = Tensor::Zeros({total, n, 2});
+  out->data.slot_of_day.resize(total);
+  out->data.day_of_week.resize(total);
+  out->data.steps_per_day = spd;
+  std::vector<double> day_scale(n, 1.0);
+  std::vector<double> ar_state(n, 0.0);
+  float* values = out->data.values.mutable_data();
+
+  for (int64_t t = 0; t < total; ++t) {
+    const int64_t slot = t % spd;
+    const double hour = 6.0 + 18.0 * static_cast<double>(slot) / spd;
+    const int64_t dow = (t / spd) % 7;
+    const bool weekend = dow >= 5;
+    out->data.slot_of_day[t] = slot;
+    out->data.day_of_week[t] = dow;
+
+    if (slot == 0) {
+      for (int64_t i = 0; i < n; ++i) {
+        day_scale[i] = std::exp(rng->Gaussian(0.0, config.day_noise_sigma));
+        ar_state[i] = 0.0;
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      ar_state[i] =
+          0.8 * ar_state[i] + rng->Gaussian(0.0, config.ar_noise_sigma);
+    }
+
+    for (int64_t i = 0; i < n; ++i) {
+      const double oi = MetroOriginProfile(out->area_types[i], hour,
+                                           weekend) *
+                        day_scale[i] * std::exp(ar_state[i]);
+      for (int64_t s = 0; s < m; ++s) {
+        const int64_t j = nbr[i * m + s];
+        const double lam =
+            scale * nbr_gravity[i * m + s] * oi *
+            MetroAttractionProfile(out->area_types[j], hour, weekend) *
+            PairModulation(hour, config.pair_phase_strength,
+                           PairPhase(i, j, n));
+        const int64_t trips = rng->Poisson(lam);
+        if (trips == 0) continue;
+        values[(t * n + i) * 2 + 0] += static_cast<float>(trips);
+        const int64_t arrive = t + nbr_delay[i * m + s];
+        if (arrive < total) {
+          values[(arrive * n + j) * 2 + 1] += static_cast<float>(trips);
+        }
+      }
+    }
+  }
+
+  // --- Failure injection ------------------------------------------------------
+  if (config.expected_closures > 0.0) {
+    const int64_t events = rng->Poisson(config.expected_closures);
+    for (int64_t e = 0; e < events; ++e) {
+      const int64_t station = rng->UniformInt(0, n - 1);
+      const int64_t duration = rng->UniformInt(8, 32);
+      const int64_t first = rng->UniformInt(0, total - duration - 1);
+      const int64_t last = first + duration;
+      for (int64_t tt = first; tt <= last; ++tt) {
+        values[(tt * n + station) * 2 + 0] = 0.0f;
+        values[(tt * n + station) * 2 + 1] = 0.0f;
+      }
+      out->closures.push_back({station, first, last});
+    }
+  }
+}
+
+}  // namespace
+
 MetroSimOutput SimulateMetro(const MetroSimConfig& config) {
   TGCRN_CHECK_GE(config.num_stations, 4);
   TGCRN_CHECK_GE(config.num_days, 7);
@@ -105,6 +265,12 @@ MetroSimOutput SimulateMetro(const MetroSimConfig& config) {
     ys[i] = rng.Uniform(0.0f, 10.0f);
     sizes[i] = std::exp(static_cast<float>(rng.Gaussian(0.0, 0.35)));
     out.area_types[i] = static_cast<AreaType>(rng.UniformInt(0, 3));
+  }
+  if (config.max_od_pairs_per_station > 0) {
+    // City-scale path: top-m gravity neighbors per origin, no dense [N, N]
+    // matrices. Shares the layout draws above; see SimulateNeighborLimited.
+    SimulateNeighborLimited(config, &rng, xs, ys, sizes, &out);
+    return out;
   }
   out.distances = Tensor::Zeros({n, n});
   Tensor gravity = Tensor::Zeros({n, n});

@@ -53,6 +53,14 @@ struct MetroSimConfig {
   double pair_phase_strength = 0.35;
   // Whether to retain the per-step expected OD matrices (ground truth).
   bool keep_od_ground_truth = true;
+  // Neighbor-limited OD mode for city-scale N (the sparse scale-out path):
+  // > 0 restricts each origin to its top-m destinations by gravity
+  // (value-descending, index-ascending tie-breaks, self excluded), so
+  // generation runs in O(T*N*m) time and O(N*m) memory instead of
+  // O(T*N^2) / O(N^2). The dense `distances` matrix and gravity tensor are
+  // not materialized (distances is left undefined) and
+  // keep_od_ground_truth must be false. 0 = dense, all pairs.
+  int64_t max_od_pairs_per_station = 0;
   // Failure injection: expected number of station-closure events over the
   // whole horizon (0 disables). A closure zeroes one station's flows for
   // 2-8 hours - the missing-data pattern real AFC feeds exhibit - so
@@ -64,7 +72,11 @@ struct MetroSimOutput {
   // Inflow/outflow counts per station: values [T, N, 2].
   data::SpatioTemporalData data;
   // Station pairwise distances [N, N] (for pre-defined graph baselines).
+  // Undefined in neighbor-limited mode (max_od_pairs_per_station > 0).
   Tensor distances;
+  // Neighbor-limited mode only: each origin's kept destinations, ascending
+  // station ids, at most max_od_pairs_per_station each. Empty in dense mode.
+  std::vector<std::vector<int64_t>> od_neighbors;
   // Per-station functional area labels.
   std::vector<AreaType> area_types;
   // Expected OD intensity matrices Lambda(t), [T] entries of [N, N];

@@ -39,6 +39,47 @@ TEST(MetroSimTest, ShapesAndDeterminism) {
   EXPECT_FALSE(a.data.values.AllClose(c.data.values, 1e-3f));
 }
 
+TEST(MetroSimTest, NeighborLimitedModeShapesAndDeterminism) {
+  auto config = SmallMetroConfig();
+  config.keep_od_ground_truth = false;
+  config.max_od_pairs_per_station = 4;
+  const auto a = datagen::SimulateMetro(config);
+  const auto b = datagen::SimulateMetro(config);
+  EXPECT_EQ(a.data.values.shape(), (Shape{14 * 72, 10, 2}));
+  EXPECT_TRUE(a.data.values.AllClose(b.data.values, 0.0f));
+  EXPECT_TRUE(a.od_ground_truth.empty());
+  ASSERT_EQ(a.od_neighbors.size(), 10u);
+  for (int64_t i = 0; i < 10; ++i) {
+    const auto& nbrs = a.od_neighbors[i];
+    ASSERT_LE(nbrs.size(), 4u);
+    ASSERT_FALSE(nbrs.empty());
+    for (size_t s = 0; s < nbrs.size(); ++s) {
+      EXPECT_NE(nbrs[s], i);  // self-loops excluded
+      EXPECT_GE(nbrs[s], 0);
+      EXPECT_LT(nbrs[s], 10);
+      if (s > 0) {
+        EXPECT_LT(nbrs[s - 1], nbrs[s]);  // ascending station ids
+      }
+    }
+  }
+  // Layout draws are shared with the dense path: same seed, same stations.
+  const auto dense = datagen::SimulateMetro(SmallMetroConfig());
+  EXPECT_EQ(a.area_types, dense.area_types);
+}
+
+TEST(MetroSimTest, NeighborLimitedModeIsCalibratedAndConserves) {
+  auto config = SmallMetroConfig();
+  config.keep_od_ground_truth = false;
+  config.max_od_pairs_per_station = 4;
+  const auto out = datagen::SimulateMetro(config);
+  Tensor inflow = out.data.values.Slice(2, 0, 1);
+  EXPECT_NEAR(inflow.MeanAll(), 80.0f, 12.0f);
+  const float total_in = out.data.values.Slice(2, 0, 1).SumAll();
+  const float total_out = out.data.values.Slice(2, 1, 2).SumAll();
+  EXPECT_LE(total_out, total_in);
+  EXPECT_GT(total_out, 0.97f * total_in);
+}
+
 TEST(MetroSimTest, CalibratedMeanInflow) {
   const auto out = datagen::SimulateMetro(SmallMetroConfig());
   // Mean inflow (channel 0) should be near the calibration target.

@@ -1,0 +1,347 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// The sparse learned-graph execution path end to end: CSR round-trips and
+// top-k tie-break determinism (graph/csr.h), SpMM-vs-masked-dense
+// differential fuzz and gradchecks (tensor/kernels/spmm.h,
+// autograd/sparse_ops.h), TagSL's sparse builder against the dense
+// reference, and dense-vs-sparse training parity at small N with a
+// generous k (the TGCRN_GRAPH_TOPK acceptance bar).
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/sparse_ops.h"
+#include "common/cpu_features.h"
+#include "common/thread_pool.h"
+#include "core/tagsl.h"
+#include "core/tgcrn.h"
+#include "core/trainer.h"
+#include "core/time_encoders.h"
+#include "datagen/metro_sim.h"
+#include "graph/csr.h"
+#include "gradcheck.h"
+
+namespace tgcrn {
+namespace {
+
+using ag::Variable;
+using common::ScopedNumThreads;
+using testing::ExpectGradientsClose;
+
+std::vector<common::SimdIsa> AvailableIsas() {
+  std::vector<common::SimdIsa> isas = {common::SimdIsa::kScalar};
+  if (common::Avx2CompiledIn() && common::CpuSupportsAvx2()) {
+    isas.push_back(common::SimdIsa::kAvx2);
+  }
+  return isas;
+}
+
+// Random batch of row-stochastic matrices (softmax of uniform logits).
+Tensor RandomAdjacency(int64_t batch, int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Variable logits(Tensor::RandUniform({batch, n, n}, -2.0f, 2.0f, &rng));
+  return ag::Softmax(logits, -1).value();
+}
+
+// --- CSR structure ----------------------------------------------------------
+
+TEST(TopKRowTest, TieBreaksOnLowerIndex) {
+  const std::vector<float> row = {1.0f, 3.0f, 3.0f, 0.0f, 3.0f};
+  std::vector<int64_t> scratch(row.size());
+  std::vector<int64_t> out(4);
+  graph::TopKRow(row.data(), 5, 2, out.data(), scratch.data());
+  EXPECT_EQ(out[0], 1);  // the tied 3.0s keep the lowest column ids
+  EXPECT_EQ(out[1], 2);
+  graph::TopKRow(row.data(), 5, 4, out.data(), scratch.data());
+  EXPECT_EQ(out, (std::vector<int64_t>{0, 1, 2, 4}));
+
+  const std::vector<float> flat(6, 0.5f);  // fully tied row
+  std::vector<int64_t> scratch2(6), out2(3);
+  graph::TopKRow(flat.data(), 6, 3, out2.data(), scratch2.data());
+  EXPECT_EQ(out2, (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(SparsifyTopKTest, RoundTripKeepsRenormalizedTopK) {
+  const int64_t batch = 3, n = 7, k = 3;
+  const Tensor dense = RandomAdjacency(batch, n, 11);
+  graph::CsrBatch csr = graph::SparsifyTopK(dense, k);
+  csr.index->Validate();
+  EXPECT_EQ(csr.index->nnz(), n * k);
+  EXPECT_EQ(csr.values.shape(), (Shape{batch, n * k}));
+
+  const Tensor back = graph::CsrToDense(csr);
+  const float* src = dense.data();
+  const float* got = back.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t r = 0; r < n; ++r) {
+      // Reference: renormalize the k largest entries of the row.
+      std::vector<int64_t> ids(k), scratch(n);
+      const float* row = src + (b * n + r) * n;
+      graph::TopKRow(row, n, k, ids.data(), scratch.data());
+      float sum = 0.0f;
+      for (int64_t s = 0; s < k; ++s) sum += row[ids[s]];
+      float row_sum = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        const float v = got[(b * n + r) * n + j];
+        const bool kept =
+            std::find(ids.begin(), ids.end(), j) != ids.end();
+        if (!kept) {
+          EXPECT_EQ(v, 0.0f);
+          continue;
+        }
+        EXPECT_NEAR(v, row[j] / sum, 1e-6f);
+        row_sum += v;
+      }
+      EXPECT_NEAR(row_sum, 1.0f, 1e-5f);  // rows stay stochastic
+    }
+  }
+}
+
+TEST(SparsifyTopKTest, TransposeListsAreConsistent) {
+  const Tensor dense = RandomAdjacency(2, 9, 5);
+  graph::CsrBatch csr = graph::SparsifyTopK(dense, 4);
+  graph::CsrIndex& index = *csr.index;
+  index.BuildTranspose();
+  ASSERT_TRUE(index.has_transpose());
+  const int64_t nnz = index.nnz();
+  for (int64_t b = 0; b < index.batch; ++b) {
+    const int64_t* offs = index.t_offsets.data() + b * (index.cols + 1);
+    const int64_t* slots = index.t_slots.data() + b * nnz;
+    EXPECT_EQ(offs[index.cols], nnz);  // every slot appears exactly once
+    for (int64_t c = 0; c < index.cols; ++c) {
+      for (int64_t i = offs[c]; i < offs[c + 1]; ++i) {
+        const int64_t s = slots[i];
+        EXPECT_EQ(index.col_ids[b * nnz + s], c);
+        if (i > offs[c]) {
+          EXPECT_LT(slots[i - 1], s);  // slot-ascending
+        }
+      }
+    }
+  }
+}
+
+TEST(SparsifyTopKTest, BitwiseIdenticalAcrossThreads) {
+  auto make = [] {
+    graph::CsrBatch csr = graph::SparsifyTopK(RandomAdjacency(4, 33, 17), 5);
+    return graph::CsrToDense(csr);
+  };
+  ScopedNumThreads guard1(1);
+  const Tensor reference = make();
+  for (const int threads : {2, 4, 8}) {
+    ScopedNumThreads guard(threads);
+    const Tensor got = make();
+    ASSERT_EQ(std::memcmp(got.data(), reference.data(),
+                          static_cast<size_t>(got.numel()) * sizeof(float)),
+              0)
+        << "SparsifyTopK differs at " << threads << " threads";
+  }
+}
+
+// --- SpMM vs masked dense ---------------------------------------------------
+
+TEST(SpmmCsrTest, MatchesMaskedDenseReference) {
+  for (const auto isa : AvailableIsas()) {
+    common::ScopedSimdIsa pin(isa);
+    uint64_t seed = 100;
+    for (const auto& dims : std::vector<std::vector<int64_t>>{
+             {1, 5, 3, 2}, {2, 16, 8, 4}, {3, 33, 17, 9}, {2, 64, 7, 32}}) {
+      const int64_t batch = dims[0], n = dims[1], c = dims[2], k = dims[3];
+      graph::CsrBatch csr =
+          graph::SparsifyTopK(RandomAdjacency(batch, n, seed), k);
+      Rng rng(seed + 1);
+      Variable x(Tensor::RandUniform({batch, n, c}, -1.0f, 1.0f, &rng));
+      ag::SparseGraph sg;
+      sg.index = csr.index;
+      sg.values = Variable(csr.values.Clone());
+      const Tensor sparse_out = ag::SpmmCsr(sg, x).value();
+      // Masked-dense reference: the densified CSR through batched matmul.
+      const Tensor dense_out =
+          ag::Matmul(Variable(graph::CsrToDense(csr)), x).value();
+      // Ulp-scaled bound: each output element accumulates k products of
+      // row-stochastic weights against |x| <= 1, so the reference scale
+      // is O(1); FMA contraction and accumulation-order differences stay
+      // within a few ulps of that scale per term.
+      const float tol =
+          16.0f * static_cast<float>(k) *
+          std::numeric_limits<float>::epsilon();
+      ASSERT_EQ(sparse_out.shape(), dense_out.shape());
+      for (int64_t i = 0; i < sparse_out.numel(); ++i) {
+        ASSERT_NEAR(sparse_out.flat(i), dense_out.flat(i), tol)
+            << "isa=" << common::SimdIsaName(isa) << " dims b=" << batch
+            << " n=" << n << " c=" << c << " k=" << k << " elem " << i;
+      }
+      seed += 7;
+    }
+  }
+}
+
+TEST(SpmmCsrTest, GradcheckValuesAndFeatures) {
+  const int64_t batch = 2, n = 5, c = 3, k = 2;
+  graph::CsrBatch csr = graph::SparsifyTopK(RandomAdjacency(batch, n, 3), k);
+  auto index = csr.index;
+  Rng rng(4);
+  const Tensor weight =
+      Tensor::RandUniform({batch, n, c}, -1.0f, 1.0f, &rng);
+  auto fn = [&](const std::vector<Variable>& in) {
+    ag::SparseGraph sg;
+    sg.index = index;
+    sg.values = in[0];
+    return ag::SumAll(ag::Mul(ag::SpmmCsr(sg, in[1]), Variable(weight)));
+  };
+  Variable values(csr.values.Clone(), /*requires_grad=*/true);
+  Rng rng2(5);
+  Variable x(Tensor::RandUniform({batch, n, c}, -1.0f, 1.0f, &rng2),
+             /*requires_grad=*/true);
+  ExpectGradientsClose(fn, {values, x});
+}
+
+// --- SparsifyTopK as an autograd op ----------------------------------------
+
+TEST(SparsifyTopKOpTest, GradcheckOnKeptEntries) {
+  // Well-separated entries so finite-difference probes never flip the
+  // selection.
+  const Tensor dense = Tensor::FromVector(
+      {1, 3, 3}, {0.9f, 0.2f, 0.5f, 0.1f, 0.7f, 0.4f, 0.6f, 0.3f, 0.8f});
+  Rng rng(6);
+  const Tensor weight = Tensor::RandUniform({1, 6}, -1.0f, 1.0f, &rng);
+  auto fn = [&](const std::vector<Variable>& in) {
+    return ag::SumAll(
+        ag::Mul(ag::SparsifyTopK(in[0], 2).values, Variable(weight)));
+  };
+  Variable leaf(dense.Clone(), /*requires_grad=*/true);
+  ExpectGradientsClose(fn, {leaf}, /*eps=*/1e-3f, /*rtol=*/5e-2f,
+                       /*atol=*/5e-2f);
+}
+
+TEST(SparsifyTopKOpTest, DroppedEntriesGetExactlyZeroGradient) {
+  const int64_t batch = 2, n = 6, k = 2;
+  Variable dense(RandomAdjacency(batch, n, 21), /*requires_grad=*/true);
+  ag::SparseGraph sg = ag::SparsifyTopK(dense, k);
+  ag::SumAll(ag::Mul(sg.values, sg.values)).Backward();
+  ASSERT_TRUE(dense.has_grad());
+  const Tensor grad = dense.grad();
+  const int64_t nnz = sg.index->nnz();
+  int64_t nonzero = 0;
+  for (int64_t b = 0; b < batch; ++b) {
+    std::vector<bool> kept(n * n, false);
+    for (int64_t s = 0; s < nnz; ++s) {
+      kept[sg.index->slot_rows[s] * n + sg.index->col_ids[b * nnz + s]] =
+          true;
+    }
+    for (int64_t i = 0; i < n * n; ++i) {
+      const float g = grad.flat(b * n * n + i);
+      if (!kept[i]) {
+        // The sparse-training contract: bitwise zero, not merely small.
+        ASSERT_EQ(g, 0.0f) << "dropped entry " << i << " got gradient";
+      } else if (g != 0.0f) {
+        ++nonzero;
+      }
+    }
+  }
+  EXPECT_GT(nonzero, 0);  // kept entries do train
+}
+
+// --- TagSL sparse builder vs dense reference --------------------------------
+
+TEST(TagSLSparseTest, MatchesDenseTopKSelectionAndValues) {
+  // Scalar ISA: the blocked selection scan and the dense batched path
+  // compute bit-identical scores, so the kept sets must match exactly.
+  common::ScopedSimdIsa pin(common::SimdIsa::kScalar);
+  const int64_t batch = 3, n = 10, c = 4, k = 4, spd = 24, d_tau = 6;
+  Rng rng(31);
+  core::DiscreteTimeEmbedding encoder(spd, d_tau, &rng);
+  core::TagSL::Options options;
+  options.num_nodes = n;
+  options.node_dim = 5;
+  core::TagSL tagsl(options, &encoder, &rng);
+
+  Rng data_rng(32);
+  Variable x(Tensor::RandUniform({batch, n, c}, -1.0f, 1.0f, &data_rng));
+  const std::vector<int64_t> slots = {3, 11, 19};
+  const std::vector<int64_t> prev = {2, 10, 18};
+
+  const Tensor dense = tagsl.BuildGraph(x, slots, prev).value();
+  graph::CsrBatch reference = graph::SparsifyTopK(dense, k);
+  ag::SparseGraph sparse = tagsl.BuildSparseGraph(x, slots, prev, k);
+
+  ASSERT_EQ(sparse.index->col_ids, reference.index->col_ids);
+  const Tensor got = sparse.values.value();
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_NEAR(got.flat(i), reference.values.flat(i), 1e-5f)
+        << "kept-edge value " << i;
+  }
+}
+
+TEST(TagSLSparseTest, GradientsReachEmbeddingsAndEncoder) {
+  const int64_t batch = 2, n = 6, c = 3, k = 3, spd = 12, d_tau = 4;
+  Rng rng(41);
+  core::DiscreteTimeEmbedding encoder(spd, d_tau, &rng);
+  core::TagSL::Options options;
+  options.num_nodes = n;
+  options.node_dim = 4;
+  core::TagSL tagsl(options, &encoder, &rng);
+  Rng data_rng(42);
+  Variable x(Tensor::RandUniform({batch, n, c}, -1.0f, 1.0f, &data_rng));
+  ag::SparseGraph sg =
+      tagsl.BuildSparseGraph(x, {1, 5}, {0, 4}, k);
+  ag::SumAll(ag::Mul(sg.values, sg.values)).Backward();
+  EXPECT_TRUE(tagsl.node_embedding().has_grad());
+  EXPECT_TRUE(encoder.weight().has_grad());
+}
+
+// --- Model-level parity -----------------------------------------------------
+
+TEST(SparseModelTest, DenseVsSparseMaeParityAtGenerousK) {
+  common::ScopedSimdIsa pin(common::SimdIsa::kScalar);
+  datagen::MetroSimConfig sim_config;
+  sim_config.num_stations = 16;
+  sim_config.num_days = 8;
+  sim_config.seed = 91;
+  sim_config.target_mean_inflow = 50.0;
+  sim_config.keep_od_ground_truth = false;
+  auto sim = datagen::SimulateMetro(sim_config);
+  data::ForecastDataset::Options data_options;
+  data_options.input_steps = 4;
+  data_options.output_steps = 2;
+  data::ForecastDataset dataset(std::move(sim.data), data_options);
+
+  core::TGCRNConfig config;
+  config.num_nodes = 16;
+  config.horizon = 2;
+  config.hidden_dim = 8;
+  config.num_layers = 1;
+  config.node_embed_dim = 6;
+  config.time_embed_dim = 4;
+  config.steps_per_day = 72;
+
+  auto run = [&](int64_t topk) {
+    Rng rng(7);
+    core::TGCRN model(config, &rng);
+    core::TrainConfig train;
+    train.epochs = 2;
+    train.batch_size = 8;
+    train.max_batches_per_epoch = 10;
+    train.seed = 7;
+    train.num_threads = 1;
+    train.verbose = false;
+    train.graph_topk = topk;
+    return core::TrainAndEvaluate(&model, dataset, train);
+  };
+  const auto dense = run(0);
+  // k == N keeps every edge: the sparse path is the same model routed
+  // through CSR SpMM and the gather-recompute softmax.
+  const auto sparse = run(16);
+  const double rel = std::abs(sparse.average.mae - dense.average.mae) /
+                     std::max(dense.average.mae, 1e-9);
+  EXPECT_LT(rel, 0.01) << "dense mae=" << dense.average.mae
+                       << " sparse mae=" << sparse.average.mae;
+}
+
+}  // namespace
+}  // namespace tgcrn

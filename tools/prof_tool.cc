@@ -90,6 +90,10 @@ void PrintShow(const tgcrn::obs::ProfReport& report) {
   }
   tgcrn::TablePrinter table(columns);
   for (const auto& k : report.kernels) {
+    // Registered kernels the run never invoked (e.g. the sparse SpMM set
+    // during a dense run) would render as all-zero roofline rows — noise,
+    // not signal.
+    if (k.invocations == 0) continue;
     std::vector<std::string> row = {
         k.name,
         tgcrn::TablePrinter::Num(static_cast<double>(k.invocations), 0),

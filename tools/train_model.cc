@@ -7,8 +7,8 @@
 //   train_model <data.csv> --nodes N --features D --steps-per-day S
 //       [--input-steps P] [--output-steps Q] [--epochs E] [--hidden H]
 //       [--variant tgcrn|no-tagsl|no-tdl|no-pdf|direct] [--save model.ckpt]
-//       [--seed S] [--lr LR] [--report run.jsonl] [--trace run.trace.json]
-//       [--prof run.prof.json]
+//       [--seed S] [--lr LR] [--graph-topk K] [--report run.jsonl]
+//       [--trace run.trace.json] [--prof run.prof.json]
 #include <cstdio>
 #include <string>
 
@@ -31,6 +31,7 @@ struct Args {
   float lr = 3e-3f;
   uint64_t seed = 1;
   int threads = 0;  // 0 = TGCRN_NUM_THREADS env or hardware concurrency
+  int64_t graph_topk = -1;  // -1 = TGCRN_GRAPH_TOPK env / model default
   std::string variant = "tgcrn";
   std::string save_path;
   std::string report_path;
@@ -56,6 +57,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     else if (flag == "--lr") args->lr = std::stof(value);
     else if (flag == "--seed") args->seed = std::stoull(value);
     else if (flag == "--threads") args->threads = std::stoi(value);
+    else if (flag == "--graph-topk") args->graph_topk = std::stoll(value);
     else if (flag == "--variant") args->variant = value;
     else if (flag == "--save") args->save_path = value;
     else if (flag == "--report") args->report_path = value;
@@ -80,7 +82,7 @@ int main(int argc, char** argv) {
         "usage: %s <data.csv> --nodes N --features D --steps-per-day S\n"
         "  [--input-steps P] [--output-steps Q] [--epochs E] [--hidden H]\n"
         "  [--variant tgcrn|no-tagsl|no-tdl|no-pdf|direct] [--save f.ckpt]\n"
-        "  [--seed S] [--lr LR] [--threads T]\n"
+        "  [--seed S] [--lr LR] [--threads T] [--graph-topk K]\n"
         "  [--report run.jsonl] [--trace run.trace.json]\n"
         "  [--prof run.prof.json]\n",
         argv[0]);
@@ -133,6 +135,9 @@ int main(int argc, char** argv) {
   train.lr = args.lr;
   train.seed = args.seed;
   train.num_threads = args.threads;
+  // --graph-topk beats the TGCRN_GRAPH_TOPK env default already parsed
+  // into TrainConfig (k > 0 = sparse top-k path, 0 = force dense).
+  if (args.graph_topk >= 0) train.graph_topk = args.graph_topk;
   train.report_path = args.report_path;
   if (!args.prof_path.empty()) {
     // Overrides (rather than augments) any TGCRN_PROF env setting; the
