@@ -109,52 +109,61 @@ ag::Variable TGCRN::BuildEmbed(int64_t batch,
   return time_encoder_->Encode(slots);
 }
 
-ag::Variable TGCRN::Forward(const data::Batch& batch) {
-  const int64_t b = batch.batch_size();
-  const int64_t n = config_.num_nodes;
-  const int64_t p = batch.x.size(1);
-  TGCRN_CHECK_EQ(batch.x.size(2), n);
-
-  // --- Encoder ---------------------------------------------------------------
-  std::vector<ag::Variable> hidden(config_.num_layers);
+TGCRNState TGCRN::InitState(int64_t batch_size) const {
+  TGCRNState state;
+  state.hidden.resize(config_.num_layers);
   for (int64_t l = 0; l < config_.num_layers; ++l) {
-    hidden[l] = ag::Variable(Tensor::Zeros({b, n, config_.hidden_dim}));
+    state.hidden[l] = ag::Variable(
+        Tensor::Zeros({batch_size, config_.num_nodes, config_.hidden_dim}));
   }
-  ag::Variable x_all{batch.x};  // constant input [B, P, N, d]
+  state.cached_adj.resize(config_.num_layers);
+  return state;
+}
+
+void TGCRN::EncoderStep(const ag::Variable& x,
+                        const std::vector<int64_t>& slots,
+                        TGCRNState* state) {
+  TGCRN_CHECK(state->initialized());
+  TGCRN_CHECK_EQ(x.size(1), config_.num_nodes);
   const int64_t refresh = std::max<int64_t>(config_.graph_refresh_interval,
                                             1);
-  std::vector<Adjacency> cached_adj(config_.num_layers);
-  for (int64_t t = 0; t < p; ++t) {
-    const std::vector<int64_t> slots = SlotColumn(batch.x_slots, t);
-    const std::vector<int64_t> prev =
-        t == 0 ? PrevSlots(slots, config_.steps_per_day)
-               : SlotColumn(batch.x_slots, t - 1);
-    ag::Variable input =
-        ag::Squeeze(ag::Slice(x_all, 1, t, t + 1), 1);  // [B, N, d]
-    ag::Variable time_embed = BuildEmbed(b, slots);
-    for (int64_t l = 0; l < config_.num_layers; ++l) {
-      // Each layer learns its own time-aware graph from its own input
-      // state (Section III-C: X^i = h^{i-1}); with refresh > 1 the graph
-      // is rebuilt lazily (paper Section IV-C3's proposed optimization).
-      if (t % refresh == 0 || !cached_adj[l].defined()) {
-        cached_adj[l] = BuildAdjacency(input, slots, prev);
-      }
-      input = encoder_cells_[l]->Forward(input, hidden[l], cached_adj[l],
-                                         tagsl_->node_embedding(),
-                                         time_embed);
-      if (config_.inter_layer_dropout > 0.0f &&
-          l + 1 < config_.num_layers) {
-        input = ag::Dropout(input, config_.inter_layer_dropout, training(),
-                            &sampling_rng_);
-      }
-      hidden[l] = input;
+  const std::vector<int64_t> prev =
+      state->last_slots.empty() ? PrevSlots(slots, config_.steps_per_day)
+                                : state->last_slots;
+  ag::Variable time_embed = BuildEmbed(x.size(0), slots);
+  ag::Variable input = x;
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    // Each layer learns its own time-aware graph from its own input
+    // state (Section III-C: X^i = h^{i-1}); with refresh > 1 the graph
+    // is rebuilt lazily (paper Section IV-C3's proposed optimization).
+    if (state->steps % refresh == 0 || !state->cached_adj[l].defined()) {
+      state->cached_adj[l] = BuildAdjacency(input, slots, prev);
     }
+    input = encoder_cells_[l]->Forward(input, state->hidden[l],
+                                       state->cached_adj[l],
+                                       tagsl_->node_embedding(), time_embed);
+    if (config_.inter_layer_dropout > 0.0f && l + 1 < config_.num_layers) {
+      input = ag::Dropout(input, config_.inter_layer_dropout, training(),
+                          &sampling_rng_);
+    }
+    state->hidden[l] = input;
   }
+  state->last_slots = slots;
+  ++state->steps;
+}
+
+ag::Variable TGCRN::DecoderForecast(
+    TGCRNState* state, const std::vector<std::vector<int64_t>>& y_slots,
+    const Tensor* teacher_values) {
+  TGCRN_CHECK(state->initialized());
+  const int64_t b = state->hidden.front().size(0);
+  const int64_t n = config_.num_nodes;
 
   if (!config_.use_encoder_decoder) {
     // Table VII "w/o enc-dec": a fully connected head maps the last hidden
     // state directly to all Q steps.
-    ag::Variable flat = direct_head_->Forward(hidden.back());  // [B,N,Q*d]
+    ag::Variable flat =
+        direct_head_->Forward(state->hidden.back());  // [B,N,Q*d]
     ag::Variable shaped = ag::Reshape(
         flat, {b, n, config_.horizon, config_.output_dim});
     ag::Variable direct_out = ag::Permute(shaped, {0, 2, 1, 3});  // [B,Q,N,d]
@@ -162,34 +171,41 @@ ag::Variable TGCRN::Forward(const data::Batch& batch) {
     return direct_out;
   }
 
-  // --- Decoder ---------------------------------------------------------------
   // Hidden states initialized from the encoder; inputs are the model's own
-  // previous predictions (recursive multi-step decoding).
+  // previous predictions (recursive multi-step decoding). The adjacency
+  // cache is rebuilt at q == 0 (0 % refresh == 0), so a decoder rollout
+  // never depends on encoder-cached graphs — which is what lets the
+  // serving session decode from a reassembled state.
+  const int64_t refresh = std::max<int64_t>(config_.graph_refresh_interval,
+                                            1);
   ag::Variable dec_input{Tensor::Zeros({b, n, config_.output_dim})};
   std::vector<ag::Variable> outputs;
-  std::vector<int64_t> prev_slots = SlotColumn(batch.x_slots, p - 1);
+  std::vector<int64_t> prev_slots = state->last_slots;
+  TGCRN_CHECK(!prev_slots.empty()) << "decoder needs at least one encoded step";
   for (int64_t q = 0; q < config_.horizon; ++q) {
-    const std::vector<int64_t> slots = SlotColumn(batch.y_slots, q);
+    const std::vector<int64_t> slots = SlotColumn(y_slots, q);
     ag::Variable time_embed = BuildEmbed(b, slots);
     ag::Variable input = dec_input;
     for (int64_t l = 0; l < config_.num_layers; ++l) {
-      if (q % refresh == 0 || !cached_adj[l].defined()) {
-        cached_adj[l] = BuildAdjacency(input, slots, prev_slots);
+      if (q % refresh == 0 || !state->cached_adj[l].defined()) {
+        state->cached_adj[l] = BuildAdjacency(input, slots, prev_slots);
       }
-      input = decoder_cells_[l]->Forward(input, hidden[l], cached_adj[l],
+      input = decoder_cells_[l]->Forward(input, state->hidden[l],
+                                         state->cached_adj[l],
                                          tagsl_->node_embedding(),
                                          time_embed);
-      hidden[l] = input;
+      state->hidden[l] = input;
     }
-    ag::Variable y = output_layer_->Forward(hidden.back());  // [B, N, d_out]
+    ag::Variable y =
+        output_layer_->Forward(state->hidden.back());  // [B, N, d_out]
     outputs.push_back(y);
     // Scheduled sampling: while training, with probability
     // teacher_forcing_ the decoder is fed the ground truth for this step
     // (detached from the graph) instead of its own prediction.
-    if (training() && teacher_forcing_ > 0.0f &&
+    if (training() && teacher_forcing_ > 0.0f && teacher_values != nullptr &&
         sampling_rng_.NextDouble() < teacher_forcing_) {
       dec_input = ag::Variable(
-          batch.y_scaled.Slice(1, q, q + 1).Squeeze(1).Clone());
+          teacher_values->Slice(1, q, q + 1).Squeeze(1).Clone());
     } else {
       dec_input = y;
     }
@@ -198,6 +214,27 @@ ag::Variable TGCRN::Forward(const data::Batch& batch) {
   ag::Variable prediction = ag::Stack(outputs, 1);  // [B, Q, N, d_out]
   TGCRN_HEALTH_TAP("tgcrn.prediction", prediction.value());
   return prediction;
+}
+
+ag::Variable TGCRN::Forward(const data::Batch& batch) {
+  const int64_t b = batch.batch_size();
+  const int64_t p = batch.x.size(1);
+  TGCRN_CHECK_EQ(batch.x.size(2), config_.num_nodes);
+
+  TGCRNState state = InitState(b);
+  ag::Variable x_all{batch.x};  // constant input [B, P, N, d]
+  for (int64_t t = 0; t < p; ++t) {
+    EncoderStep(ag::Squeeze(ag::Slice(x_all, 1, t, t + 1), 1),  // [B, N, d]
+                SlotColumn(batch.x_slots, t), &state);
+  }
+  // Scheduled sampling only draws from the RNG while training with a
+  // non-zero probability, so passing the teacher only then keeps the
+  // sampling stream identical to the pre-split implementation.
+  const Tensor* teacher =
+      config_.use_encoder_decoder && training() && teacher_forcing_ > 0.0f
+          ? &batch.y_scaled
+          : nullptr;
+  return DecoderForecast(&state, batch.y_slots, teacher);
 }
 
 bool TGCRN::CollectGraphHealth(const data::Batch& batch,

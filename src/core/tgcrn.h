@@ -64,11 +64,51 @@ struct TGCRNConfig {
   uint64_t sampling_seed = 9177;
 };
 
+// Incremental recurrent state of a TGCRN encoder over one batch: the
+// per-layer GCGRU hidden states plus the per-layer adjacency cache and step
+// counter that drive graph_refresh_interval, and the slots of the most
+// recent step (the prev-slots input of the next one). Forward() is built on
+// this state, so one EncoderStep is bitwise-identical to the corresponding
+// step inside a full P-window Forward — the property the serving layer
+// (src/serve) relies on to advance entities one observation at a time
+// instead of replaying windows. Copying a state copies cheap shared
+// handles, not tensor storage.
+struct TGCRNState {
+  std::vector<ag::Variable> hidden;   // per layer [B, N, hidden_dim]
+  std::vector<Adjacency> cached_adj;  // per layer, refresh-interval cache
+  std::vector<int64_t> last_slots;    // per sample; empty before any step
+  int64_t steps = 0;                  // encoder steps consumed
+
+  bool initialized() const { return !hidden.empty(); }
+};
+
 class TGCRN : public ForecastModel {
  public:
   TGCRN(const TGCRNConfig& config, Rng* rng);
 
   ag::Variable Forward(const data::Batch& batch) override;
+
+  // --- Step-level inference API (the model/runtime split, DESIGN §15) ---
+  // Forward() is exactly InitState + P × EncoderStep + DecoderForecast;
+  // callers that keep their own state (the serving session) get bitwise-
+  // identical results by construction.
+  // Zero-hidden state for a batch of `batch_size` samples.
+  TGCRNState InitState(int64_t batch_size) const;
+  // Advances the recurrence by one step. x is [B, N, input_dim]; slots are
+  // the per-sample slot-of-day ids of this step. The previous step's slots
+  // come from the state (PrevSlots of `slots` on the very first step,
+  // matching Forward's t == 0 handling).
+  void EncoderStep(const ag::Variable& x, const std::vector<int64_t>& slots,
+                   TGCRNState* state);
+  // Rolls the decoder (or the direct head) out of `state`, producing the
+  // [B, Q, N, output_dim] forecast. y_slots rows are the per-sample slot
+  // ids of the Q future steps. Mutates state->hidden/cached_adj — pass a
+  // copy to keep the encoder state. `teacher_values` ([B, Q, N, d],
+  // scaled) enables scheduled sampling and is only consulted while
+  // training; inference callers pass nullptr.
+  ag::Variable DecoderForecast(
+      TGCRNState* state, const std::vector<std::vector<int64_t>>& y_slots,
+      const Tensor* teacher_values = nullptr);
   ag::Variable AuxiliaryLoss(const data::Batch& batch, Rng* rng) override;
   float auxiliary_weight() const override {
     return (config_.use_tdl && UsesTime()) ? config_.lambda : 0.0f;

@@ -1,0 +1,380 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace tgcrn {
+namespace serve {
+namespace {
+
+// A connection that streams an unbounded line is broken or hostile;
+// 32 MiB comfortably holds any observe payload the model could accept.
+constexpr size_t kMaxLineBytes = 32ull << 20;
+
+obs::Json ErrorLine(const std::string& op, const std::string& message) {
+  obs::Json out = obs::Json::Object();
+  out.Set("ok", obs::Json::Bool(false));
+  if (!op.empty()) out.Set("op", obs::Json::Str(op));
+  out.Set("error", obs::Json::Str(message));
+  return out;
+}
+
+int64_t TensorAllocations() {
+  return obs::Registry::Global().GetCounter("tensor.allocations")->Value();
+}
+
+}  // namespace
+
+Server::Server(InferenceSession* session, int port)
+    : session_(session), requested_port_(port) {}
+
+Server::~Server() {
+  for (size_t i = 0; i < conns_.size(); ++i) CloseConnection(i);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool Server::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(requested_port_));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    return false;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  alloc_marker_ = TensorAllocations();
+  start_time_ = std::chrono::steady_clock::now();
+  return true;
+}
+
+void Server::AcceptNew() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    Connection conn;
+    conn.fd = fd;
+    // Reuse a closed slot so conns_ stays dense-ish under churn.
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i].fd < 0) {
+        conns_[i] = std::move(conn);
+        return;
+      }
+    }
+    conns_.push_back(std::move(conn));
+    return;
+  }
+}
+
+void Server::ReadConnection(size_t index) {
+  Connection& conn = conns_[index];
+  char buf[4096];
+  const ssize_t got = ::recv(conn.fd, buf, sizeof(buf), 0);
+  if (got > 0) {
+    conn.in.append(buf, static_cast<size_t>(got));
+    if (conn.in.size() > kMaxLineBytes) CloseConnection(index);
+  } else if (got == 0) {
+    conn.eof = true;
+  } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+    CloseConnection(index);
+  }
+}
+
+void Server::ParseLines(size_t index, std::vector<Request>* requests) {
+  Connection& conn = conns_[index];
+  size_t start = 0;
+  for (;;) {
+    const size_t newline = conn.in.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string line = conn.in.substr(start, newline - start);
+    start = newline + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+
+    Request request;
+    request.conn = index;
+    obs::Json body;
+    std::string parse_error;
+    if (!obs::Json::Parse(line, &body, &parse_error) || !body.is_object()) {
+      request.error = "malformed JSON: " + parse_error;
+      requests->push_back(std::move(request));
+      continue;
+    }
+    request.op = body.GetString("op");
+    request.entity = body.GetString("entity");
+    request.slot = body.GetInt("slot");
+    if (request.op == "observe") {
+      const obs::Json& values = body["values"];
+      if (!values.is_array() || values.size() == 0) {
+        request.error = "observe needs a non-empty values array";
+      } else if (values.at(0).is_array()) {
+        // Nested [N][d] rows (the documented form).
+        for (size_t row = 0; row < values.size(); ++row) {
+          const obs::Json& cols = values.at(row);
+          for (size_t col = 0; col < cols.size(); ++col) {
+            request.values.push_back(
+                static_cast<float>(cols.at(col).AsDouble()));
+          }
+        }
+      } else {
+        // Flat [N*d] also accepted.
+        for (size_t i = 0; i < values.size(); ++i) {
+          request.values.push_back(
+              static_cast<float>(values.at(i).AsDouble()));
+        }
+      }
+    }
+    request.valid = request.error.empty();
+    requests->push_back(std::move(request));
+  }
+  conn.in.erase(0, start);
+}
+
+void Server::Respond(size_t conn, const std::string& line) {
+  const int fd = conns_[conn].fd;
+  if (fd < 0) return;
+  std::string payload = line;
+  payload.push_back('\n');
+  size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t wrote = ::send(fd, payload.data() + sent,
+                                 payload.size() - sent, MSG_NOSIGNAL);
+    if (wrote <= 0) {
+      if (wrote < 0 && errno == EINTR) continue;
+      CloseConnection(conn);
+      return;
+    }
+    sent += static_cast<size_t>(wrote);
+  }
+}
+
+void Server::CloseConnection(size_t index) {
+  Connection& conn = conns_[index];
+  if (conn.fd >= 0) ::close(conn.fd);
+  conn.fd = -1;
+  conn.in.clear();
+  conn.eof = false;
+}
+
+std::string Server::StatsLine() {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  const obs::HistogramSnapshot lat =
+      obs::Registry::Global().GetHistogram("serve.request_us")->Snapshot();
+  const int64_t allocs = TensorAllocations();
+  const double qps =
+      uptime > 0.0 ? static_cast<double>(session_->requests()) / uptime : 0.0;
+  obs::Registry::Global().GetGauge("serve.qps")->Set(qps);
+
+  obs::Json out = obs::Json::Object();
+  out.Set("ok", obs::Json::Bool(true));
+  out.Set("op", obs::Json::Str("stats"));
+  out.Set("entities", obs::Json::Int(session_->EntityCount()));
+  out.Set("requests", obs::Json::Int(session_->requests()));
+  out.Set("p50_us", obs::Json::Int(lat.ApproxQuantile(0.5)));
+  out.Set("p99_us", obs::Json::Int(lat.ApproxQuantile(0.99)));
+  out.Set("mean_us", obs::Json::Number(lat.Mean()));
+  out.Set("qps", obs::Json::Number(qps));
+  out.Set("uptime_s", obs::Json::Number(uptime));
+  // Tensor heap allocations since the previous stats op — the wire-level
+  // view of the zero-alloc steady state (0 once every client entity is
+  // warm and shapes have stabilized; asserted by the CI serve-smoke job).
+  out.Set("tensor_allocations_delta", obs::Json::Int(allocs - alloc_marker_));
+  alloc_marker_ = allocs;
+  return out.Dump();
+}
+
+void Server::Dispatch(std::vector<Request>* requests) {
+  const core::TGCRNConfig& mc = session_->model_config();
+  size_t i = 0;
+  while (i < requests->size()) {
+    Request& request = (*requests)[i];
+    if (!request.valid) {
+      Respond(request.conn, ErrorLine(request.op, request.error).Dump());
+      ++i;
+      continue;
+    }
+    if (request.op == "observe") {
+      // Batch the maximal run of valid observes; the session chunks it
+      // into kernel waves and keeps per-entity ordering.
+      size_t end = i;
+      std::vector<Observation> batch;
+      while (end < requests->size() && (*requests)[end].valid &&
+             (*requests)[end].op == "observe") {
+        Request& r = (*requests)[end];
+        if (r.entity.empty() ||
+            static_cast<int64_t>(r.values.size()) !=
+                mc.num_nodes * mc.input_dim ||
+            r.slot < 0 || r.slot >= mc.steps_per_day) {
+          break;
+        }
+        Observation ob;
+        ob.entity = r.entity;
+        ob.slot = r.slot;
+        ob.values = std::move(r.values);
+        batch.push_back(std::move(ob));
+        ++end;
+      }
+      if (batch.empty()) {
+        Respond(request.conn,
+                ErrorLine("observe",
+                          "observe needs entity, slot in [0, steps_per_day) "
+                          "and N*d values")
+                    .Dump());
+        ++i;
+        continue;
+      }
+      const InferenceSession::ObserveResult result =
+          session_->Observe(batch);
+      for (size_t k = 0; k < batch.size(); ++k) {
+        obs::Json out = obs::Json::Object();
+        out.Set("ok", obs::Json::Bool(true));
+        out.Set("op", obs::Json::Str("observe"));
+        out.Set("entity", obs::Json::Str(batch[k].entity));
+        out.Set("steps", obs::Json::Int(result.steps[k]));
+        Respond((*requests)[i + k].conn, out.Dump());
+      }
+      i = end;
+    } else if (request.op == "forecast") {
+      // Batch the run, answering cold/unknown entities with errors and
+      // the warm remainder from one batched Forecast call.
+      size_t end = i;
+      while (end < requests->size() && (*requests)[end].valid &&
+             (*requests)[end].op == "forecast") {
+        ++end;
+      }
+      std::vector<size_t> warm;
+      for (size_t k = i; k < end; ++k) {
+        if (session_->StepsFor((*requests)[k].entity) > 0) warm.push_back(k);
+      }
+      Tensor forecasts;
+      std::vector<int64_t> steps;
+      if (!warm.empty()) {
+        std::vector<std::string> names;
+        names.reserve(warm.size());
+        for (size_t k : warm) names.push_back((*requests)[k].entity);
+        session_->Forecast(names, &forecasts, &steps);
+      }
+      size_t warm_index = 0;
+      for (size_t k = i; k < end; ++k) {
+        Request& r = (*requests)[k];
+        if (warm_index < warm.size() && warm[warm_index] == k) {
+          obs::Json grid = obs::Json::Array();
+          const float* row = forecasts.data() +
+                             static_cast<int64_t>(warm_index) * mc.horizon *
+                                 mc.num_nodes * mc.output_dim;
+          for (int64_t q = 0; q < mc.horizon; ++q) {
+            obs::Json nodes = obs::Json::Array();
+            for (int64_t node = 0; node < mc.num_nodes; ++node) {
+              obs::Json feats = obs::Json::Array();
+              for (int64_t f = 0; f < mc.output_dim; ++f) {
+                feats.Append(obs::Json::Number(
+                    row[(q * mc.num_nodes + node) * mc.output_dim + f]));
+              }
+              nodes.Append(std::move(feats));
+            }
+            grid.Append(std::move(nodes));
+          }
+          obs::Json out = obs::Json::Object();
+          out.Set("ok", obs::Json::Bool(true));
+          out.Set("op", obs::Json::Str("forecast"));
+          out.Set("entity", obs::Json::Str(r.entity));
+          out.Set("steps", obs::Json::Int(steps[warm_index]));
+          out.Set("forecast", std::move(grid));
+          Respond(r.conn, out.Dump());
+          ++warm_index;
+        } else {
+          Respond(r.conn,
+                  ErrorLine("forecast", "entity " + r.entity +
+                                            " has no observations (send "
+                                            "observe first)")
+                      .Dump());
+        }
+      }
+      i = end;
+    } else if (request.op == "evict") {
+      const bool existed = session_->Evict(request.entity);
+      obs::Json out = obs::Json::Object();
+      out.Set("ok", obs::Json::Bool(true));
+      out.Set("op", obs::Json::Str("evict"));
+      out.Set("entity", obs::Json::Str(request.entity));
+      out.Set("existed", obs::Json::Bool(existed));
+      Respond(request.conn, out.Dump());
+      ++i;
+    } else if (request.op == "stats") {
+      Respond(request.conn, StatsLine());
+      ++i;
+    } else if (request.op == "shutdown") {
+      obs::Json out = obs::Json::Object();
+      out.Set("ok", obs::Json::Bool(true));
+      out.Set("op", obs::Json::Str("shutdown"));
+      Respond(request.conn, out.Dump());
+      shutdown_ = true;
+      return;  // drop anything queued after the shutdown
+    } else {
+      Respond(request.conn,
+              ErrorLine(request.op,
+                        "unknown op (observe|forecast|evict|stats|shutdown)")
+                  .Dump());
+      ++i;
+    }
+  }
+}
+
+void Server::Run() {
+  while (!shutdown_) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    std::vector<size_t> fd_conn;  // fds[1 + j] belongs to conns_[fd_conn[j]]
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i].fd < 0) continue;
+      fds.push_back({conns_[i].fd, POLLIN, 0});
+      fd_conn.push_back(i);
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 200 /*ms*/);
+    if (ready <= 0) continue;
+
+    if (fds[0].revents & POLLIN) AcceptNew();
+    std::vector<Request> requests;
+    for (size_t j = 0; j < fd_conn.size(); ++j) {
+      const size_t index = fd_conn[j];
+      if (fds[1 + j].revents & (POLLIN | POLLHUP | POLLERR)) {
+        ReadConnection(index);
+        if (conns_[index].fd >= 0) ParseLines(index, &requests);
+      }
+    }
+    Dispatch(&requests);
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i].fd >= 0 && conns_[i].eof) CloseConnection(i);
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace tgcrn

@@ -1,0 +1,85 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Newline-delimited-JSON forecast server over TCP (the tgcrn_serve tool).
+// One request per line, one JSON response line per request, in request
+// order per connection (protocol spec: docs/SERVING.md "Line protocol").
+//
+// The server is a single-threaded poll() loop: readable sockets are
+// drained, complete lines are parsed, and the round's requests are
+// handed to the InferenceSession in arrival order — consecutive runs of
+// the same op form one batched call, which is where micro-batching
+// happens (the session splits runs into kernel waves of at most
+// TGCRN_SERVE_BATCH_MAX). Single-threading keeps the zero-alloc steady
+// state trivially sound (one wave in flight) while the batched kernels
+// still use the global thread pool for intra-wave parallelism.
+#ifndef TGCRN_SERVE_SERVER_H_
+#define TGCRN_SERVE_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/session.h"
+
+namespace tgcrn {
+namespace serve {
+
+class Server {
+ public:
+  // `session` is borrowed and must outlive the server. `port` 0 binds an
+  // ephemeral port (reported by port() after Start) — the test/CI hook.
+  Server(InferenceSession* session, int port);
+  ~Server();
+
+  // Binds and listens on 127.0.0.1. False (with *error filled) on any
+  // socket failure.
+  bool Start(std::string* error);
+  int port() const { return port_; }
+
+  // Serves until a {"op":"shutdown"} request arrives. Blocks.
+  void Run();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;   // unparsed bytes (partial trailing line)
+    bool eof = false;
+  };
+  struct Request {
+    size_t conn = 0;   // index into conns_
+    bool valid = false;
+    std::string error;
+    std::string op;
+    std::string entity;
+    int64_t slot = 0;
+    std::vector<float> values;  // observe payload, flattened [N*d]
+  };
+
+  void AcceptNew();
+  void ReadConnection(size_t index);
+  // Splits complete lines off conns_[index].in into parsed requests.
+  void ParseLines(size_t index, std::vector<Request>* requests);
+  // Executes a round's requests in order, batching same-op runs, and
+  // queues one response line per request.
+  void Dispatch(std::vector<Request>* requests);
+  void Respond(size_t conn, const std::string& line);
+  void CloseConnection(size_t index);
+  std::string StatsLine();
+
+  InferenceSession* session_;
+  int requested_port_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  bool shutdown_ = false;
+  std::vector<Connection> conns_;
+  int64_t alloc_marker_ = 0;  // tensor.allocations at the last stats op
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace serve
+}  // namespace tgcrn
+
+#endif  // TGCRN_SERVE_SERVER_H_

@@ -1,0 +1,328 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "serve/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_set>
+
+#include "autograd/variable.h"
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "tensor/buffer_pool.h"
+
+namespace tgcrn {
+namespace serve {
+namespace {
+
+// Serve metric handles (names documented in docs/SERVING.md).
+struct ServeMetrics {
+  obs::Counter* requests;     // observations + forecast rows served
+  obs::Counter* evictions;    // LRU evictions from the entity cache
+  obs::Gauge* entities;       // current entity cache population
+  obs::Histogram* request_us;  // per-request latency (wave time, µs)
+  obs::Histogram* batch_size;  // active rows per wave
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics metrics{
+      obs::Registry::Global().GetCounter("serve.requests"),
+      obs::Registry::Global().GetCounter("serve.evictions"),
+      obs::Registry::Global().GetGauge("serve.entities"),
+      obs::Registry::Global().GetHistogram("serve.request_us"),
+      obs::Registry::Global().GetHistogram("serve.batch_size"),
+  };
+  return metrics;
+}
+
+int64_t EnvInt(const char* value, int64_t fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+}  // namespace
+
+SessionConfig SessionConfig::FromEnv() {
+  SessionConfig config;
+  config.batch_max =
+      EnvInt(std::getenv("TGCRN_SERVE_BATCH_MAX"), config.batch_max);
+  const char* pad = std::getenv("TGCRN_SERVE_PAD");
+  if (pad != nullptr && std::string(pad) == "0") config.pad_batches = false;
+  config.max_entities =
+      EnvInt(std::getenv("TGCRN_SERVE_MAX_ENTITIES"), config.max_entities);
+  config.pool_min_elements =
+      EnvInt(std::getenv("TGCRN_SERVE_POOL_MIN"), config.pool_min_elements);
+  return config;
+}
+
+InferenceSession::InferenceSession(core::TGCRN* model,
+                                   data::StandardScaler scaler,
+                                   SessionConfig config)
+    : model_(model), scaler_(std::move(scaler)), config_(config) {
+  TGCRN_CHECK(model_ != nullptr);
+  TGCRN_CHECK(config_.batch_max > 0);
+  TGCRN_CHECK(config_.max_entities > 0);
+  model_->SetTraining(false);
+  model_->SetTeacherForcingProbability(0.0f);
+  // The zero-alloc steady state needs even sub-256-element temporaries
+  // (TagSL trend factors, small rows) recycled; restore the training
+  // default when the session goes away.
+  TensorBufferPool& pool = TensorBufferPool::Global();
+  prior_pool_floor_ = pool.min_pooled_elements();
+  pool.SetMinPooledElements(config_.pool_min_elements);
+}
+
+InferenceSession::~InferenceSession() {
+  TensorBufferPool::Global().SetMinPooledElements(prior_pool_floor_);
+}
+
+int64_t InferenceSession::WaveWidth(int64_t active) const {
+  if (!config_.pad_batches) return active;
+  int64_t width = 1;
+  while (width < active) width <<= 1;
+  return width;
+}
+
+InferenceSession::EntityState& InferenceSession::AdmitEntity(
+    const std::string& name, int64_t* evicted) {
+  auto it = entities_.find(name);
+  if (it != entities_.end()) return it->second;
+  if (static_cast<int64_t>(entities_.size()) >= config_.max_entities) {
+    // LRU scan. O(entities) — the cache is bounded and admission is the
+    // rare path; a heap would only complicate the steady state.
+    auto lru = entities_.begin();
+    for (auto cand = entities_.begin(); cand != entities_.end(); ++cand) {
+      if (cand->second.tick < lru->second.tick) lru = cand;
+    }
+    entities_.erase(lru);
+    ++*evicted;
+    Metrics().evictions->Add(1);
+  }
+  const core::TGCRNConfig& mc = model_->config();
+  EntityState& state = entities_[name];
+  state.hidden.reserve(mc.num_layers);
+  for (int64_t l = 0; l < mc.num_layers; ++l) {
+    state.hidden.push_back(Tensor::Zeros({mc.num_nodes, mc.hidden_dim}));
+  }
+  Metrics().entities->Set(static_cast<double>(entities_.size()));
+  return state;
+}
+
+void InferenceSession::ObserveWave(
+    const std::vector<Observation>& observations,
+    const std::vector<size_t>& wave) {
+  const auto start = std::chrono::steady_clock::now();
+  const core::TGCRNConfig& mc = model_->config();
+  const int64_t n = mc.num_nodes;
+  const int64_t d = mc.input_dim;
+  const int64_t layers = mc.num_layers;
+  const int64_t active = static_cast<int64_t>(wave.size());
+  const int64_t b = WaveWidth(active);
+
+  // Stage raw values into a pooled [B, N, d] tensor (memcpy, never
+  // Tensor::FromVector — that path counts an external allocation).
+  Tensor x_raw({b, n, d});
+  std::vector<int64_t> slots(static_cast<size_t>(b), 0);
+  std::vector<int64_t> prev_slots(static_cast<size_t>(b), 0);
+  for (int64_t i = 0; i < active; ++i) {
+    const Observation& ob = observations[wave[i]];
+    TGCRN_CHECK_EQ(static_cast<int64_t>(ob.values.size()), n * d)
+        << "entity " << ob.entity;
+    TGCRN_CHECK(ob.slot >= 0 && ob.slot < mc.steps_per_day)
+        << "slot " << ob.slot << " outside [0, " << mc.steps_per_day << ")";
+    std::memcpy(x_raw.mutable_data() + i * n * d, ob.values.data(),
+                static_cast<size_t>(n * d) * sizeof(float));
+    slots[i] = ob.slot;
+    const EntityState& entity = entities_.at(ob.entity);
+    // Fresh entities get the same synthetic previous slot Forward's
+    // t == 0 step derives (PrevSlots), keeping the two paths identical.
+    prev_slots[i] = entity.steps == 0
+                        ? (ob.slot + mc.steps_per_day - 1) % mc.steps_per_day
+                        : entity.last_slot;
+  }
+
+  // Reassemble the batched recurrent state from the per-entity cache.
+  core::TGCRNState state;
+  state.hidden.reserve(layers);
+  for (int64_t l = 0; l < layers; ++l) {
+    Tensor h({b, n, mc.hidden_dim});
+    for (int64_t i = 0; i < active; ++i) {
+      const EntityState& entity = entities_.at(observations[wave[i]].entity);
+      std::memcpy(h.mutable_data() + i * n * mc.hidden_dim,
+                  entity.hidden[l].data(),
+                  static_cast<size_t>(n * mc.hidden_dim) * sizeof(float));
+    }
+    state.hidden.emplace_back(std::move(h));
+  }
+  state.cached_adj.resize(layers);
+  state.last_slots = prev_slots;
+  // steps stays 0: 0 % refresh == 0, so the wave always rebuilds its
+  // graphs — refresh-interval amortization is not sound across waves of
+  // differently-composed entities (docs/SERVING.md "Graph refresh").
+  {
+    ag::NoGradGuard no_grad;
+    model_->EncoderStep(ag::Variable(scaler_.Transform(x_raw)), slots,
+                        &state);
+  }
+
+  // Scatter the advanced hidden rows back into the entity cache.
+  for (int64_t l = 0; l < layers; ++l) {
+    const float* src = state.hidden[l].value().data();
+    for (int64_t i = 0; i < active; ++i) {
+      EntityState& entity = entities_[observations[wave[i]].entity];
+      std::memcpy(entity.hidden[l].mutable_data(),
+                  src + i * n * mc.hidden_dim,
+                  static_cast<size_t>(n * mc.hidden_dim) * sizeof(float));
+    }
+  }
+  for (int64_t i = 0; i < active; ++i) {
+    EntityState& entity = entities_[observations[wave[i]].entity];
+    entity.last_slot = slots[i];
+    ++entity.steps;
+    entity.tick = ++tick_;
+  }
+
+  const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  ServeMetrics& metrics = Metrics();
+  metrics.batch_size->Observe(active);
+  for (int64_t i = 0; i < active; ++i) metrics.request_us->Observe(us);
+  metrics.requests->Add(active);
+  requests_ += active;
+}
+
+InferenceSession::ObserveResult InferenceSession::Observe(
+    const std::vector<Observation>& observations) {
+  ObserveResult result;
+  result.steps.resize(observations.size(), 0);
+  for (const Observation& ob : observations) {
+    AdmitEntity(ob.entity, &result.evicted);
+  }
+  // Waves of distinct entities: a repeated entity must see its earlier
+  // observation applied first, so it starts the next wave.
+  std::vector<size_t> wave;
+  std::unordered_set<std::string> in_wave;
+  auto flush = [&]() {
+    if (wave.empty()) return;
+    ObserveWave(observations, wave);
+    for (size_t index : wave) {
+      result.steps[index] = entities_.at(observations[index].entity).steps;
+    }
+    wave.clear();
+    in_wave.clear();
+  };
+  for (size_t i = 0; i < observations.size(); ++i) {
+    if (static_cast<int64_t>(wave.size()) >= config_.batch_max ||
+        in_wave.count(observations[i].entity) > 0) {
+      flush();
+    }
+    wave.push_back(i);
+    in_wave.insert(observations[i].entity);
+  }
+  flush();
+  return result;
+}
+
+void InferenceSession::ForecastWave(const std::vector<std::string>& entities,
+                                    size_t begin, size_t end, Tensor* out) {
+  const auto start = std::chrono::steady_clock::now();
+  const core::TGCRNConfig& mc = model_->config();
+  const int64_t n = mc.num_nodes;
+  const int64_t q = mc.horizon;
+  const int64_t layers = mc.num_layers;
+  const int64_t active = static_cast<int64_t>(end - begin);
+  const int64_t b = WaveWidth(active);
+
+  core::TGCRNState state;
+  state.hidden.reserve(layers);
+  for (int64_t l = 0; l < layers; ++l) {
+    Tensor h({b, n, mc.hidden_dim});
+    for (int64_t i = 0; i < active; ++i) {
+      const EntityState& entity = entities_.at(entities[begin + i]);
+      std::memcpy(h.mutable_data() + i * n * mc.hidden_dim,
+                  entity.hidden[l].data(),
+                  static_cast<size_t>(n * mc.hidden_dim) * sizeof(float));
+    }
+    state.hidden.emplace_back(std::move(h));
+  }
+  state.cached_adj.resize(layers);
+  state.last_slots.assign(static_cast<size_t>(b), 0);
+  std::vector<std::vector<int64_t>> y_slots(
+      static_cast<size_t>(b), std::vector<int64_t>(static_cast<size_t>(q), 0));
+  for (int64_t i = 0; i < active; ++i) {
+    const EntityState& entity = entities_.at(entities[begin + i]);
+    state.last_slots[i] = entity.last_slot;
+    for (int64_t step = 0; step < q; ++step) {
+      y_slots[i][step] =
+          (entity.last_slot + 1 + step) % mc.steps_per_day;
+    }
+    entities_[entities[begin + i]].tick = ++tick_;
+  }
+
+  Tensor raw;
+  {
+    ag::NoGradGuard no_grad;
+    // The decoder always rebuilds its graph at q == 0, so decoding from a
+    // reassembled state is exact (see DecoderForecast).
+    ag::Variable pred = model_->DecoderForecast(&state, y_slots, nullptr);
+    raw = scaler_.InverseTransform(pred.value());
+  }
+  const int64_t row = q * n * mc.output_dim;
+  for (int64_t i = 0; i < active; ++i) {
+    std::memcpy(out->mutable_data() + (begin + i) * row,
+                raw.data() + i * row,
+                static_cast<size_t>(row) * sizeof(float));
+  }
+
+  const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  ServeMetrics& metrics = Metrics();
+  metrics.batch_size->Observe(active);
+  for (int64_t i = 0; i < active; ++i) metrics.request_us->Observe(us);
+  metrics.requests->Add(active);
+  requests_ += active;
+}
+
+void InferenceSession::Forecast(const std::vector<std::string>& entities,
+                                Tensor* out, std::vector<int64_t>* steps) {
+  const core::TGCRNConfig& mc = model_->config();
+  steps->resize(entities.size());
+  for (size_t i = 0; i < entities.size(); ++i) {
+    const int64_t entity_steps = StepsFor(entities[i]);
+    TGCRN_CHECK(entity_steps > 0)
+        << "entity " << entities[i] << " has no observations";
+    (*steps)[i] = entity_steps;
+  }
+  *out = Tensor::ForOverwrite({static_cast<int64_t>(entities.size()),
+                               mc.horizon, mc.num_nodes, mc.output_dim});
+  for (size_t begin = 0; begin < entities.size();
+       begin += static_cast<size_t>(config_.batch_max)) {
+    const size_t end = std::min(
+        entities.size(), begin + static_cast<size_t>(config_.batch_max));
+    ForecastWave(entities, begin, end, out);
+  }
+}
+
+bool InferenceSession::Evict(const std::string& entity) {
+  const bool erased = entities_.erase(entity) > 0;
+  if (erased) {
+    Metrics().entities->Set(static_cast<double>(entities_.size()));
+  }
+  return erased;
+}
+
+int64_t InferenceSession::EntityCount() const {
+  return static_cast<int64_t>(entities_.size());
+}
+
+int64_t InferenceSession::StepsFor(const std::string& entity) const {
+  auto it = entities_.find(entity);
+  return it == entities_.end() ? -1 : it->second.steps;
+}
+
+}  // namespace serve
+}  // namespace tgcrn

@@ -7,8 +7,13 @@
 //
 // Design:
 //  * Buffers are std::vector<float> heap objects bucketed by capacity
-//    rounded up to a power of two (minimum 256 elements; smaller requests
-//    bypass the pool — the malloc fast path already wins there).
+//    rounded up to a power of two. Requests below the pooled minimum
+//    (default 256 elements) bypass the pool — for training workloads the
+//    malloc fast path already wins there. Latency-critical inference
+//    (src/serve) lowers the floor with SetMinPooledElements so that even
+//    the sub-256-element temporaries of a forecast step (per-sample trend
+//    factors, small batch rows) are recycled and the steady state makes
+//    zero heap allocations per request.
 //  * Acquire returns storage as shared_ptr whose deleter routes the buffer
 //    back to the pool instead of freeing it, so Tensor's storage-sharing
 //    semantics are unchanged.
@@ -58,6 +63,16 @@ class TensorBufferPool {
   // Disabling drops every cached buffer.
   void SetEnabled(bool enabled);
   bool enabled() const;
+
+  // Smallest request (in elements) served from the pool; anything below
+  // bypasses it and heap-allocates. Rounded up to a power of two and
+  // clamped to [1, 2^30]. Default 256 — training keeps the malloc fast
+  // path for tiny scalars; the serve session lowers the floor to 1 so
+  // every per-request temporary is pool-served (the zero-alloc steady
+  // state contract, docs/SERVING.md). Raising the floor frees cached
+  // buffers that fall below it.
+  void SetMinPooledElements(int64_t numel);
+  int64_t min_pooled_elements() const;
   // Re-reads TGCRN_TENSOR_POOL from the environment (test hook for the
   // opt-out path; the env var is otherwise read once at startup).
   void ReloadEnabledFromEnv();

@@ -1,0 +1,214 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Wire-level tests of the NDJSON forecast server (src/serve/server.h):
+// schema of every response type, per-connection ordering, error paths,
+// and clean shutdown — the same exchanges the CI serve-smoke job drives
+// against the tgcrn_serve binary (protocol spec: docs/SERVING.md).
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/tgcrn.h"
+#include "datagen/metro_sim.h"
+#include "obs/json.h"
+#include "serve/session.h"
+
+namespace tgcrn {
+namespace {
+
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  obs::Json Call(const std::string& line) {
+    std::string payload = line + "\n";
+    EXPECT_EQ(::send(fd_, payload.data(), payload.size(), 0),
+              static_cast<ssize_t>(payload.size()));
+    return ReadLine();
+  }
+
+  obs::Json ReadLine() {
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (got <= 0) break;
+      buffer_.append(chunk, static_cast<size_t>(got));
+    }
+    const size_t newline = buffer_.find('\n');
+    EXPECT_NE(newline, std::string::npos) << "no response line";
+    const std::string line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    obs::Json parsed;
+    std::string error;
+    EXPECT_TRUE(obs::Json::Parse(line, &parsed, &error)) << error;
+    return parsed;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+class ServeServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::MetroSimConfig sim_config;
+    sim_config.num_stations = 4;
+    sim_config.num_days = 7;
+    sim_config.seed = 13;
+    sim_config.keep_od_ground_truth = false;
+    auto sim = datagen::SimulateMetro(sim_config);
+    raw_ = std::move(sim.data);
+    scaler_.Fit(raw_.values, raw_.num_steps() / 2);
+
+    core::TGCRNConfig config;
+    config.num_nodes = raw_.num_nodes();
+    config.input_dim = raw_.num_features();
+    config.output_dim = raw_.num_features();
+    config.horizon = 2;
+    config.hidden_dim = 8;
+    config.num_layers = 1;
+    config.node_embed_dim = 4;
+    config.time_embed_dim = 4;
+    config.steps_per_day = raw_.steps_per_day;
+    rng_ = std::make_unique<Rng>(3);
+    model_ = std::make_unique<core::TGCRN>(config, rng_.get());
+    session_ = std::make_unique<serve::InferenceSession>(
+        model_.get(), scaler_, serve::SessionConfig());
+    server_ = std::make_unique<serve::Server>(session_.get(), 0);
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+    thread_ = std::thread([this] { server_->Run(); });
+  }
+
+  void TearDown() override {
+    if (thread_.joinable()) {
+      Client quit(server_->port());
+      quit.Call(R"({"op":"shutdown"})");
+      thread_.join();
+    }
+  }
+
+  std::string ObserveLine(const std::string& entity, int64_t t) const {
+    const int64_t n = raw_.num_nodes();
+    const int64_t d = raw_.num_features();
+    std::string values = "[";
+    for (int64_t node = 0; node < n; ++node) {
+      values += node == 0 ? "[" : ",[";
+      for (int64_t f = 0; f < d; ++f) {
+        if (f > 0) values += ",";
+        values += std::to_string(raw_.values.data()[(t * n + node) * d + f]);
+      }
+      values += "]";
+    }
+    values += "]";
+    return R"({"op":"observe","entity":")" + entity +
+           R"(","slot":)" + std::to_string(raw_.slot_of_day[t]) +
+           R"(,"values":)" + values + "}";
+  }
+
+  data::SpatioTemporalData raw_;
+  data::StandardScaler scaler_;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<core::TGCRN> model_;
+  std::unique_ptr<serve::InferenceSession> session_;
+  std::unique_ptr<serve::Server> server_;
+  std::thread thread_;
+};
+
+TEST_F(ServeServerFixture, ObserveThenForecastSchema) {
+  Client client(server_->port());
+  for (int64_t t = 0; t < 3; ++t) {
+    const obs::Json reply = client.Call(ObserveLine("hz", t));
+    EXPECT_TRUE(reply["ok"].AsBool()) << reply.Dump();
+    EXPECT_EQ(reply.GetString("op"), "observe");
+    EXPECT_EQ(reply.GetString("entity"), "hz");
+    EXPECT_EQ(reply.GetInt("steps"), t + 1);
+  }
+
+  const obs::Json forecast =
+      client.Call(R"({"op":"forecast","entity":"hz"})");
+  EXPECT_TRUE(forecast["ok"].AsBool()) << forecast.Dump();
+  EXPECT_EQ(forecast.GetString("op"), "forecast");
+  EXPECT_EQ(forecast.GetInt("steps"), 3);
+  const obs::Json& grid = forecast["forecast"];
+  ASSERT_TRUE(grid.is_array());
+  ASSERT_EQ(grid.size(), 2u);  // horizon
+  ASSERT_EQ(grid.at(0).size(), static_cast<size_t>(raw_.num_nodes()));
+  ASSERT_EQ(grid.at(0).at(0).size(),
+            static_cast<size_t>(raw_.num_features()));
+  EXPECT_TRUE(grid.at(0).at(0).at(0).is_number());
+}
+
+TEST_F(ServeServerFixture, StatsEvictAndErrorSchema) {
+  Client client(server_->port());
+  client.Call(ObserveLine("hz", 0));
+
+  const obs::Json stats = client.Call(R"({"op":"stats"})");
+  EXPECT_TRUE(stats["ok"].AsBool());
+  EXPECT_EQ(stats.GetInt("entities"), 1);
+  EXPECT_GE(stats.GetInt("requests"), 1);
+  EXPECT_TRUE(stats.Has("p50_us"));
+  EXPECT_TRUE(stats.Has("p99_us"));
+  EXPECT_TRUE(stats.Has("mean_us"));
+  EXPECT_TRUE(stats.Has("qps"));
+  EXPECT_TRUE(stats.Has("tensor_allocations_delta"));
+
+  // Forecasting an entity with no observations is an error, not a crash.
+  const obs::Json cold = client.Call(R"({"op":"forecast","entity":"??"})");
+  EXPECT_FALSE(cold["ok"].AsBool());
+  EXPECT_NE(cold.GetString("error"), "");
+
+  const obs::Json evict = client.Call(R"({"op":"evict","entity":"hz"})");
+  EXPECT_TRUE(evict["ok"].AsBool());
+  EXPECT_TRUE(evict["existed"].AsBool());
+  const obs::Json again = client.Call(R"({"op":"evict","entity":"hz"})");
+  EXPECT_FALSE(again["existed"].AsBool());
+
+  const obs::Json bad_op = client.Call(R"({"op":"what"})");
+  EXPECT_FALSE(bad_op["ok"].AsBool());
+  const obs::Json malformed = client.Call("{not json");
+  EXPECT_FALSE(malformed["ok"].AsBool());
+}
+
+TEST_F(ServeServerFixture, PipelinedRequestsAnswerInOrder) {
+  Client client(server_->port());
+  // Two observes and a forecast written as one burst; responses must come
+  // back in request order with monotonically increasing step counts.
+  std::string burst = ObserveLine("a", 0) + "\n" + ObserveLine("a", 1) +
+                      "\n" + R"({"op":"forecast","entity":"a"})" + "\n";
+  const obs::Json first = client.Call(burst.substr(0, burst.size() - 1));
+  EXPECT_EQ(first.GetInt("steps"), 1);
+  const obs::Json second = client.ReadLine();
+  EXPECT_EQ(second.GetString("op"), "observe");
+  EXPECT_EQ(second.GetInt("steps"), 2);
+  const obs::Json third = client.ReadLine();
+  EXPECT_EQ(third.GetString("op"), "forecast");
+  EXPECT_TRUE(third["ok"].AsBool());
+  EXPECT_EQ(third.GetInt("steps"), 2);
+}
+
+}  // namespace
+}  // namespace tgcrn

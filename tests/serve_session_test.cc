@@ -1,0 +1,257 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Contract tests of the inference session (src/serve/session.h): a warm
+// entity's forecast is bitwise-identical to a direct Forward over the
+// same window (the model/runtime split is exact), the steady state makes
+// zero tensor heap allocations, and the entity cache warms/evicts as
+// documented in docs/SERVING.md.
+#include "serve/session.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/variable.h"
+#include "core/tgcrn.h"
+#include "datagen/metro_sim.h"
+#include "obs/metrics.h"
+#include "tensor/buffer_pool.h"
+
+namespace tgcrn {
+namespace {
+
+constexpr int64_t kInputSteps = 4;
+constexpr int64_t kHorizon = 2;
+
+class ServeSessionFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::MetroSimConfig config;
+    config.num_stations = 6;
+    config.num_days = 8;
+    config.seed = 91;
+    config.keep_od_ground_truth = false;
+    auto sim = datagen::SimulateMetro(config);
+    raw_ = new data::SpatioTemporalData(std::move(sim.data));
+    scaler_ = new data::StandardScaler();
+    scaler_->Fit(raw_->values, raw_->num_steps() * 7 / 10);
+  }
+  static void TearDownTestSuite() {
+    delete raw_;
+    delete scaler_;
+    raw_ = nullptr;
+    scaler_ = nullptr;
+  }
+
+  static core::TGCRNConfig SmallConfig() {
+    core::TGCRNConfig config;
+    config.num_nodes = raw_->num_nodes();
+    config.input_dim = raw_->num_features();
+    config.output_dim = raw_->num_features();
+    config.horizon = kHorizon;
+    config.hidden_dim = 8;
+    config.num_layers = 2;
+    config.node_embed_dim = 6;
+    config.time_embed_dim = 4;
+    config.steps_per_day = raw_->steps_per_day;
+    return config;
+  }
+
+  // Assembles the eval Batch for the raw window starting at t0, scaled
+  // the same way the serving session scales observations.
+  static data::Batch WindowBatch(int64_t t0) {
+    const int64_t n = raw_->num_nodes();
+    const int64_t d = raw_->num_features();
+    Tensor x({1, kInputSteps, n, d});
+    std::memcpy(x.mutable_data(), raw_->values.data() + t0 * n * d,
+                static_cast<size_t>(kInputSteps * n * d) * sizeof(float));
+    data::Batch batch;
+    batch.x = scaler_->Transform(x);
+    batch.x_slots.push_back(std::vector<int64_t>());
+    for (int64_t t = 0; t < kInputSteps; ++t) {
+      batch.x_slots[0].push_back(raw_->slot_of_day[t0 + t]);
+    }
+    // Future slots exactly as the session derives them from the last
+    // observed slot.
+    const int64_t last = batch.x_slots[0].back();
+    batch.y_slots.push_back(std::vector<int64_t>());
+    for (int64_t q = 0; q < kHorizon; ++q) {
+      batch.y_slots[0].push_back((last + 1 + q) % raw_->steps_per_day);
+    }
+    return batch;
+  }
+
+  static serve::Observation ObservationAt(const std::string& entity,
+                                          int64_t t) {
+    const int64_t n = raw_->num_nodes();
+    const int64_t d = raw_->num_features();
+    serve::Observation ob;
+    ob.entity = entity;
+    ob.slot = raw_->slot_of_day[t];
+    ob.values.assign(raw_->values.data() + t * n * d,
+                     raw_->values.data() + (t + 1) * n * d);
+    return ob;
+  }
+
+  // Runs both paths over the window at t0 and expects bitwise equality.
+  static void ExpectSessionMatchesForward(core::TGCRNConfig config,
+                                          int64_t t0) {
+    Rng rng(17);
+    core::TGCRN model(config, &rng);
+    model.SetTraining(false);
+
+    data::Batch batch = WindowBatch(t0);
+    Tensor direct;
+    {
+      ag::NoGradGuard no_grad;
+      direct = scaler_->InverseTransform(model.Forward(batch).value());
+    }
+
+    serve::SessionConfig session_config;
+    serve::InferenceSession session(&model, *scaler_, session_config);
+    std::vector<serve::Observation> window;
+    for (int64_t t = 0; t < kInputSteps; ++t) {
+      window.push_back(ObservationAt("hz", t0 + t));
+    }
+    const auto observed = session.Observe(window);
+    EXPECT_EQ(observed.steps.back(), kInputSteps);
+
+    Tensor served;
+    std::vector<int64_t> steps;
+    session.Forecast({"hz"}, &served, &steps);
+    ASSERT_EQ(steps[0], kInputSteps);
+
+    ASSERT_EQ(served.numel(), direct.numel());
+    EXPECT_EQ(std::memcmp(served.data(), direct.data(),
+                          static_cast<size_t>(direct.numel()) *
+                              sizeof(float)),
+              0)
+        << "serving path diverged from direct Forward";
+  }
+
+  static data::SpatioTemporalData* raw_;
+  static data::StandardScaler* scaler_;
+};
+
+data::SpatioTemporalData* ServeSessionFixture::raw_ = nullptr;
+data::StandardScaler* ServeSessionFixture::scaler_ = nullptr;
+
+TEST_F(ServeSessionFixture, ForecastMatchesDirectForwardDense) {
+  ExpectSessionMatchesForward(SmallConfig(), 10);
+}
+
+TEST_F(ServeSessionFixture, ForecastMatchesDirectForwardSparseTopK) {
+  core::TGCRNConfig config = SmallConfig();
+  config.graph_topk = 3;
+  ExpectSessionMatchesForward(config, 10);
+}
+
+TEST_F(ServeSessionFixture, ForecastMatchesDirectForwardDirectHead) {
+  core::TGCRNConfig config = SmallConfig();
+  config.use_encoder_decoder = false;
+  ExpectSessionMatchesForward(config, 20);
+}
+
+TEST_F(ServeSessionFixture, SteadyStateMakesZeroTensorAllocations) {
+  Rng rng(5);
+  core::TGCRN model(SmallConfig(), &rng);
+  serve::InferenceSession session(&model, *scaler_, serve::SessionConfig());
+
+  const std::vector<std::string> names = {"a", "b", "c", "d"};
+  auto round = [&](int64_t t) {
+    std::vector<serve::Observation> wave;
+    for (const std::string& name : names) {
+      wave.push_back(ObservationAt(name, t));
+    }
+    session.Observe(wave);
+    Tensor out;
+    std::vector<int64_t> steps;
+    session.Forecast(names, &out, &steps);
+  };
+  for (int64_t t = 0; t < 3; ++t) round(t);  // warm-up
+
+  auto* allocations =
+      obs::Registry::Global().GetCounter("tensor.allocations");
+  const int64_t before = allocations->Value();
+  for (int64_t t = 3; t < 8; ++t) round(t);
+  EXPECT_EQ(allocations->Value() - before, 0)
+      << "steady-state serving must not touch the heap for tensors";
+}
+
+TEST_F(ServeSessionFixture, SteadyStateZeroAllocationsSparseTopK) {
+  core::TGCRNConfig config = SmallConfig();
+  config.graph_topk = 3;
+  Rng rng(5);
+  core::TGCRN model(config, &rng);
+  serve::InferenceSession session(&model, *scaler_, serve::SessionConfig());
+
+  auto round = [&](int64_t t) {
+    std::vector<serve::Observation> wave = {ObservationAt("a", t),
+                                            ObservationAt("b", t)};
+    session.Observe(wave);
+    Tensor out;
+    std::vector<int64_t> steps;
+    session.Forecast({"a", "b"}, &out, &steps);
+  };
+  for (int64_t t = 0; t < 3; ++t) round(t);
+
+  auto* allocations =
+      obs::Registry::Global().GetCounter("tensor.allocations");
+  const int64_t before = allocations->Value();
+  for (int64_t t = 3; t < 8; ++t) round(t);
+  EXPECT_EQ(allocations->Value() - before, 0);
+}
+
+TEST_F(ServeSessionFixture, RepeatedEntityInOneCallAdvancesSequentially) {
+  Rng rng(6);
+  core::TGCRN model(SmallConfig(), &rng);
+  serve::InferenceSession session(&model, *scaler_, serve::SessionConfig());
+
+  std::vector<serve::Observation> wave = {ObservationAt("hz", 0),
+                                          ObservationAt("hz", 1),
+                                          ObservationAt("sh", 0)};
+  const auto result = session.Observe(wave);
+  EXPECT_EQ(result.steps[0], 1);
+  EXPECT_EQ(result.steps[1], 2);  // second observation saw the first
+  EXPECT_EQ(result.steps[2], 1);
+  EXPECT_EQ(session.StepsFor("hz"), 2);
+}
+
+TEST_F(ServeSessionFixture, LruEvictionBoundsTheEntityCache) {
+  Rng rng(7);
+  core::TGCRN model(SmallConfig(), &rng);
+  serve::SessionConfig config;
+  config.max_entities = 2;
+  serve::InferenceSession session(&model, *scaler_, config);
+
+  session.Observe({ObservationAt("old", 0)});
+  session.Observe({ObservationAt("mid", 1)});
+  session.Observe({ObservationAt("old", 2)});  // refresh "old"
+  const auto result = session.Observe({ObservationAt("new", 3)});
+  EXPECT_EQ(result.evicted, 1);
+  EXPECT_EQ(session.EntityCount(), 2);
+  EXPECT_EQ(session.StepsFor("mid"), -1);  // LRU victim
+  EXPECT_EQ(session.StepsFor("old"), 2);
+  EXPECT_EQ(session.StepsFor("new"), 1);
+
+  EXPECT_TRUE(session.Evict("new"));
+  EXPECT_FALSE(session.Evict("new"));
+  EXPECT_EQ(session.StepsFor("new"), -1);
+}
+
+TEST_F(ServeSessionFixture, PoolFloorIsRestoredWhenTheSessionEnds) {
+  TensorBufferPool& pool = TensorBufferPool::Global();
+  const int64_t before = pool.min_pooled_elements();
+  {
+    Rng rng(8);
+    core::TGCRN model(SmallConfig(), &rng);
+    serve::InferenceSession session(&model, *scaler_,
+                                    serve::SessionConfig());
+    EXPECT_EQ(pool.min_pooled_elements(), 1);
+  }
+  EXPECT_EQ(pool.min_pooled_elements(), before);
+}
+
+}  // namespace
+}  // namespace tgcrn

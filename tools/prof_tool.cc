@@ -131,8 +131,21 @@ int Usage() {
       "usage: tgcrn_prof show <profile>\n"
       "       tgcrn_prof stacks <profile>\n"
       "       tgcrn_prof diff <baseline> <candidate> [--max-regress-pct=N]\n"
-      "<profile> is a profile JSON (TGCRN_PROF=<path>, train_model --prof)\n"
-      "or a run-report JSONL whose epoch lines carry \"prof\" blocks.\n");
+      "  show    kernel roofline table (invocations, exclusive/worker\n"
+      "          seconds, GFLOP/s, FLOP/byte; IPC and cache misses when\n"
+      "          perf counters were available) plus the attribution tree\n"
+      "  stacks  collapsed flamegraph lines (feed to flamegraph.pl)\n"
+      "  diff    gates per-kernel invocation counts (and total\n"
+      "          instructions when both runs had counters) at\n"
+      "          --max-regress-pct (default 10); cycle/IPC rows are\n"
+      "          informational\n"
+      "<profile> is a profile JSON (TGCRN_PROF=<path>, train_model --prof,\n"
+      "bench --report) or a run-report JSONL whose epoch lines carry\n"
+      "\"prof\" blocks — epoch deltas are summed into one whole-run\n"
+      "profile.\n"
+      "exit codes: 0 ok, 1 regression, 2 usage or parse error\n"
+      "docs: docs/BENCHMARKS.md (reading the roofline table), docs/API.md\n"
+      "(profile JSON schema)\n");
   return 2;
 }
 

@@ -46,9 +46,21 @@ bool LoadReport(const std::string& path, tgcrn::obs::RunReport* report) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: tgcrn_report_diff <baseline.jsonl> <candidate.jsonl>"
-               " [--max-regress-pct=N] [--max-time-regress-pct=N|-1]\n");
+  std::fprintf(
+      stderr,
+      "usage: tgcrn_report_diff <baseline.jsonl> <candidate.jsonl>"
+      " [--max-regress-pct=N] [--max-time-regress-pct=N|-1]\n"
+      "  --max-regress-pct=N       allowed worsening for accuracy metrics\n"
+      "                            (best val/test MAE-RMSE-MAPE), percent of\n"
+      "                            the baseline value (default 10)\n"
+      "  --max-time-regress-pct=N  allowed worsening for timing metrics\n"
+      "                            (epoch seconds, phase.<name>_s rows);\n"
+      "                            unset inherits --max-regress-pct, -1\n"
+      "                            reports timing without gating it (noisy\n"
+      "                            clocks / shared CI runners)\n"
+      "exit codes: 0 no regression, 1 regression, 2 usage or parse error\n"
+      "docs: docs/BENCHMARKS.md (regression gating), docs/API.md (report\n"
+      "JSONL schema)\n");
   return 2;
 }
 

@@ -1,0 +1,166 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// CLI: serve forecasts from a trained checkpoint over newline-delimited
+// JSON on a TCP socket. Operator guide: docs/SERVING.md.
+//
+// Usage:
+//   tgcrn_serve <data.csv> --ckpt model.ckpt --nodes N --features D
+//       --steps-per-day S [--input-steps P] [--output-steps Q]
+//       [--hidden H] [--variant tgcrn|no-tagsl|no-tdl|no-pdf|direct]
+//       [--graph-topk K] [--port PORT] [--threads T] [--seed S]
+//       [--prof serve.prof.json]
+//
+// <data.csv> is the TRAINING dataset (or any file with the same value
+// distribution): the checkpoint stores only parameters, so the scaler is
+// re-fitted here exactly as train_model fits it — same CSV, same
+// --input-steps/--output-steps, same split fractions. The model-shape
+// flags must also match training; LoadParameters rejects shape drift.
+#include <cstdio>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "core/tgcrn.h"
+#include "data/csv_loader.h"
+#include "obs/prof.h"
+#include "serve/server.h"
+#include "serve/session.h"
+
+namespace {
+
+struct Args {
+  std::string data_path;
+  std::string ckpt_path;
+  tgcrn::data::CsvLoadOptions csv;
+  int64_t input_steps = 12;
+  int64_t output_steps = 12;
+  int64_t hidden = 16;
+  int64_t graph_topk = -1;  // -1 = TGCRN_GRAPH_TOPK env / model default
+  int port = 0;             // 0 = ephemeral (printed once listening)
+  int threads = 0;          // 0 = TGCRN_NUM_THREADS env or hw concurrency
+  uint64_t seed = 1;
+  std::string variant = "tgcrn";
+  std::string prof_path;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->data_path = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--ckpt") args->ckpt_path = value;
+    else if (flag == "--nodes") args->csv.num_nodes = std::stoll(value);
+    else if (flag == "--features") args->csv.num_features = std::stoll(value);
+    else if (flag == "--steps-per-day") {
+      args->csv.steps_per_day = std::stoll(value);
+    } else if (flag == "--input-steps") args->input_steps = std::stoll(value);
+    else if (flag == "--output-steps") {
+      args->output_steps = std::stoll(value);
+    } else if (flag == "--hidden") args->hidden = std::stoll(value);
+    else if (flag == "--graph-topk") args->graph_topk = std::stoll(value);
+    else if (flag == "--port") args->port = std::stoi(value);
+    else if (flag == "--threads") args->threads = std::stoi(value);
+    else if (flag == "--seed") args->seed = std::stoull(value);
+    else if (flag == "--variant") args->variant = value;
+    else if (flag == "--prof") args->prof_path = value;
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args->ckpt_path.empty() && args->csv.num_nodes > 0 &&
+         args->csv.num_features > 0 && args->csv.steps_per_day > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(
+        stderr,
+        "usage: %s <data.csv> --ckpt model.ckpt --nodes N --features D\n"
+        "  --steps-per-day S [--input-steps P] [--output-steps Q]\n"
+        "  [--hidden H] [--variant tgcrn|no-tagsl|no-tdl|no-pdf|direct]\n"
+        "  [--graph-topk K] [--port PORT] [--threads T] [--seed S]\n"
+        "  [--prof serve.prof.json]\n"
+        "protocol + operations guide: docs/SERVING.md\n",
+        argv[0]);
+    return 2;
+  }
+  if (args.threads > 0) tgcrn::common::SetNumThreads(args.threads);
+
+  auto loaded = tgcrn::data::LoadCsv(args.data_path, args.csv);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  tgcrn::data::ForecastDataset::Options options;
+  options.input_steps = args.input_steps;
+  options.output_steps = args.output_steps;
+  tgcrn::data::ForecastDataset dataset(std::move(loaded).ValueOrDie(),
+                                       options);
+
+  tgcrn::core::TGCRNConfig config;
+  config.num_nodes = args.csv.num_nodes;
+  config.input_dim = args.csv.num_features;
+  config.output_dim = args.csv.num_features;
+  config.horizon = args.output_steps;
+  config.hidden_dim = args.hidden;
+  config.steps_per_day = args.csv.steps_per_day;
+  if (args.variant == "no-tagsl") {
+    config.use_tagsl = false;
+  } else if (args.variant == "no-tdl") {
+    config.use_tdl = false;
+  } else if (args.variant == "no-pdf") {
+    config.use_pdf = false;
+  } else if (args.variant == "direct") {
+    config.use_encoder_decoder = false;
+  } else if (args.variant != "tgcrn") {
+    std::fprintf(stderr, "unknown variant %s\n", args.variant.c_str());
+    return 2;
+  }
+
+  tgcrn::Rng rng(args.seed);
+  tgcrn::core::TGCRN model(config, &rng);
+  const tgcrn::Status status = model.LoadParameters(args.ckpt_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "checkpoint load failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  if (args.graph_topk >= 0) model.SetGraphTopK(args.graph_topk);
+  std::printf("model: %s variant, %lld parameters, checkpoint %s\n",
+              args.variant.c_str(),
+              static_cast<long long>(model.NumParameters()),
+              args.ckpt_path.c_str());
+
+  if (!args.prof_path.empty()) {
+    tgcrn::obs::ProfOptions prof;
+    prof.enabled = true;
+    prof.path = args.prof_path;
+    tgcrn::obs::StartProfiling(prof);
+  }
+
+  tgcrn::serve::InferenceSession session(
+      &model, dataset.scaler(), tgcrn::serve::SessionConfig::FromEnv());
+  tgcrn::serve::Server server(&session, args.port);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("tgcrn_serve listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+  server.Run();
+
+  if (!args.prof_path.empty()) {
+    if (tgcrn::obs::WriteProfileFiles(args.prof_path)) {
+      std::printf("profile written to %s (+ %s.collapsed)\n",
+                  args.prof_path.c_str(), args.prof_path.c_str());
+    }
+  }
+  std::printf("shutdown after %lld requests\n",
+              static_cast<long long>(session.requests()));
+  return 0;
+}
