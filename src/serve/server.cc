@@ -2,6 +2,7 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -20,6 +21,17 @@ namespace {
 // A connection that streams an unbounded line is broken or hostile;
 // 32 MiB comfortably holds any observe payload the model could accept.
 constexpr size_t kMaxLineBytes = 32ull << 20;
+
+// Ceiling on buffered unsent responses per connection. A reader this far
+// behind is stalled or gone — the connection is dropped rather than
+// buffering without bound (forecast grids are large, so this is generous:
+// thousands of city-scale responses).
+constexpr size_t kMaxOutBytes = 128ull << 20;
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
 
 obs::Json ErrorLine(const std::string& op, const std::string& message) {
   obs::Json out = obs::Json::Object();
@@ -64,6 +76,7 @@ bool Server::Start(std::string* error) {
     *error = std::string("listen: ") + std::strerror(errno);
     return false;
   }
+  SetNonBlocking(listen_fd_);
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
@@ -75,18 +88,23 @@ bool Server::Start(std::string* error) {
 void Server::AcceptNew() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;
+    if (fd < 0) return;  // EAGAIN — the pending queue is drained
+    SetNonBlocking(fd);
     Connection conn;
     conn.fd = fd;
     // Reuse a closed slot so conns_ stays dense-ish under churn.
+    size_t slot = conns_.size();
     for (size_t i = 0; i < conns_.size(); ++i) {
       if (conns_[i].fd < 0) {
-        conns_[i] = std::move(conn);
-        return;
+        slot = i;
+        break;
       }
     }
-    conns_.push_back(std::move(conn));
-    return;
+    if (slot == conns_.size()) {
+      conns_.push_back(std::move(conn));
+    } else {
+      conns_[slot] = std::move(conn);
+    }
   }
 }
 
@@ -155,21 +173,35 @@ void Server::ParseLines(size_t index, std::vector<Request>* requests) {
 }
 
 void Server::Respond(size_t conn, const std::string& line) {
-  const int fd = conns_[conn].fd;
-  if (fd < 0) return;
-  std::string payload = line;
-  payload.push_back('\n');
-  size_t sent = 0;
-  while (sent < payload.size()) {
-    const ssize_t wrote = ::send(fd, payload.data() + sent,
-                                 payload.size() - sent, MSG_NOSIGNAL);
+  Connection& c = conns_[conn];
+  if (c.fd < 0) return;
+  if (c.pending_out() + line.size() + 1 > kMaxOutBytes) {
+    CloseConnection(conn);
+    return;
+  }
+  c.out.append(line);
+  c.out.push_back('\n');
+  FlushOutput(conn);
+}
+
+void Server::FlushOutput(size_t index) {
+  Connection& conn = conns_[index];
+  while (conn.fd >= 0 && conn.out_off < conn.out.size()) {
+    const ssize_t wrote =
+        ::send(conn.fd, conn.out.data() + conn.out_off,
+               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
     if (wrote <= 0) {
       if (wrote < 0 && errno == EINTR) continue;
-      CloseConnection(conn);
+      if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return;  // socket buffer full — the poll loop retries on POLLOUT
+      }
+      CloseConnection(index);
       return;
     }
-    sent += static_cast<size_t>(wrote);
+    conn.out_off += static_cast<size_t>(wrote);
   }
+  conn.out.clear();
+  conn.out_off = 0;
 }
 
 void Server::CloseConnection(size_t index) {
@@ -177,6 +209,8 @@ void Server::CloseConnection(size_t index) {
   if (conn.fd >= 0) ::close(conn.fd);
   conn.fd = -1;
   conn.in.clear();
+  conn.out.clear();
+  conn.out_off = 0;
   conn.eof = false;
 }
 
@@ -354,7 +388,9 @@ void Server::Run() {
     std::vector<size_t> fd_conn;  // fds[1 + j] belongs to conns_[fd_conn[j]]
     for (size_t i = 0; i < conns_.size(); ++i) {
       if (conns_[i].fd < 0) continue;
-      fds.push_back({conns_[i].fd, POLLIN, 0});
+      const short events =
+          POLLIN | (conns_[i].pending_out() > 0 ? POLLOUT : 0);
+      fds.push_back({conns_[i].fd, events, 0});
       fd_conn.push_back(i);
     }
     const int ready = ::poll(fds.data(), fds.size(), 200 /*ms*/);
@@ -364,14 +400,43 @@ void Server::Run() {
     std::vector<Request> requests;
     for (size_t j = 0; j < fd_conn.size(); ++j) {
       const size_t index = fd_conn[j];
-      if (fds[1 + j].revents & (POLLIN | POLLHUP | POLLERR)) {
+      if (fds[1 + j].revents & POLLOUT) FlushOutput(index);
+      if (conns_[index].fd >= 0 &&
+          (fds[1 + j].revents & (POLLIN | POLLHUP | POLLERR))) {
         ReadConnection(index);
         if (conns_[index].fd >= 0) ParseLines(index, &requests);
       }
     }
     Dispatch(&requests);
     for (size_t i = 0; i < conns_.size(); ++i) {
-      if (conns_[i].fd >= 0 && conns_[i].eof) CloseConnection(i);
+      // A half-closed peer may still be reading: hold the connection
+      // until its buffered responses drain (or error out).
+      if (conns_[i].fd >= 0 && conns_[i].eof &&
+          conns_[i].pending_out() == 0) {
+        CloseConnection(i);
+      }
+    }
+  }
+
+  // Best-effort drain of buffered responses (the shutdown ack, plus
+  // anything a slow reader still owes) — bounded so a stalled peer
+  // cannot block process exit.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  for (;;) {
+    std::vector<pollfd> fds;
+    std::vector<size_t> fd_conn;
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i].fd < 0 || conns_[i].pending_out() == 0) continue;
+      fds.push_back({conns_[i].fd, POLLOUT, 0});
+      fd_conn.push_back(i);
+    }
+    if (fds.empty() || std::chrono::steady_clock::now() >= deadline) break;
+    if (::poll(fds.data(), fds.size(), 100 /*ms*/) <= 0) continue;
+    for (size_t j = 0; j < fd_conn.size(); ++j) {
+      if (fds[j].revents & (POLLOUT | POLLHUP | POLLERR)) {
+        FlushOutput(fd_conn[j]);
+      }
     }
   }
 }

@@ -10,7 +10,10 @@
 // happens (the session splits runs into kernel waves of at most
 // TGCRN_SERVE_BATCH_MAX). Single-threading keeps the zero-alloc steady
 // state trivially sound (one wave in flight) while the batched kernels
-// still use the global thread pool for intra-wave parallelism.
+// still use the global thread pool for intra-wave parallelism. Sockets
+// are non-blocking: responses a peer is slow to read are buffered per
+// connection (bounded) and flushed on POLLOUT, so one stalled client
+// cannot wedge the loop for everyone else.
 #ifndef TGCRN_SERVE_SERVER_H_
 #define TGCRN_SERVE_SERVER_H_
 
@@ -44,9 +47,13 @@ class Server {
 
  private:
   struct Connection {
-    int fd = -1;
-    std::string in;   // unparsed bytes (partial trailing line)
+    int fd = -1;       // non-blocking once accepted
+    std::string in;    // unparsed bytes (partial trailing line)
+    std::string out;   // unsent response bytes (flushed on POLLOUT)
+    size_t out_off = 0;  // sent prefix of `out`
     bool eof = false;
+
+    size_t pending_out() const { return out.size() - out_off; }
   };
   struct Request {
     size_t conn = 0;   // index into conns_
@@ -65,7 +72,11 @@ class Server {
   // Executes a round's requests in order, batching same-op runs, and
   // queues one response line per request.
   void Dispatch(std::vector<Request>* requests);
+  // Queues one response line and flushes as much buffered output as the
+  // (non-blocking) socket accepts; the poll loop retries the remainder
+  // on POLLOUT, so a stalled reader never blocks the serving thread.
   void Respond(size_t conn, const std::string& line);
+  void FlushOutput(size_t index);
   void CloseConnection(size_t index);
   std::string StatsLine();
 

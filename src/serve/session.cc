@@ -86,22 +86,36 @@ int64_t InferenceSession::WaveWidth(int64_t active) const {
 }
 
 InferenceSession::EntityState& InferenceSession::AdmitEntity(
-    const std::string& name, int64_t* evicted) {
+    const std::string& name,
+    const std::unordered_set<std::string>& protect, int64_t* evicted) {
   auto it = entities_.find(name);
-  if (it != entities_.end()) return it->second;
+  if (it != entities_.end()) {
+    it->second.tick = ++tick_;
+    return it->second;
+  }
   if (static_cast<int64_t>(entities_.size()) >= config_.max_entities) {
-    // LRU scan. O(entities) — the cache is bounded and admission is the
-    // rare path; a heap would only complicate the steady state.
-    auto lru = entities_.begin();
+    // LRU scan over entities outside the in-flight wave — evicting a
+    // wave member would strand its ObserveWave lookups. O(entities) —
+    // the cache is bounded and admission is the rare path; a heap would
+    // only complicate the steady state.
+    auto lru = entities_.end();
     for (auto cand = entities_.begin(); cand != entities_.end(); ++cand) {
-      if (cand->second.tick < lru->second.tick) lru = cand;
+      if (protect.count(cand->first) > 0) continue;
+      if (lru == entities_.end() || cand->second.tick < lru->second.tick) {
+        lru = cand;
+      }
     }
+    // Observe caps a wave at max_entities distinct entities, so a full
+    // cache always holds at least one entity outside the wave.
+    TGCRN_CHECK(lru != entities_.end())
+        << "entity cache holds only in-flight entities";
     entities_.erase(lru);
     ++*evicted;
     Metrics().evictions->Add(1);
   }
   const core::TGCRNConfig& mc = model_->config();
   EntityState& state = entities_[name];
+  state.tick = ++tick_;
   state.hidden.reserve(mc.num_layers);
   for (int64_t l = 0; l < mc.num_layers; ++l) {
     state.hidden.push_back(Tensor::Zeros({mc.num_nodes, mc.hidden_dim}));
@@ -198,15 +212,20 @@ InferenceSession::ObserveResult InferenceSession::Observe(
     const std::vector<Observation>& observations) {
   ObserveResult result;
   result.steps.resize(observations.size(), 0);
-  for (const Observation& ob : observations) {
-    AdmitEntity(ob.entity, &result.evicted);
-  }
   // Waves of distinct entities: a repeated entity must see its earlier
-  // observation applied first, so it starts the next wave.
+  // observation applied first, so it starts the next wave. Admission is
+  // per wave (just before it runs) with the wave's own entities shielded
+  // from the LRU scan, so one batch can never evict an entity it is
+  // about to step; capping a wave at max_entities distinct entities
+  // keeps that shield satisfiable even for batches wider than the cache.
+  const int64_t wave_cap = std::min(config_.batch_max, config_.max_entities);
   std::vector<size_t> wave;
   std::unordered_set<std::string> in_wave;
   auto flush = [&]() {
     if (wave.empty()) return;
+    for (size_t index : wave) {
+      AdmitEntity(observations[index].entity, in_wave, &result.evicted);
+    }
     ObserveWave(observations, wave);
     for (size_t index : wave) {
       result.steps[index] = entities_.at(observations[index].entity).steps;
@@ -215,7 +234,7 @@ InferenceSession::ObserveResult InferenceSession::Observe(
     in_wave.clear();
   };
   for (size_t i = 0; i < observations.size(); ++i) {
-    if (static_cast<int64_t>(wave.size()) >= config_.batch_max ||
+    if (static_cast<int64_t>(wave.size()) >= wave_cap ||
         in_wave.count(observations[i].entity) > 0) {
       flush();
     }

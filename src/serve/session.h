@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/tgcrn.h"
@@ -81,10 +82,12 @@ class InferenceSession {
   // Advances each observation's entity by one recurrent step. Unknown
   // entities are created (their first steps are the warm-up — allocations
   // during warm-up are expected; steady state is allocation-free).
-  // Observations are chunked into waves of at most batch_max *distinct*
-  // entities; repeats of an entity land in later waves in input order.
-  // CHECK-fails on a values length != N*d or a slot outside
-  // [0, steps_per_day).
+  // Observations are chunked into waves of at most
+  // min(batch_max, max_entities) *distinct* entities; repeats of an
+  // entity land in later waves in input order. A wave's own entities are
+  // never LRU victims, so an arbitrarily wide batch is served by
+  // chunking instead of evicting in-flight state. CHECK-fails on a
+  // values length != N*d or a slot outside [0, steps_per_day).
   ObserveResult Observe(const std::vector<Observation>& observations);
 
   // Batched forecast for warm entities (steps >= 1 — check StepsFor
@@ -128,7 +131,12 @@ class InferenceSession {
   // Runs one forecast wave; writes rows into out->mutable_data().
   void ForecastWave(const std::vector<std::string>& entities,
                     size_t begin, size_t end, Tensor* out);
-  EntityState& AdmitEntity(const std::string& name, int64_t* evicted);
+  // Returns (creating if needed) `name`'s state and refreshes its LRU
+  // tick; a new admission beyond max_entities evicts the LRU entity not
+  // named in `protect` (the in-flight wave).
+  EntityState& AdmitEntity(const std::string& name,
+                           const std::unordered_set<std::string>& protect,
+                           int64_t* evicted);
 
   core::TGCRN* model_;
   data::StandardScaler scaler_;

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -30,6 +31,9 @@ class Client {
  public:
   explicit Client(int port) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    // A wedged server should fail the test, not hang the suite.
+    timeval timeout{10, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -208,6 +212,57 @@ TEST_F(ServeServerFixture, PipelinedRequestsAnswerInOrder) {
   EXPECT_EQ(third.GetString("op"), "forecast");
   EXPECT_TRUE(third["ok"].AsBool());
   EXPECT_EQ(third.GetInt("steps"), 2);
+}
+
+TEST_F(ServeServerFixture, SlowReaderDoesNotStallOtherConnections) {
+  // A client that pipelines thousands of forecasts and never reads: once
+  // the kernel socket buffers fill, its responses must queue in the
+  // server's per-connection output buffer (flushed on POLLOUT) instead
+  // of wedging the single-threaded poll loop in a blocking send().
+  const int slow = ::socket(AF_INET, SOCK_STREAM, 0);
+  int rcvbuf = 4096;  // shrink the reader side so kernel space fills fast
+  ::setsockopt(slow, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  timeval timeout{10, 0};
+  ::setsockopt(slow, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+  ASSERT_EQ(::connect(slow, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)), 0)
+      << std::strerror(errno);
+
+  constexpr size_t kForecasts = 2000;
+  std::string burst;
+  for (int64_t t = 0; t < 3; ++t) burst += ObserveLine("hz", t) + "\n";
+  for (size_t i = 0; i < kForecasts; ++i) {
+    burst += R"({"op":"forecast","entity":"hz"})" "\n";
+  }
+  size_t sent = 0;
+  while (sent < burst.size()) {
+    const ssize_t wrote = ::send(slow, burst.data() + sent,
+                                 burst.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(wrote, 0) << std::strerror(errno);
+    sent += static_cast<size_t>(wrote);
+  }
+
+  // While the slow client sits on its responses, a second connection
+  // must still be answered promptly.
+  Client probe(server_->port());
+  const obs::Json stats = probe.Call(R"({"op":"stats"})");
+  EXPECT_TRUE(stats["ok"].AsBool()) << stats.Dump();
+
+  // Drain the slow client: every buffered response arrives intact.
+  size_t lines = 0;
+  char chunk[65536];
+  while (lines < 3 + kForecasts) {
+    const ssize_t got = ::recv(slow, chunk, sizeof(chunk), 0);
+    ASSERT_GT(got, 0) << "slow connection lost responses: "
+                      << std::strerror(errno);
+    for (ssize_t k = 0; k < got; ++k) lines += chunk[k] == '\n';
+  }
+  EXPECT_EQ(lines, 3 + kForecasts);
+  ::close(slow);
 }
 
 }  // namespace

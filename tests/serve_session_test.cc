@@ -240,6 +240,49 @@ TEST_F(ServeSessionFixture, LruEvictionBoundsTheEntityCache) {
   EXPECT_EQ(session.StepsFor("new"), -1);
 }
 
+TEST_F(ServeSessionFixture, ObserveBatchNeverEvictsItsOwnEntities) {
+  Rng rng(9);
+  core::TGCRN model(SmallConfig(), &rng);
+  serve::SessionConfig config;
+  config.max_entities = 2;
+  serve::InferenceSession session(&model, *scaler_, config);
+
+  session.Observe({ObservationAt("a", 0)});  // "a" becomes the LRU entity
+  session.Observe({ObservationAt("b", 1)});
+  // One batch holding the current LRU warm entity plus a new one: the
+  // admission of "c" must evict "b", never the in-batch "a" (which the
+  // wave is about to step — evicting it used to throw out_of_range).
+  const auto result =
+      session.Observe({ObservationAt("a", 2), ObservationAt("c", 2)});
+  EXPECT_EQ(result.evicted, 1);
+  EXPECT_EQ(result.steps[0], 2);
+  EXPECT_EQ(result.steps[1], 1);
+  EXPECT_EQ(session.StepsFor("a"), 2);
+  EXPECT_EQ(session.StepsFor("b"), -1);  // the only legal victim
+  EXPECT_EQ(session.StepsFor("c"), 1);
+}
+
+TEST_F(ServeSessionFixture, ObserveBatchWiderThanTheCacheChunksIntoWaves) {
+  Rng rng(10);
+  core::TGCRN model(SmallConfig(), &rng);
+  serve::SessionConfig config;
+  config.max_entities = 2;
+  serve::InferenceSession session(&model, *scaler_, config);
+
+  // More distinct new entities than the cache holds, in one call: waves
+  // are capped at max_entities distinct entities, so this serves all
+  // three observations and evicts the overflow instead of crashing.
+  const auto result = session.Observe({ObservationAt("x", 0),
+                                       ObservationAt("y", 0),
+                                       ObservationAt("z", 0)});
+  EXPECT_EQ(result.steps, (std::vector<int64_t>{1, 1, 1}));
+  EXPECT_EQ(result.evicted, 1);
+  EXPECT_EQ(session.EntityCount(), 2);
+  EXPECT_EQ(session.StepsFor("x"), -1);  // LRU of the first wave
+  EXPECT_EQ(session.StepsFor("y"), 1);
+  EXPECT_EQ(session.StepsFor("z"), 1);
+}
+
 TEST_F(ServeSessionFixture, PoolFloorIsRestoredWhenTheSessionEnds) {
   TensorBufferPool& pool = TensorBufferPool::Global();
   const int64_t before = pool.min_pooled_elements();

@@ -3,23 +3,28 @@
 // JSON on a TCP socket. Operator guide: docs/SERVING.md.
 //
 // Usage:
-//   tgcrn_serve <data.csv> --ckpt model.ckpt --nodes N --features D
+//   tgcrn_serve [data.csv] --ckpt model.ckpt --nodes N --features D
 //       --steps-per-day S [--input-steps P] [--output-steps Q]
 //       [--hidden H] [--variant tgcrn|no-tagsl|no-tdl|no-pdf|direct]
 //       [--graph-topk K] [--port PORT] [--threads T] [--seed S]
 //       [--prof serve.prof.json]
 //
-// <data.csv> is the TRAINING dataset (or any file with the same value
-// distribution): the checkpoint stores only parameters, so the scaler is
-// re-fitted here exactly as train_model fits it — same CSV, same
-// --input-steps/--output-steps, same split fractions. The model-shape
-// flags must also match training; LoadParameters rejects shape drift.
+// Checkpoints written by train_model carry the fitted scaler as a footer
+// (docs/SERVING.md "Checkpoint format"), which is authoritative here —
+// no dataset file is needed to serve them. [data.csv] is the fallback
+// for pre-footer checkpoints: the scaler is re-fitted exactly as
+// train_model fits it (same CSV, same --input-steps/--output-steps, same
+// split fractions). When both are available the re-fit is cross-checked
+// against the footer and drift is reported. The model-shape flags must
+// match training; LoadParameters rejects shape drift.
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "core/tgcrn.h"
 #include "data/csv_loader.h"
+#include "data/dataset.h"
 #include "obs/prof.h"
 #include "serve/server.h"
 #include "serve/session.h"
@@ -43,8 +48,9 @@ struct Args {
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 2) return false;
-  args->data_path = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  int i = 1;
+  if (argv[1][0] != '-') args->data_path = argv[i++];
+  for (; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     const std::string value = argv[i + 1];
     if (flag == "--ckpt") args->ckpt_path = value;
@@ -78,28 +84,18 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     std::fprintf(
         stderr,
-        "usage: %s <data.csv> --ckpt model.ckpt --nodes N --features D\n"
+        "usage: %s [data.csv] --ckpt model.ckpt --nodes N --features D\n"
         "  --steps-per-day S [--input-steps P] [--output-steps Q]\n"
         "  [--hidden H] [--variant tgcrn|no-tagsl|no-tdl|no-pdf|direct]\n"
         "  [--graph-topk K] [--port PORT] [--threads T] [--seed S]\n"
         "  [--prof serve.prof.json]\n"
+        "[data.csv] is only needed for checkpoints without a scaler\n"
+        "footer (written by older train_model runs).\n"
         "protocol + operations guide: docs/SERVING.md\n",
         argv[0]);
     return 2;
   }
   if (args.threads > 0) tgcrn::common::SetNumThreads(args.threads);
-
-  auto loaded = tgcrn::data::LoadCsv(args.data_path, args.csv);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "load failed: %s\n",
-                 loaded.status().ToString().c_str());
-    return 1;
-  }
-  tgcrn::data::ForecastDataset::Options options;
-  options.input_steps = args.input_steps;
-  options.output_steps = args.output_steps;
-  tgcrn::data::ForecastDataset dataset(std::move(loaded).ValueOrDie(),
-                                       options);
 
   tgcrn::core::TGCRNConfig config;
   config.num_nodes = args.csv.num_nodes;
@@ -135,6 +131,63 @@ int main(int argc, char** argv) {
               static_cast<long long>(model.NumParameters()),
               args.ckpt_path.c_str());
 
+  // Scaler: the checkpoint's footer (training-time statistics) is
+  // authoritative; a CSV re-fit is the fallback for pre-footer
+  // checkpoints, and a drift check when both are available.
+  tgcrn::data::StandardScaler scaler;
+  const tgcrn::Status footer =
+      tgcrn::data::LoadScalerFooter(args.ckpt_path, &scaler);
+  if (footer.ok()) {
+    if (static_cast<int64_t>(scaler.means().size()) !=
+        args.csv.num_features) {
+      std::fprintf(
+          stderr, "checkpoint scaler has %zu channels, --features is %lld\n",
+          scaler.means().size(),
+          static_cast<long long>(args.csv.num_features));
+      return 1;
+    }
+    std::printf("scaler: loaded from checkpoint footer\n");
+  } else if (footer.code() != tgcrn::StatusCode::kNotFound) {
+    std::fprintf(stderr, "scaler footer load failed: %s\n",
+                 footer.ToString().c_str());
+    return 1;
+  } else if (args.data_path.empty()) {
+    std::fprintf(stderr,
+                 "checkpoint %s has no scaler footer — pass the training "
+                 "data.csv so the scaler can be re-fitted, or re-save the "
+                 "checkpoint with the current train_model\n",
+                 args.ckpt_path.c_str());
+    return 1;
+  }
+  if (!args.data_path.empty()) {
+    auto loaded = tgcrn::data::LoadCsv(args.data_path, args.csv);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    tgcrn::data::ForecastDataset::Options options;
+    options.input_steps = args.input_steps;
+    options.output_steps = args.output_steps;
+    tgcrn::data::ForecastDataset dataset(std::move(loaded).ValueOrDie(),
+                                         options);
+    if (footer.ok()) {
+      if (dataset.scaler().means() != scaler.means() ||
+          dataset.scaler().stds() != scaler.stds()) {
+        std::fprintf(stderr,
+                     "warning: scaler re-fitted from %s differs from the "
+                     "checkpoint footer; serving with the footer "
+                     "(training-time) statistics\n",
+                     args.data_path.c_str());
+      }
+    } else {
+      scaler = dataset.scaler();
+      std::printf("scaler: re-fitted from %s (no footer in checkpoint) — "
+                  "flags must reproduce the training fit exactly\n",
+                  args.data_path.c_str());
+    }
+  }
+
   if (!args.prof_path.empty()) {
     tgcrn::obs::ProfOptions prof;
     prof.enabled = true;
@@ -143,7 +196,7 @@ int main(int argc, char** argv) {
   }
 
   tgcrn::serve::InferenceSession session(
-      &model, dataset.scaler(), tgcrn::serve::SessionConfig::FromEnv());
+      &model, std::move(scaler), tgcrn::serve::SessionConfig::FromEnv());
   tgcrn::serve::Server server(&session, args.port);
   std::string error;
   if (!server.Start(&error)) {

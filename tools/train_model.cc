@@ -176,12 +176,20 @@ int main(int argc, char** argv) {
               result.seconds_per_epoch);
 
   if (!args.save_path.empty()) {
-    const tgcrn::Status status = model.SaveParameters(args.save_path);
+    tgcrn::Status status = model.SaveParameters(args.save_path);
+    if (status.ok()) {
+      // The scaler footer lets tgcrn_serve de-normalize with the exact
+      // training statistics instead of trusting the operator to re-fit
+      // them from the same CSV (docs/SERVING.md "Checkpoint format").
+      status = tgcrn::data::AppendScalerFooter(args.save_path,
+                                               dataset.scaler());
+    }
     if (!status.ok()) {
       std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
       return 1;
     }
-    std::printf("checkpoint written to %s\n", args.save_path.c_str());
+    std::printf("checkpoint written to %s (parameters + scaler)\n",
+                args.save_path.c_str());
   }
   return 0;
 }
