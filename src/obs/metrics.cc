@@ -116,8 +116,12 @@ std::string RegistrySnapshot::ToText() const {
             << sample.name << ".sum " << sample.histogram.sum << "\n"
             << sample.name << ".p50 "
             << sample.histogram.ApproxQuantile(0.5) << "\n"
+            << sample.name << ".p90 "
+            << sample.histogram.ApproxQuantile(0.9) << "\n"
             << sample.name << ".p99 "
-            << sample.histogram.ApproxQuantile(0.99) << "\n";
+            << sample.histogram.ApproxQuantile(0.99) << "\n"
+            << sample.name << ".p999 "
+            << sample.histogram.ApproxQuantile(0.999) << "\n";
         break;
     }
   }
@@ -140,7 +144,9 @@ Json RegistrySnapshot::ToJson() const {
         h.Set("sum", Json::Int(sample.histogram.sum));
         h.Set("mean", Json::Number(sample.histogram.Mean()));
         h.Set("p50", Json::Int(sample.histogram.ApproxQuantile(0.5)));
+        h.Set("p90", Json::Int(sample.histogram.ApproxQuantile(0.9)));
         h.Set("p99", Json::Int(sample.histogram.ApproxQuantile(0.99)));
+        h.Set("p999", Json::Int(sample.histogram.ApproxQuantile(0.999)));
         Json buckets = Json::Array();
         // Emit only the populated prefix ranges to keep reports small:
         // [lower_bound, count] pairs for non-empty buckets.

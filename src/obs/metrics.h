@@ -133,7 +133,7 @@ struct MetricSample {
 struct RegistrySnapshot {
   std::vector<MetricSample> samples;  // sorted by name
   // Plain-text exposition, one metric per line (histograms expand to
-  // count/sum/p50/p99 lines).
+  // count/sum/p50/p90/p99/p999 lines — serving tails live past p99).
   std::string ToText() const;
   // JSON object keyed by metric name.
   Json ToJson() const;

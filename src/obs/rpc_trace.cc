@@ -1,0 +1,16 @@
+// Copyright 2026 TGCRN Reproduction Authors
+#include "obs/rpc_trace.h"
+
+namespace tgcrn {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_rpc_trace_armed{false};
+}  // namespace internal
+
+void SetRpcTracingArmed(bool armed) {
+  internal::g_rpc_trace_armed.store(armed, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace tgcrn

@@ -1,0 +1,115 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Fixed-size per-request stage traces for RPC-style servers — the storage
+// layer under serve/telemetry. A RequestTrace is a POD record: a request
+// id, a start timestamp, and one offset-from-start per lifecycle stage
+// (the serving layer defines what the stages mean). Records live in
+// preallocated rings (RpcTraceRing), so recording a request in steady
+// state touches no allocator.
+//
+// Arm-by-env discipline mirrors obs/trace.h: recording sites check
+// RpcTracingArmed() — one relaxed atomic load — and skip every stamp when
+// the consumer (TGCRN_SERVE_ACCESS_LOG / TGCRN_SERVE_SLOW_US) is off.
+//
+// Header is std-only on purpose, like the rest of the first obs tier.
+#ifndef TGCRN_OBS_RPC_TRACE_H_
+#define TGCRN_OBS_RPC_TRACE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace tgcrn {
+namespace obs {
+
+// Stage slots per trace. Consumers define their own stage enum within
+// this bound (serve uses all 8: read, parse, batch-wait, gather, kernel,
+// scatter, serialize, flush).
+inline constexpr int kRpcMaxStages = 8;
+
+struct RequestTrace {
+  int64_t id = 0;        // client-supplied or server-assigned, unique
+  int64_t start_ns = 0;  // steady-clock ns when the request's bytes landed
+  int32_t entity_count = 0;
+  int32_t batch_width = 0;  // active rows of the kernel wave that served it
+  int16_t op = 0;           // consumer-defined op code
+  int16_t status = 0;       // 0 = ok, 1 = error
+  // Per-stage completion offsets from start_ns; kUnset until stamped.
+  // After Finalize(), offsets are monotone non-decreasing: a stage that
+  // never ran inherits the previous stage's offset (zero duration).
+  int64_t stage_ns[kRpcMaxStages];
+
+  static constexpr int64_t kUnset = -1;
+
+  RequestTrace() { Reset(); }
+  void Reset() {
+    id = start_ns = 0;
+    entity_count = batch_width = 0;
+    op = status = 0;
+    for (int64_t& s : stage_ns) s = kUnset;
+  }
+  // Records `stage` as completed at absolute time `now_ns` (same steady
+  // clock as start_ns).
+  void Stamp(int stage, int64_t now_ns) {
+    stage_ns[stage] = now_ns - start_ns;
+  }
+  // Carries unset stages forward so every slot holds a monotone
+  // non-decreasing offset. Call once, after the last stamp.
+  void Finalize() {
+    int64_t running = 0;
+    for (int64_t& s : stage_ns) {
+      if (s < running) {
+        s = running;  // unset (or skewed) inherits the previous offset
+      } else {
+        running = s;
+      }
+    }
+  }
+  // Offset of the final stage — the request's total latency once
+  // finalized.
+  int64_t total_ns() const { return stage_ns[kRpcMaxStages - 1]; }
+};
+
+// Fixed-capacity ring of RequestTrace records, preallocated up front.
+// Push never allocates; when full, the oldest record is overwritten (and
+// still counted by total()). Single-writer, like the serving loop.
+class RpcTraceRing {
+ public:
+  explicit RpcTraceRing(int capacity)
+      : ring_(static_cast<size_t>(capacity > 0 ? capacity : 1)) {}
+
+  void Push(const RequestTrace& trace) {
+    ring_[static_cast<size_t>(total_ % capacity())] = trace;
+    ++total_;
+  }
+  int64_t capacity() const { return static_cast<int64_t>(ring_.size()); }
+  // Records currently retained (== min(total, capacity)).
+  int64_t size() const { return std::min(total_, capacity()); }
+  int64_t total() const { return total_; }
+  // i = 0 is the oldest retained record, size() - 1 the newest.
+  const RequestTrace& At(int64_t i) const {
+    const int64_t oldest = total_ - size();
+    return ring_[static_cast<size_t>((oldest + i) % capacity())];
+  }
+  void Clear() { total_ = 0; }
+
+ private:
+  std::vector<RequestTrace> ring_;
+  int64_t total_ = 0;
+};
+
+namespace internal {
+extern std::atomic<bool> g_rpc_trace_armed;
+}  // namespace internal
+
+// True while some consumer (the serve telemetry) wants per-request
+// traces. One relaxed load — the whole per-request cost when off.
+inline bool RpcTracingArmed() {
+  return internal::g_rpc_trace_armed.load(std::memory_order_relaxed);
+}
+void SetRpcTracingArmed(bool armed);
+
+}  // namespace obs
+}  // namespace tgcrn
+
+#endif  // TGCRN_OBS_RPC_TRACE_H_

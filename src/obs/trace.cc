@@ -17,18 +17,11 @@ namespace tgcrn {
 
 namespace internal {
 
-// Declared in common/check.h. Runs on the TGCRN_CHECK abort path, so keep
-// it defensive: a reentrant failure (a check firing while flushing) must
-// not recurse, and neither sink being active must be a no-op.
-void FlushObservabilityOnAbort() {
-  static std::atomic<bool> flushing{false};
-  if (flushing.exchange(true)) return;
-  if (obs::TracingEnabled()) obs::StopTracingAndWrite();
-  obs::DumpProfileOnAbort();
-  const std::string& dump = obs::MetricsDumpTargetFromEnv();
-  if (!dump.empty()) obs::DumpMetricsRegistry(dump);
-  flushing.store(false);
-}
+// Declared in common/check.h. Runs on the TGCRN_CHECK abort path (and
+// from obs::FlushObservability on clean shutdowns), so keep it defensive:
+// a reentrant failure (a check firing while flushing) must not recurse,
+// and no sink being active must be a no-op.
+void FlushObservabilityOnAbort() { obs::FlushObservability(); }
 
 }  // namespace internal
 
@@ -240,6 +233,45 @@ bool StopTracingAndWrite() {
                  state.path.c_str());
   }
   return ok;
+}
+
+namespace {
+
+// Fixed hook slots: registration is rare (one per telemetry sink) and the
+// abort path must not allocate or take a lock it could already hold.
+constexpr int kMaxFlushHooks = 4;
+std::atomic<void (*)()> g_flush_hooks[kMaxFlushHooks] = {};
+
+}  // namespace
+
+void RegisterFlushHook(void (*hook)()) {
+  if (hook == nullptr) return;
+  for (auto& slot : g_flush_hooks) {
+    void (*expected)() = nullptr;
+    if (slot.load(std::memory_order_relaxed) == hook) return;
+    if (slot.compare_exchange_strong(expected, hook)) return;
+  }
+}
+
+void UnregisterFlushHook(void (*hook)()) {
+  for (auto& slot : g_flush_hooks) {
+    void (*expected)() = hook;
+    slot.compare_exchange_strong(expected, nullptr);
+  }
+}
+
+void FlushObservability() {
+  static std::atomic<bool> flushing{false};
+  if (flushing.exchange(true)) return;
+  if (TracingEnabled()) StopTracingAndWrite();
+  DumpProfileOnAbort();
+  const std::string& dump = MetricsDumpTargetFromEnv();
+  if (!dump.empty()) DumpMetricsRegistry(dump);
+  for (auto& slot : g_flush_hooks) {
+    void (*hook)() = slot.load(std::memory_order_relaxed);
+    if (hook != nullptr) hook();
+  }
+  flushing.store(false);
 }
 
 }  // namespace obs

@@ -61,6 +61,21 @@ void StartTracing(const std::string& path);
 // call is a no-op returning false).
 bool StopTracingAndWrite();
 
+// Registers a hook that runs after the built-in flushes (trace, profile,
+// metrics dump) whenever observability is flushed — from the TGCRN_CHECK
+// abort path and from FlushObservability(). Higher tiers use this to
+// leave their own telemetry behind (the serve access log registers one).
+// Hooks must be idempotent and safe to run from the abort path. A few
+// fixed slots; registering beyond them is ignored.
+void RegisterFlushHook(void (*hook)());
+void UnregisterFlushHook(void (*hook)());
+
+// Clean-shutdown entry to the same flush path the abort handler uses:
+// stop-and-write an armed trace, dump an armed profile, dump the metric
+// registry if TGCRN_METRICS_DUMP is set, then run registered hooks.
+// Reentrancy-guarded; safe to call multiple times.
+void FlushObservability();
+
 // Events currently buffered across all threads, and events lost to ring
 // wrap-around — exposed for tests and overhead accounting.
 int64_t BufferedTraceEventCount();

@@ -13,6 +13,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tgcrn {
 namespace serve {
@@ -45,10 +46,21 @@ int64_t TensorAllocations() {
   return obs::Registry::Global().GetCounter("tensor.allocations")->Value();
 }
 
+int16_t OpCode(const std::string& op) {
+  if (op == "observe") return kOpObserve;
+  if (op == "forecast") return kOpForecast;
+  if (op == "evict") return kOpEvict;
+  if (op == "stats") return kOpStats;
+  if (op == "shutdown") return kOpShutdown;
+  return kOpOther;
+}
+
+int64_t NowNs() { return obs::internal::TraceNowNs(); }
+
 }  // namespace
 
-Server::Server(InferenceSession* session, int port)
-    : session_(session), requested_port_(port) {}
+Server::Server(InferenceSession* session, int port, ServeTelemetry* telemetry)
+    : session_(session), telemetry_(telemetry), requested_port_(port) {}
 
 Server::~Server() {
   for (size_t i = 0; i < conns_.size(); ++i) CloseConnection(i);
@@ -113,6 +125,13 @@ void Server::ReadConnection(size_t index) {
   char buf[4096];
   const ssize_t got = ::recv(conn.fd, buf, sizeof(buf), 0);
   if (got > 0) {
+    if (tracing_) {
+      const int64_t now = NowNs();
+      // The first bytes after a fully-consumed buffer start a new line
+      // (or pipelined run of lines); later recvs extend it.
+      if (conn.in.empty()) conn.line_start_ns = now;
+      conn.last_recv_ns = now;
+    }
     conn.in.append(buf, static_cast<size_t>(got));
     if (conn.in.size() > kMaxLineBytes) CloseConnection(index);
   } else if (got == 0) {
@@ -135,16 +154,33 @@ void Server::ParseLines(size_t index, std::vector<Request>* requests) {
 
     Request request;
     request.conn = index;
+    if (tracing_) {
+      request.trace.Reset();
+      request.trace.start_ns =
+          conn.line_start_ns > 0 ? conn.line_start_ns : conn.last_recv_ns;
+      request.trace.Stamp(kStageRead, conn.last_recv_ns);
+    }
     obs::Json body;
     std::string parse_error;
     if (!obs::Json::Parse(line, &body, &parse_error) || !body.is_object()) {
       request.error = "malformed JSON: " + parse_error;
+      if (tracing_) {
+        request.trace.id = telemetry_->NextRequestId();
+        request.trace.op = kOpOther;
+        request.trace.Stamp(kStageParse, NowNs());
+      }
       requests->push_back(std::move(request));
       continue;
     }
     request.op = body.GetString("op");
     request.entity = body.GetString("entity");
     request.slot = body.GetInt("slot");
+    request.view = body.GetString("view");
+    // Client-supplied request id (any positive integer), echoed in the
+    // response and propagated through batching into the access log;
+    // otherwise the server assigns a monotonic one.
+    request.id = body.GetInt("id");
+    request.client_id = request.id > 0;
     if (request.op == "observe") {
       const obs::Json& values = body["values"];
       if (!values.is_array() || values.size() == 0) {
@@ -166,10 +202,40 @@ void Server::ParseLines(size_t index, std::vector<Request>* requests) {
         }
       }
     }
+    if (tracing_) {
+      request.trace.id =
+          request.client_id ? request.id : telemetry_->NextRequestId();
+      request.trace.op = OpCode(request.op);
+      request.trace.Stamp(kStageParse, NowNs());
+    }
     request.valid = request.error.empty();
     requests->push_back(std::move(request));
   }
   conn.in.erase(0, start);
+  if (conn.in.empty()) conn.line_start_ns = 0;
+}
+
+void Server::SendJson(Request* request, obs::Json out, bool error) {
+  if (request->client_id) out.Set("id", obs::Json::Int(request->id));
+  const std::string line = out.Dump();
+  if (tracing_) {
+    request->trace.status = error ? 1 : 0;
+    request->trace.Stamp(kStageSerialize, NowNs());
+  }
+  Respond(request->conn, line);
+  if (!tracing_) return;
+  request->trace.Stamp(kStageFlush, NowNs());
+  // RecordRequest finalizes the trace (carrying unset stages forward), so
+  // the per-connection ring keeps the same record the access log saw.
+  telemetry_->RecordRequest(&request->trace);
+  Connection& conn = conns_[request->conn];
+  if (conn.fd >= 0) {
+    if (!conn.ring) {
+      conn.ring.reset(new obs::RpcTraceRing(
+          static_cast<int>(telemetry_->config().ring_capacity)));
+    }
+    conn.ring->Push(request->trace);
+  }
 }
 
 void Server::Respond(size_t conn, const std::string& line) {
@@ -212,9 +278,12 @@ void Server::CloseConnection(size_t index) {
   conn.out.clear();
   conn.out_off = 0;
   conn.eof = false;
+  conn.line_start_ns = 0;
+  conn.last_recv_ns = 0;
+  conn.ring.reset();
 }
 
-std::string Server::StatsLine() {
+obs::Json Server::StatsJson(const std::string& view) {
   const double uptime =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time_)
@@ -241,7 +310,28 @@ std::string Server::StatsLine() {
   // warm and shapes have stabilized; asserted by the CI serve-smoke job).
   out.Set("tensor_allocations_delta", obs::Json::Int(allocs - alloc_marker_));
   alloc_marker_ = allocs;
-  return out.Dump();
+
+  // Entity-cache health (counters live in the metric registry and are
+  // cumulative over the process).
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Json cache = obs::Json::Object();
+  cache.Set("hits", obs::Json::Int(reg.GetCounter("serve.cache_hits")->Value()));
+  cache.Set("misses",
+            obs::Json::Int(reg.GetCounter("serve.cache_misses")->Value()));
+  cache.Set("evictions",
+            obs::Json::Int(reg.GetCounter("serve.evictions")->Value()));
+  const obs::HistogramSnapshot age =
+      reg.GetHistogram("serve.eviction_age_ticks")->Snapshot();
+  cache.Set("eviction_age_p50_ticks", obs::Json::Int(age.ApproxQuantile(0.5)));
+  out.Set("cache", std::move(cache));
+
+  if (telemetry_ != nullptr && telemetry_->armed()) {
+    out.Set("stages", telemetry_->StageStatsJson());
+    out.Set("requests_logged", obs::Json::Int(telemetry_->requests_recorded()));
+    out.Set("slow_count", obs::Json::Int(telemetry_->slow_count()));
+    if (view == "slow") out.Set("slow_requests", telemetry_->SlowRequestsJson());
+  }
+  return out;
 }
 
 void Server::Dispatch(std::vector<Request>* requests) {
@@ -250,7 +340,9 @@ void Server::Dispatch(std::vector<Request>* requests) {
   while (i < requests->size()) {
     Request& request = (*requests)[i];
     if (!request.valid) {
-      Respond(request.conn, ErrorLine(request.op, request.error).Dump());
+      if (tracing_) request.trace.Stamp(kStageBatchWait, NowNs());
+      SendJson(&request, ErrorLine(request.op, request.error),
+               /*error=*/true);
       ++i;
       continue;
     }
@@ -276,24 +368,45 @@ void Server::Dispatch(std::vector<Request>* requests) {
         ++end;
       }
       if (batch.empty()) {
-        Respond(request.conn,
-                ErrorLine("observe",
-                          "observe needs entity, slot in [0, steps_per_day) "
-                          "and N*d values")
-                    .Dump());
+        if (tracing_) request.trace.Stamp(kStageBatchWait, NowNs());
+        SendJson(&request,
+                 ErrorLine("observe",
+                           "observe needs entity, slot in [0, steps_per_day) "
+                           "and N*d values"),
+                 /*error=*/true);
         ++i;
         continue;
+      }
+      if (tracing_) {
+        const int64_t now = NowNs();
+        for (size_t k = i; k < end; ++k) {
+          (*requests)[k].trace.Stamp(kStageBatchWait, now);
+        }
       }
       const InferenceSession::ObserveResult result =
           session_->Observe(batch);
       for (size_t k = 0; k < batch.size(); ++k) {
+        Request& r = (*requests)[i + k];
+        if (tracing_) {
+          const WaveTiming& wave =
+              session_->wave_timings()[result.wave_index[k]];
+          r.trace.entity_count = 1;
+          r.trace.batch_width = static_cast<int32_t>(wave.active);
+          r.trace.Stamp(kStageGather, wave.gather_end_ns);
+          r.trace.Stamp(kStageKernel, wave.kernel_end_ns);
+          r.trace.Stamp(kStageScatter, wave.scatter_end_ns);
+          telemetry_->drift().RecordObservation(batch[k].entity,
+                                                result.steps[k], batch[k].slot,
+                                                batch[k].values.data());
+        }
         obs::Json out = obs::Json::Object();
         out.Set("ok", obs::Json::Bool(true));
         out.Set("op", obs::Json::Str("observe"));
         out.Set("entity", obs::Json::Str(batch[k].entity));
         out.Set("steps", obs::Json::Int(result.steps[k]));
-        Respond((*requests)[i + k].conn, out.Dump());
+        SendJson(&r, std::move(out), /*error=*/false);
       }
+      if (tracing_) telemetry_->MaybeEmitDrift();
       i = end;
     } else if (request.op == "forecast") {
       // Batch the run, answering cold/unknown entities with errors and
@@ -302,6 +415,12 @@ void Server::Dispatch(std::vector<Request>* requests) {
       while (end < requests->size() && (*requests)[end].valid &&
              (*requests)[end].op == "forecast") {
         ++end;
+      }
+      if (tracing_) {
+        const int64_t now = NowNs();
+        for (size_t k = i; k < end; ++k) {
+          (*requests)[k].trace.Stamp(kStageBatchWait, now);
+        }
       }
       std::vector<size_t> warm;
       for (size_t k = i; k < end; ++k) {
@@ -319,10 +438,23 @@ void Server::Dispatch(std::vector<Request>* requests) {
       for (size_t k = i; k < end; ++k) {
         Request& r = (*requests)[k];
         if (warm_index < warm.size() && warm[warm_index] == k) {
-          obs::Json grid = obs::Json::Array();
           const float* row = forecasts.data() +
                              static_cast<int64_t>(warm_index) * mc.horizon *
                                  mc.num_nodes * mc.output_dim;
+          if (tracing_) {
+            // Forecast waves are contiguous chunks of batch_max rows.
+            const size_t ordinal =
+                warm_index / static_cast<size_t>(session_->config().batch_max);
+            const WaveTiming& wave = session_->wave_timings()[ordinal];
+            r.trace.entity_count = 1;
+            r.trace.batch_width = static_cast<int32_t>(wave.active);
+            r.trace.Stamp(kStageGather, wave.gather_end_ns);
+            r.trace.Stamp(kStageKernel, wave.kernel_end_ns);
+            r.trace.Stamp(kStageScatter, wave.scatter_end_ns);
+            telemetry_->drift().RecordForecast(r.entity, steps[warm_index],
+                                               row);
+          }
+          obs::Json grid = obs::Json::Array();
           for (int64_t q = 0; q < mc.horizon; ++q) {
             obs::Json nodes = obs::Json::Array();
             for (int64_t node = 0; node < mc.num_nodes; ++node) {
@@ -341,48 +473,58 @@ void Server::Dispatch(std::vector<Request>* requests) {
           out.Set("entity", obs::Json::Str(r.entity));
           out.Set("steps", obs::Json::Int(steps[warm_index]));
           out.Set("forecast", std::move(grid));
-          Respond(r.conn, out.Dump());
+          SendJson(&r, std::move(out), /*error=*/false);
           ++warm_index;
         } else {
-          Respond(r.conn,
-                  ErrorLine("forecast", "entity " + r.entity +
-                                            " has no observations (send "
-                                            "observe first)")
-                      .Dump());
+          SendJson(&r,
+                   ErrorLine("forecast", "entity " + r.entity +
+                                             " has no observations (send "
+                                             "observe first)"),
+                   /*error=*/true);
         }
       }
       i = end;
     } else if (request.op == "evict") {
+      if (tracing_) {
+        request.trace.Stamp(kStageBatchWait, NowNs());
+        request.trace.entity_count = 1;
+      }
       const bool existed = session_->Evict(request.entity);
       obs::Json out = obs::Json::Object();
       out.Set("ok", obs::Json::Bool(true));
       out.Set("op", obs::Json::Str("evict"));
       out.Set("entity", obs::Json::Str(request.entity));
       out.Set("existed", obs::Json::Bool(existed));
-      Respond(request.conn, out.Dump());
+      SendJson(&request, std::move(out), /*error=*/false);
       ++i;
     } else if (request.op == "stats") {
-      Respond(request.conn, StatsLine());
+      if (tracing_) request.trace.Stamp(kStageBatchWait, NowNs());
+      SendJson(&request, StatsJson(request.view), /*error=*/false);
       ++i;
     } else if (request.op == "shutdown") {
+      if (tracing_) request.trace.Stamp(kStageBatchWait, NowNs());
       obs::Json out = obs::Json::Object();
       out.Set("ok", obs::Json::Bool(true));
       out.Set("op", obs::Json::Str("shutdown"));
-      Respond(request.conn, out.Dump());
+      SendJson(&request, std::move(out), /*error=*/false);
       shutdown_ = true;
       return;  // drop anything queued after the shutdown
     } else {
-      Respond(request.conn,
-              ErrorLine(request.op,
-                        "unknown op (observe|forecast|evict|stats|shutdown)")
-                  .Dump());
+      if (tracing_) request.trace.Stamp(kStageBatchWait, NowNs());
+      SendJson(&request,
+               ErrorLine(request.op,
+                         "unknown op (observe|forecast|evict|stats|shutdown)"),
+               /*error=*/true);
       ++i;
     }
   }
 }
 
 void Server::Run() {
-  while (!shutdown_) {
+  while (!shutdown_ && !stop_.load(std::memory_order_relaxed)) {
+    // One relaxed load per round decides whether this round stamps
+    // traces; disarmed serving takes no other telemetry branches.
+    tracing_ = telemetry_ != nullptr && obs::RpcTracingArmed();
     std::vector<pollfd> fds;
     fds.push_back({listen_fd_, POLLIN, 0});
     std::vector<size_t> fd_conn;  // fds[1 + j] belongs to conns_[fd_conn[j]]
@@ -439,6 +581,11 @@ void Server::Run() {
       }
     }
   }
+
+  // Whatever ended the loop (shutdown op, RequestStop from a signal
+  // handler), leave a complete access log: final drift block, slow
+  // exemplars, close. Idempotent — the abort flush hook may also run.
+  if (telemetry_ != nullptr) telemetry_->Flush();
 }
 
 }  // namespace serve

@@ -2,7 +2,6 @@
 #include "serve/session.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <unordered_set>
@@ -10,6 +9,7 @@
 #include "autograd/variable.h"
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/buffer_pool.h"
 
 namespace tgcrn {
@@ -20,18 +20,27 @@ namespace {
 struct ServeMetrics {
   obs::Counter* requests;     // observations + forecast rows served
   obs::Counter* evictions;    // LRU evictions from the entity cache
+  obs::Counter* cache_hits;    // AdmitEntity found a cached entity
+  obs::Counter* cache_misses;  // AdmitEntity created (admitted) an entity
   obs::Gauge* entities;       // current entity cache population
   obs::Histogram* request_us;  // per-request latency (wave time, µs)
   obs::Histogram* batch_size;  // active rows per wave
+  // Idle age of evicted entities in LRU ticks (touches elsewhere since
+  // the victim's last use) — churn at small values means the cache bound
+  // is too tight for the live fleet.
+  obs::Histogram* eviction_age;
 };
 
 ServeMetrics& Metrics() {
   static ServeMetrics metrics{
       obs::Registry::Global().GetCounter("serve.requests"),
       obs::Registry::Global().GetCounter("serve.evictions"),
+      obs::Registry::Global().GetCounter("serve.cache_hits"),
+      obs::Registry::Global().GetCounter("serve.cache_misses"),
       obs::Registry::Global().GetGauge("serve.entities"),
       obs::Registry::Global().GetHistogram("serve.request_us"),
       obs::Registry::Global().GetHistogram("serve.batch_size"),
+      obs::Registry::Global().GetHistogram("serve.eviction_age_ticks"),
   };
   return metrics;
 }
@@ -72,6 +81,9 @@ InferenceSession::InferenceSession(core::TGCRN* model,
   TensorBufferPool& pool = TensorBufferPool::Global();
   prior_pool_floor_ = pool.min_pooled_elements();
   pool.SetMinPooledElements(config_.pool_min_elements);
+  // Wave-timing storage never reallocates in steady state: one call
+  // produces at most ceil(observations / wave_cap) entries.
+  wave_timings_.reserve(64);
 }
 
 InferenceSession::~InferenceSession() {
@@ -91,8 +103,10 @@ InferenceSession::EntityState& InferenceSession::AdmitEntity(
   auto it = entities_.find(name);
   if (it != entities_.end()) {
     it->second.tick = ++tick_;
+    Metrics().cache_hits->Add(1);
     return it->second;
   }
+  Metrics().cache_misses->Add(1);
   if (static_cast<int64_t>(entities_.size()) >= config_.max_entities) {
     // LRU scan over entities outside the in-flight wave — evicting a
     // wave member would strand its ObserveWave lookups. O(entities) —
@@ -109,6 +123,8 @@ InferenceSession::EntityState& InferenceSession::AdmitEntity(
     // cache always holds at least one entity outside the wave.
     TGCRN_CHECK(lru != entities_.end())
         << "entity cache holds only in-flight entities";
+    Metrics().eviction_age->Observe(
+        static_cast<int64_t>(tick_ - lru->second.tick));
     entities_.erase(lru);
     ++*evicted;
     Metrics().evictions->Add(1);
@@ -127,7 +143,8 @@ InferenceSession::EntityState& InferenceSession::AdmitEntity(
 void InferenceSession::ObserveWave(
     const std::vector<Observation>& observations,
     const std::vector<size_t>& wave) {
-  const auto start = std::chrono::steady_clock::now();
+  WaveTiming timing;
+  timing.start_ns = obs::internal::TraceNowNs();
   const core::TGCRNConfig& mc = model_->config();
   const int64_t n = mc.num_nodes;
   const int64_t d = mc.input_dim;
@@ -175,11 +192,13 @@ void InferenceSession::ObserveWave(
   // steps stays 0: 0 % refresh == 0, so the wave always rebuilds its
   // graphs — refresh-interval amortization is not sound across waves of
   // differently-composed entities (docs/SERVING.md "Graph refresh").
+  timing.gather_end_ns = obs::internal::TraceNowNs();
   {
     ag::NoGradGuard no_grad;
     model_->EncoderStep(ag::Variable(scaler_.Transform(x_raw)), slots,
                         &state);
   }
+  timing.kernel_end_ns = obs::internal::TraceNowNs();
 
   // Scatter the advanced hidden rows back into the entity cache.
   for (int64_t l = 0; l < layers; ++l) {
@@ -198,9 +217,10 @@ void InferenceSession::ObserveWave(
     entity.tick = ++tick_;
   }
 
-  const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
+  timing.scatter_end_ns = obs::internal::TraceNowNs();
+  timing.active = active;
+  wave_timings_.push_back(timing);
+  const int64_t us = (timing.scatter_end_ns - timing.start_ns) / 1000;
   ServeMetrics& metrics = Metrics();
   metrics.batch_size->Observe(active);
   for (int64_t i = 0; i < active; ++i) metrics.request_us->Observe(us);
@@ -212,6 +232,8 @@ InferenceSession::ObserveResult InferenceSession::Observe(
     const std::vector<Observation>& observations) {
   ObserveResult result;
   result.steps.resize(observations.size(), 0);
+  result.wave_index.resize(observations.size(), 0);
+  wave_timings_.clear();
   // Waves of distinct entities: a repeated entity must see its earlier
   // observation applied first, so it starts the next wave. Admission is
   // per wave (just before it runs) with the wave's own entities shielded
@@ -226,9 +248,11 @@ InferenceSession::ObserveResult InferenceSession::Observe(
     for (size_t index : wave) {
       AdmitEntity(observations[index].entity, in_wave, &result.evicted);
     }
+    const int32_t ordinal = static_cast<int32_t>(wave_timings_.size());
     ObserveWave(observations, wave);
     for (size_t index : wave) {
       result.steps[index] = entities_.at(observations[index].entity).steps;
+      result.wave_index[index] = ordinal;
     }
     wave.clear();
     in_wave.clear();
@@ -247,7 +271,8 @@ InferenceSession::ObserveResult InferenceSession::Observe(
 
 void InferenceSession::ForecastWave(const std::vector<std::string>& entities,
                                     size_t begin, size_t end, Tensor* out) {
-  const auto start = std::chrono::steady_clock::now();
+  WaveTiming timing;
+  timing.start_ns = obs::internal::TraceNowNs();
   const core::TGCRNConfig& mc = model_->config();
   const int64_t n = mc.num_nodes;
   const int64_t q = mc.horizon;
@@ -282,6 +307,7 @@ void InferenceSession::ForecastWave(const std::vector<std::string>& entities,
   }
 
   Tensor raw;
+  timing.gather_end_ns = obs::internal::TraceNowNs();
   {
     ag::NoGradGuard no_grad;
     // The decoder always rebuilds its graph at q == 0, so decoding from a
@@ -289,6 +315,7 @@ void InferenceSession::ForecastWave(const std::vector<std::string>& entities,
     ag::Variable pred = model_->DecoderForecast(&state, y_slots, nullptr);
     raw = scaler_.InverseTransform(pred.value());
   }
+  timing.kernel_end_ns = obs::internal::TraceNowNs();
   const int64_t row = q * n * mc.output_dim;
   for (int64_t i = 0; i < active; ++i) {
     std::memcpy(out->mutable_data() + (begin + i) * row,
@@ -296,9 +323,10 @@ void InferenceSession::ForecastWave(const std::vector<std::string>& entities,
                 static_cast<size_t>(row) * sizeof(float));
   }
 
-  const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
+  timing.scatter_end_ns = obs::internal::TraceNowNs();
+  timing.active = active;
+  wave_timings_.push_back(timing);
+  const int64_t us = (timing.scatter_end_ns - timing.start_ns) / 1000;
   ServeMetrics& metrics = Metrics();
   metrics.batch_size->Observe(active);
   for (int64_t i = 0; i < active; ++i) metrics.request_us->Observe(us);
@@ -309,6 +337,7 @@ void InferenceSession::ForecastWave(const std::vector<std::string>& entities,
 void InferenceSession::Forecast(const std::vector<std::string>& entities,
                                 Tensor* out, std::vector<int64_t>* steps) {
   const core::TGCRNConfig& mc = model_->config();
+  wave_timings_.clear();
   steps->resize(entities.size());
   for (size_t i = 0; i < entities.size(); ++i) {
     const int64_t entity_steps = StepsFor(entities[i]);
@@ -324,6 +353,25 @@ void InferenceSession::Forecast(const std::vector<std::string>& entities,
         entities.size(), begin + static_cast<size_t>(config_.batch_max));
     ForecastWave(entities, begin, end, out);
   }
+}
+
+bool InferenceSession::CollectLiveGraphHealth(const float* prev,
+                                              int64_t prev_slot,
+                                              const float* last,
+                                              int64_t last_slot,
+                                              obs::GraphHealthReport* out) {
+  const core::TGCRNConfig& mc = model_->config();
+  if (prev == nullptr || last == nullptr || out == nullptr) return false;
+  const int64_t nd = mc.num_nodes * mc.input_dim;
+  Tensor raw({1, 2, mc.num_nodes, mc.input_dim});
+  std::memcpy(raw.mutable_data(), prev,
+              static_cast<size_t>(nd) * sizeof(float));
+  std::memcpy(raw.mutable_data() + nd, last,
+              static_cast<size_t>(nd) * sizeof(float));
+  data::Batch batch;
+  batch.x = scaler_.Transform(raw);
+  batch.x_slots = {{prev_slot, last_slot}};
+  return model_->CollectGraphHealth(batch, out);
 }
 
 bool InferenceSession::Evict(const std::string& entity) {

@@ -34,6 +34,7 @@
 
 #include "core/tgcrn.h"
 #include "data/dataset.h"
+#include "obs/report.h"
 #include "tensor/tensor.h"
 
 namespace tgcrn {
@@ -66,6 +67,19 @@ struct Observation {
   std::vector<float> values;
 };
 
+// Stage timing of one kernel wave (steady-clock ns, obs/trace clock):
+// gather covers input staging plus hidden-state reassembly, kernel the
+// EncoderStep/DecoderForecast call, scatter the write-back into the
+// entity cache (or the output tensor, for forecasts). The telemetry
+// layer turns these into per-request stage stamps.
+struct WaveTiming {
+  int64_t start_ns = 0;
+  int64_t gather_end_ns = 0;
+  int64_t kernel_end_ns = 0;
+  int64_t scatter_end_ns = 0;
+  int64_t active = 0;  // active (unpadded) rows in the wave
+};
+
 class InferenceSession {
  public:
   // `model` (borrowed, must outlive the session) is switched to eval mode;
@@ -77,6 +91,9 @@ class InferenceSession {
 
   struct ObserveResult {
     std::vector<int64_t> steps;  // per observation: entity steps after it
+    // Per observation: ordinal of the kernel wave (into wave_timings())
+    // that served it.
+    std::vector<int32_t> wave_index;
     int64_t evicted = 0;         // entities evicted to admit new ones
   };
   // Advances each observation's entity by one recurrent step. Unknown
@@ -105,6 +122,23 @@ class InferenceSession {
   // Encoder steps consumed by an entity; -1 if unknown.
   int64_t StepsFor(const std::string& entity) const;
   int64_t requests() const { return requests_; }
+
+  // Stage timings of the waves run by the most recent Observe/Forecast
+  // call (cleared at each call's entry; storage capacity is retained so
+  // steady state does not allocate). Forecast waves are contiguous
+  // batch_max-sized chunks: row i of a Forecast ran in wave i/batch_max.
+  const std::vector<WaveTiming>& wave_timings() const {
+    return wave_timings_;
+  }
+
+  // Drift-monitor probe: assembles a [1, 2, N, d] window from two
+  // consecutive raw observations of one entity and collects the learned
+  // graph's health diagnostics on it (row entropy, sparsity, temporal
+  // drift, top-k stability across calls). Allocates — call at drift
+  // emission cadence, never per request. `prev`/`last` are raw [N*d].
+  bool CollectLiveGraphHealth(const float* prev, int64_t prev_slot,
+                              const float* last, int64_t last_slot,
+                              obs::GraphHealthReport* out);
 
   const core::TGCRNConfig& model_config() const { return model_->config(); }
   const data::StandardScaler& scaler() const { return scaler_; }
@@ -145,6 +179,7 @@ class InferenceSession {
   uint64_t tick_ = 0;
   int64_t requests_ = 0;
   int64_t prior_pool_floor_ = 0;  // restored on destruction
+  std::vector<WaveTiming> wave_timings_;  // last Observe/Forecast call
 };
 
 }  // namespace serve

@@ -1,0 +1,211 @@
+// Copyright 2026 TGCRN Reproduction Authors
+// Request-level serving telemetry (operator guide: docs/SERVING.md
+// "Reading the request telemetry"). Three sinks over one record type,
+// the fixed-size obs::RequestTrace the server stamps as a request moves
+// through its lifecycle stages:
+//
+//   read -> parse -> batch_wait -> gather -> kernel -> scatter
+//        -> serialize -> flush
+//
+//  * per-stage log2 histograms in the metric registry
+//    (serve.stage_<name>_us), summarized by the extended `stats` op and
+//    the tgcrn_serve_stats CLI;
+//  * a structured JSONL access log (TGCRN_SERVE_ACCESS_LOG=<path>), one
+//    line per request, plus a bounded slow-request exemplar ring
+//    (requests over TGCRN_SERVE_SLOW_US µs) retrievable via
+//    {"op":"stats","view":"slow"} and dumped into the log on
+//    shutdown/abort next to the trace/metrics/prof flush;
+//  * DriftMonitor — online residual stats (per-horizon MAE/RMSE and
+//    observation coverage, matched when observations later arrive for
+//    forecasted entities) and periodic graph health on the live
+//    adjacency, emitted as {"type":"drift"} lines in the access log.
+//
+// Arming: telemetry is armed iff TGCRN_SERVE_ACCESS_LOG or
+// TGCRN_SERVE_SLOW_US is set. Disarmed, the server's only per-request
+// cost is one relaxed load (obs::RpcTracingArmed) — no stamps, no
+// recording, bitwise-identical serving. Armed, recording stays free of
+// tensor heap allocations: traces live in preallocated rings, residual
+// buffers are plain float vectors sized once per entity, and the access
+// log line is formatted into a reused buffer. The graph-health probe
+// does allocate tensors — it runs only at drift-emission cadence, never
+// per request.
+#ifndef TGCRN_SERVE_TELEMETRY_H_
+#define TGCRN_SERVE_TELEMETRY_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/rpc_trace.h"
+#include "serve/session.h"
+
+namespace tgcrn {
+namespace serve {
+
+// Stage slots of a RequestTrace, in lifecycle order. Each slot holds the
+// offset from the request's start at which that stage *completed*; a
+// stage's duration is the delta from the previous slot.
+enum ServeStage {
+  kStageRead = 0,      // request bytes fully received from the socket
+  kStageParse,         // JSON parsed, request validated
+  kStageBatchWait,     // dispatch reached it (time queued behind the round)
+  kStageGather,        // hidden-state gather / input staging done
+  kStageKernel,        // encoder/decoder kernel wave done
+  kStageScatter,       // state write-back / output copy done
+  kStageSerialize,     // response JSON built
+  kStageFlush,         // response enqueued + first socket flush attempted
+  kServeStageCount
+};
+static_assert(kServeStageCount <= obs::kRpcMaxStages,
+              "RequestTrace has a slot per serve stage");
+const char* ServeStageName(int stage);
+
+// Op codes stored in RequestTrace::op.
+enum ServeOp {
+  kOpObserve = 0,
+  kOpForecast,
+  kOpEvict,
+  kOpStats,
+  kOpShutdown,
+  kOpOther,  // unknown ops and malformed lines
+};
+const char* ServeOpName(int op);
+
+struct TelemetryConfig {
+  std::string access_log_path;  // TGCRN_SERVE_ACCESS_LOG ("" = off)
+  int64_t slow_us = 0;          // TGCRN_SERVE_SLOW_US (0 = off)
+  // Matched residual observations per drift block; 0 emits only at
+  // flush/shutdown. TGCRN_SERVE_DRIFT_EVERY.
+  int64_t drift_every = 256;
+  int64_t slow_capacity = 64;       // exemplar ring size
+  int64_t ring_capacity = 32;       // per-connection recent-trace ring
+  int64_t drift_max_entities = 1024;  // pending-forecast tracking bound
+
+  static TelemetryConfig FromEnv();
+  bool armed() const { return !access_log_path.empty() || slow_us > 0; }
+};
+
+// Online forecast-accuracy and graph-drift monitor over served traffic.
+// A forecast registers the entity's predicted [Q, N, d] grid; each later
+// observation of that entity at encoder step s matches horizon
+// h = s - steps_at_forecast (1..Q) and accumulates |err| / err^2 against
+// the recorded prediction. Coverage is the fraction of observations in
+// the window that matched some outstanding horizon — low coverage means
+// forecasts are stale or entities churn faster than they are forecast.
+// All recording is tensor-allocation-free; Block() (the emission path)
+// runs the graph-health probe, which is not.
+class DriftMonitor {
+ public:
+  DriftMonitor(InferenceSession* session, const TelemetryConfig& config);
+
+  // `grid` is the raw [Q, N, d] forecast row; `steps` the entity's
+  // encoder step count when it was made.
+  void RecordForecast(const std::string& entity, int64_t steps,
+                      const float* grid);
+  // `values` is the raw [N, d] observation; `steps` the entity's step
+  // count after absorbing it.
+  void RecordObservation(const std::string& entity, int64_t steps,
+                         int64_t slot, const float* values);
+
+  // True once the window holds drift_every matched observations.
+  bool BlockDue() const;
+  bool HasData() const { return total_observations_ > 0; }
+  // Builds the {"type":"drift", ...} block (per-horizon MAE/RMSE,
+  // coverage, live-adjacency graph health) and resets the window.
+  obs::Json Block();
+
+ private:
+  struct PendingForecast {
+    bool valid = false;
+    int64_t steps = 0;           // entity steps when forecast
+    std::vector<float> grid;     // [Q, N, d], capacity retained
+  };
+
+  InferenceSession* session_;
+  int64_t drift_every_;
+  int64_t max_tracked_;
+  int64_t q_, n_, d_;
+  std::unordered_map<std::string, PendingForecast> pending_;
+  // Window accumulators, index = horizon - 1.
+  std::vector<int64_t> horizon_count_;
+  std::vector<double> horizon_abs_, horizon_sq_;
+  int64_t window_observations_ = 0;
+  int64_t window_matched_ = 0;
+  int64_t total_observations_ = 0;
+  int64_t total_matched_ = 0;
+  int64_t blocks_emitted_ = 0;
+  // Graph probe: the last two consecutive observations of the first
+  // entity ever observed (sticky, so interleaved fleets still produce
+  // consecutive pairs).
+  std::string probe_entity_;
+  int probe_depth_ = 0;
+  std::vector<float> probe_prev_, probe_last_;
+  int64_t probe_prev_slot_ = 0, probe_last_slot_ = 0;
+};
+
+// The telemetry sink bundle the server (and bench_serve) records into.
+// Single-threaded like the serving loop. At most one armed instance per
+// process (it owns the obs::RpcTracingArmed flag and the observability
+// flush hook that makes SIGTERM'd servers leave a complete access log).
+class ServeTelemetry {
+ public:
+  ServeTelemetry(TelemetryConfig config, InferenceSession* session);
+  ~ServeTelemetry();
+
+  bool armed() const { return armed_; }
+  const TelemetryConfig& config() const { return config_; }
+
+  // Server-assigned monotonic request ids (used when the client did not
+  // supply an "id" field).
+  int64_t NextRequestId() { return next_id_++; }
+
+  // Finalizes the trace, feeds the stage histograms, appends the access
+  // log line, and keeps a slow exemplar if the request crossed
+  // TGCRN_SERVE_SLOW_US. `trace` must have its stages stamped in order.
+  void RecordRequest(obs::RequestTrace* trace);
+
+  DriftMonitor& drift() { return drift_; }
+  // Emits a drift block into the access log when one is due.
+  void MaybeEmitDrift();
+
+  // Stage-histogram summary for the stats op:
+  // {"read": {"count", "p50_us", "p90_us", "p99_us"}, ...}.
+  obs::Json StageStatsJson() const;
+  // Slow exemplars (oldest first) for {"op":"stats","view":"slow"}.
+  obs::Json SlowRequestsJson() const;
+  int64_t slow_count() const { return slow_.total(); }
+  int64_t requests_recorded() const { return requests_recorded_; }
+
+  // Final drift block + slow-exemplar dump + access-log close. Runs once
+  // (later calls are no-ops); invoked by Server::Run on clean shutdown
+  // and by the observability flush hook on abort/SIGTERM.
+  void Flush();
+
+  ServeTelemetry(const ServeTelemetry&) = delete;
+  ServeTelemetry& operator=(const ServeTelemetry&) = delete;
+
+ private:
+  void WriteLogLine(const char* line);
+  void WriteLogJson(const obs::Json& json);
+  obs::Json TraceJson(const obs::RequestTrace& trace) const;
+
+  TelemetryConfig config_;
+  bool armed_ = false;
+  std::FILE* log_ = nullptr;
+  obs::RpcTraceRing slow_;
+  DriftMonitor drift_;
+  obs::Histogram* stage_hist_[kServeStageCount] = {};
+  int64_t next_id_ = 1;
+  int64_t requests_recorded_ = 0;
+  bool flushed_ = false;
+  std::string line_buffer_;  // reused access-log formatting buffer
+};
+
+}  // namespace serve
+}  // namespace tgcrn
+
+#endif  // TGCRN_SERVE_TELEMETRY_H_

@@ -3,6 +3,7 @@
 // math, stripe-merge correctness under the thread pool, Chrome trace
 // output validity, and the structured run report produced by a real
 // 2-epoch smoke train.
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
@@ -151,6 +152,33 @@ TEST(HistogramTest, ApproxQuantileOnKnownDistribution) {
   EXPECT_GE(snap.ApproxQuantile(0.99), 1000);
 }
 
+TEST(HistogramTest, QuantileErrorBoundsAgainstExactValues) {
+  obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("test.quantile_bounds_ns");
+  h->Reset();
+  // A deterministic long-tailed sample: 1..1000 plus a sparse far tail
+  // (the shape serving latencies take).
+  std::vector<int64_t> values;
+  for (int64_t v = 1; v <= 1000; ++v) values.push_back(v);
+  for (int64_t i = 0; i < 20; ++i) values.push_back(5000 + i * 100);
+  for (int64_t v : values) h->Observe(v);
+  std::sort(values.begin(), values.end());
+  const obs::HistogramSnapshot snap = h->Snapshot();
+  ASSERT_EQ(snap.count, static_cast<int64_t>(values.size()));
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    // Exact quantile under the same rank convention ApproxQuantile uses
+    // (the observation at rank floor(q * (count - 1)) + 1).
+    const int64_t exact =
+        values[static_cast<size_t>(q * static_cast<double>(values.size() - 1))];
+    const int64_t approx = snap.ApproxQuantile(q);
+    // The 40-bucket log2 scheme reports the containing bucket's upper
+    // bound: for values >= 1 it never undershoots the exact quantile and
+    // overshoots by strictly less than 2x.
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(approx, 2 * exact) << "q=" << q;
+  }
+}
+
 // ----------------------------------------------- Counter / Gauge merge --
 
 TEST(CounterTest, ConcurrentIncrementsSumExactly) {
@@ -197,6 +225,27 @@ TEST(RegistryTest, CollectExposesTextAndJson) {
   // The whole exposition itself must be valid JSON.
   obs::Json reparsed;
   EXPECT_TRUE(obs::Json::Parse(json.Dump(), &reparsed));
+}
+
+TEST(RegistryTest, HistogramExpositionCarriesTailQuantiles) {
+  obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("test.tail_quantiles_ns");
+  h->Reset();
+  for (int i = 0; i < 100; ++i) h->Observe(10);
+  const obs::RegistrySnapshot snap = obs::Registry::Global().Collect();
+  // Serving tails live past p99, so the exposition carries p90 and p999
+  // alongside the original p50/p99 in both text and JSON forms.
+  const std::string text = snap.ToText();
+  for (const char* line :
+       {"test.tail_quantiles_ns.p50", "test.tail_quantiles_ns.p90",
+        "test.tail_quantiles_ns.p99", "test.tail_quantiles_ns.p999"}) {
+    EXPECT_NE(text.find(line), std::string::npos) << line;
+  }
+  const obs::Json json = snap.ToJson();
+  ASSERT_TRUE(json.Has("test.tail_quantiles_ns"));
+  for (const char* key : {"p50", "p90", "p99", "p999"}) {
+    EXPECT_TRUE(json["test.tail_quantiles_ns"].Has(key)) << key;
+  }
 }
 
 // --------------------------------------------------------------- Trace --

@@ -12,9 +12,12 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -23,6 +26,7 @@
 #include "datagen/metro_sim.h"
 #include "obs/json.h"
 #include "serve/session.h"
+#include "serve/telemetry.h"
 
 namespace tgcrn {
 namespace {
@@ -78,6 +82,11 @@ class Client {
 class ServeServerFixture : public ::testing::Test {
  protected:
   void SetUp() override {
+    BuildSession();
+    StartServer();
+  }
+
+  void BuildSession() {
     datagen::MetroSimConfig sim_config;
     sim_config.num_stations = 4;
     sim_config.num_days = 7;
@@ -101,19 +110,26 @@ class ServeServerFixture : public ::testing::Test {
     model_ = std::make_unique<core::TGCRN>(config, rng_.get());
     session_ = std::make_unique<serve::InferenceSession>(
         model_.get(), scaler_, serve::SessionConfig());
-    server_ = std::make_unique<serve::Server>(session_.get(), 0);
+  }
+
+  // telemetry_ stays null in the base fixture (telemetry-free server).
+  void StartServer() {
+    server_ = std::make_unique<serve::Server>(session_.get(), 0,
+                                              telemetry_.get());
     std::string error;
     ASSERT_TRUE(server_->Start(&error)) << error;
     thread_ = std::thread([this] { server_->Run(); });
   }
 
-  void TearDown() override {
+  void Shutdown() {
     if (thread_.joinable()) {
       Client quit(server_->port());
       quit.Call(R"({"op":"shutdown"})");
       thread_.join();
     }
   }
+
+  void TearDown() override { Shutdown(); }
 
   std::string ObserveLine(const std::string& entity, int64_t t) const {
     const int64_t n = raw_.num_nodes();
@@ -138,8 +154,52 @@ class ServeServerFixture : public ::testing::Test {
   std::unique_ptr<Rng> rng_;
   std::unique_ptr<core::TGCRN> model_;
   std::unique_ptr<serve::InferenceSession> session_;
+  // Declared before server_ so the borrowing server is destroyed first.
+  std::unique_ptr<serve::ServeTelemetry> telemetry_;
   std::unique_ptr<serve::Server> server_;
   std::thread thread_;
+};
+
+// The same server with an armed ServeTelemetry: every request traced
+// into an access log, everything slow (slow_us = 1) so the exemplar
+// paths are exercised too.
+class ServeServerTelemetryFixture : public ServeServerFixture {
+ protected:
+  void SetUp() override {
+    BuildSession();
+    log_path_ = (std::filesystem::temp_directory_path() /
+                 "tgcrn_server_test.access.jsonl")
+                    .string();
+    std::filesystem::remove(log_path_);
+    serve::TelemetryConfig config;
+    config.access_log_path = log_path_;
+    config.slow_us = 1;
+    telemetry_ = std::make_unique<serve::ServeTelemetry>(config,
+                                                         session_.get());
+    StartServer();
+  }
+
+  void TearDown() override {
+    ServeServerFixture::TearDown();
+    std::filesystem::remove(log_path_);
+  }
+
+  std::vector<obs::Json> ReadLogLines() {
+    std::vector<obs::Json> lines;
+    std::ifstream in(log_path_);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      obs::Json entry;
+      std::string error;
+      EXPECT_TRUE(obs::Json::Parse(line, &entry, &error))
+          << line << " (" << error << ")";
+      lines.push_back(std::move(entry));
+    }
+    return lines;
+  }
+
+  std::string log_path_;
 };
 
 TEST_F(ServeServerFixture, ObserveThenForecastSchema) {
@@ -263,6 +323,111 @@ TEST_F(ServeServerFixture, SlowReaderDoesNotStallOtherConnections) {
   }
   EXPECT_EQ(lines, 3 + kForecasts);
   ::close(slow);
+}
+
+TEST_F(ServeServerTelemetryFixture, AccessLogRecordsEveryWireRequestOnce) {
+  {
+    Client client(server_->port());
+    // Client-supplied id must be echoed back verbatim...
+    std::string tagged = ObserveLine("hz", 0);
+    tagged.insert(1, R"("id":777,)");
+    const obs::Json reply = client.Call(tagged);
+    EXPECT_TRUE(reply["ok"].AsBool()) << reply.Dump();
+    EXPECT_EQ(reply.GetInt("id"), 777);
+    // ...and server-assigned ids stay out of the response schema.
+    const obs::Json untagged = client.Call(ObserveLine("hz", 1));
+    EXPECT_FALSE(untagged.Has("id"));
+
+    const obs::Json forecast =
+        client.Call(R"({"op":"forecast","entity":"hz"})");
+    EXPECT_TRUE(forecast["ok"].AsBool());
+    const obs::Json bad_op = client.Call(R"({"op":"what"})");
+    EXPECT_FALSE(bad_op["ok"].AsBool());
+    const obs::Json malformed = client.Call("{not json");
+    EXPECT_FALSE(malformed["ok"].AsBool());
+  }
+  Shutdown();  // Run() flushes the telemetry before returning.
+
+  // 5 client requests + the shutdown request itself, each exactly once.
+  std::vector<obs::Json> requests;
+  for (const obs::Json& entry : ReadLogLines()) {
+    if (entry.GetString("type") == "request") requests.push_back(entry);
+  }
+  ASSERT_EQ(requests.size(), 6u);
+  std::unordered_set<int64_t> ids;
+  bool saw_client_id = false;
+  int errors = 0;
+  for (const obs::Json& entry : requests) {
+    EXPECT_TRUE(ids.insert(entry.GetInt("id")).second)
+        << "duplicate request id: " << entry.Dump();
+    saw_client_id |= entry.GetInt("id") == 777;
+    errors += entry.GetString("status") == "error";
+    const obs::Json& stages = entry["stage_us"];
+    ASSERT_TRUE(stages.is_object()) << entry.Dump();
+    int64_t prev = 0;
+    for (int s = 0; s < serve::kServeStageCount; ++s) {
+      const int64_t at = stages.GetInt(serve::ServeStageName(s), -1);
+      ASSERT_GE(at, prev) << "non-monotone stages: " << entry.Dump();
+      prev = at;
+    }
+    EXPECT_EQ(entry.GetInt("total_us"), prev);
+  }
+  EXPECT_TRUE(saw_client_id);
+  EXPECT_EQ(errors, 2);  // bad op + malformed line
+}
+
+TEST_F(ServeServerTelemetryFixture, StatsExposeStagesCacheAndSlowView) {
+  Client client(server_->port());
+  for (int64_t t = 0; t < 3; ++t) {
+    ASSERT_TRUE(client.Call(ObserveLine("hz", t))["ok"].AsBool());
+  }
+
+  const obs::Json stats = client.Call(R"({"op":"stats"})");
+  ASSERT_TRUE(stats["ok"].AsBool()) << stats.Dump();
+  const obs::Json& cache = stats["cache"];
+  ASSERT_TRUE(cache.is_object()) << stats.Dump();
+  EXPECT_TRUE(cache.Has("hits"));
+  EXPECT_TRUE(cache.Has("misses"));
+  EXPECT_TRUE(cache.Has("evictions"));
+  const obs::Json& stages = stats["stages"];
+  ASSERT_TRUE(stages.is_object()) << stats.Dump();
+  for (int s = 0; s < serve::kServeStageCount; ++s) {
+    const obs::Json& stage = stages[serve::ServeStageName(s)];
+    ASSERT_TRUE(stage.is_object()) << stats.Dump();
+    EXPECT_TRUE(stage.Has("p50_us"));
+    EXPECT_TRUE(stage.Has("p99_us"));
+  }
+  // slow_us = 1 marks every request slow, so the exemplar view fills up.
+  EXPECT_GE(stats.GetInt("slow_count"), 3);
+  const obs::Json slow = client.Call(R"({"op":"stats","view":"slow"})");
+  ASSERT_TRUE(slow["ok"].AsBool());
+  const obs::Json& exemplars = slow["slow_requests"];
+  ASSERT_TRUE(exemplars.is_array()) << slow.Dump();
+  EXPECT_GE(exemplars.size(), 3u);
+  EXPECT_GT(exemplars.at(0).GetInt("total_us"), 0);
+}
+
+TEST_F(ServeServerTelemetryFixture, RequestStopFlushesCompleteAccessLog) {
+  {
+    Client client(server_->port());
+    for (int64_t t = 0; t < 2; ++t) {
+      ASSERT_TRUE(client.Call(ObserveLine("hz", t))["ok"].AsBool());
+    }
+  }
+  // The SIGTERM path: no shutdown request on the wire, just the stop
+  // flag — Run() must still drain and leave a complete, flushed log.
+  server_->RequestStop();
+  thread_.join();
+
+  int requests = 0;
+  bool saw_drift = false;
+  for (const obs::Json& entry : ReadLogLines()) {
+    requests += entry.GetString("type") == "request";
+    saw_drift |= entry.GetString("type") == "drift";
+  }
+  EXPECT_EQ(requests, 2);
+  // Observations were recorded, so the final flush emits a drift block.
+  EXPECT_TRUE(saw_drift);
 }
 
 }  // namespace

@@ -283,6 +283,89 @@ TEST_F(ServeSessionFixture, ObserveBatchWiderThanTheCacheChunksIntoWaves) {
   EXPECT_EQ(session.StepsFor("z"), 1);
 }
 
+TEST_F(ServeSessionFixture, CacheCountersTrackAdmitHitEvictAndWaveShield) {
+  Rng rng(11);
+  core::TGCRN model(SmallConfig(), &rng);
+  serve::SessionConfig config;
+  config.max_entities = 2;
+  serve::InferenceSession session(&model, *scaler_, config);
+
+  // Counters are global and cumulative, so assert deltas.
+  obs::Registry& reg = obs::Registry::Global();
+  auto* hits = reg.GetCounter("serve.cache_hits");
+  auto* misses = reg.GetCounter("serve.cache_misses");
+  auto* evictions = reg.GetCounter("serve.evictions");
+  auto* age = reg.GetHistogram("serve.eviction_age_ticks");
+  const int64_t hits0 = hits->Value();
+  const int64_t misses0 = misses->Value();
+  const int64_t evictions0 = evictions->Value();
+  const int64_t ages0 = age->Snapshot().count;
+
+  session.Observe({ObservationAt("a", 0)});  // admit = miss
+  session.Observe({ObservationAt("b", 1)});  // admit = miss
+  EXPECT_EQ(misses->Value() - misses0, 2);
+  EXPECT_EQ(hits->Value() - hits0, 0);
+
+  session.Observe({ObservationAt("a", 2)});  // warm entity = hit
+  EXPECT_EQ(hits->Value() - hits0, 1);
+  EXPECT_EQ(evictions->Value() - evictions0, 0);
+
+  // Admitting "c" evicts the LRU ("b") and observes its age in ticks.
+  session.Observe({ObservationAt("c", 3)});
+  EXPECT_EQ(misses->Value() - misses0, 3);
+  EXPECT_EQ(evictions->Value() - evictions0, 1);
+  EXPECT_EQ(age->Snapshot().count - ages0, 1);
+
+  // Wave shield: the LRU entity "a" rides in the same batch as a new
+  // one, so the victim must be "c" — and the counters must agree with
+  // the protection ("a" still counts as a hit, "d" as a miss).
+  const auto result =
+      session.Observe({ObservationAt("a", 4), ObservationAt("d", 4)});
+  EXPECT_EQ(result.evicted, 1);
+  EXPECT_EQ(hits->Value() - hits0, 2);
+  EXPECT_EQ(misses->Value() - misses0, 4);
+  EXPECT_EQ(evictions->Value() - evictions0, 2);
+  EXPECT_EQ(age->Snapshot().count - ages0, 2);
+  EXPECT_EQ(session.StepsFor("c"), -1);
+  EXPECT_EQ(session.StepsFor("a"), 3);
+}
+
+TEST_F(ServeSessionFixture, WaveTimingsCoverEveryObservationInOrder) {
+  Rng rng(12);
+  core::TGCRN model(SmallConfig(), &rng);
+  serve::SessionConfig config;
+  config.batch_max = 2;
+  serve::InferenceSession session(&model, *scaler_, config);
+
+  // Three distinct entities with batch_max 2: two waves, and every
+  // observation maps to the wave that actually served it.
+  const auto result = session.Observe({ObservationAt("a", 0),
+                                       ObservationAt("b", 0),
+                                       ObservationAt("c", 0)});
+  ASSERT_EQ(result.wave_index.size(), 3u);
+  ASSERT_EQ(session.wave_timings().size(), 2u);
+  EXPECT_EQ(result.wave_index[0], 0);
+  EXPECT_EQ(result.wave_index[1], 0);
+  EXPECT_EQ(result.wave_index[2], 1);
+  EXPECT_EQ(session.wave_timings()[0].active, 2);
+  EXPECT_EQ(session.wave_timings()[1].active, 1);
+  for (const serve::WaveTiming& wave : session.wave_timings()) {
+    // Stage boundaries are stamped in lifecycle order on one clock.
+    EXPECT_GT(wave.start_ns, 0);
+    EXPECT_LE(wave.start_ns, wave.gather_end_ns);
+    EXPECT_LE(wave.gather_end_ns, wave.kernel_end_ns);
+    EXPECT_LE(wave.kernel_end_ns, wave.scatter_end_ns);
+  }
+
+  // Forecast replaces the timing list; rows chunk into batch_max waves.
+  Tensor out;
+  std::vector<int64_t> steps;
+  session.Forecast({"a", "b", "c"}, &out, &steps);
+  ASSERT_EQ(session.wave_timings().size(), 2u);
+  EXPECT_EQ(session.wave_timings()[0].active, 2);
+  EXPECT_EQ(session.wave_timings()[1].active, 1);
+}
+
 TEST_F(ServeSessionFixture, PoolFloorIsRestoredWhenTheSessionEnds) {
   TensorBufferPool& pool = TensorBufferPool::Global();
   const int64_t before = pool.min_pooled_elements();

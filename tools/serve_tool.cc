@@ -17,6 +17,7 @@
 // split fractions). When both are available the re-fit is cross-checked
 // against the footer and drift is reported. The model-shape flags must
 // match training; LoadParameters rejects shape drift.
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -26,10 +27,21 @@
 #include "data/csv_loader.h"
 #include "data/dataset.h"
 #include "obs/prof.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "serve/session.h"
+#include "serve/telemetry.h"
 
 namespace {
+
+// SIGTERM/SIGINT ask the poll loop to stop after the current round, so a
+// killed server still drains buffers and flushes its telemetry (access
+// log, registry dump) through the same path a shutdown op takes.
+tgcrn::serve::Server* g_server = nullptr;
+
+void HandleStopSignal(int /*signum*/) {
+  if (g_server != nullptr) g_server->RequestStop();  // one atomic store
+}
 
 struct Args {
   std::string data_path;
@@ -197,7 +209,19 @@ int main(int argc, char** argv) {
 
   tgcrn::serve::InferenceSession session(
       &model, std::move(scaler), tgcrn::serve::SessionConfig::FromEnv());
-  tgcrn::serve::Server server(&session, args.port);
+  tgcrn::serve::ServeTelemetry telemetry(
+      tgcrn::serve::TelemetryConfig::FromEnv(), &session);
+  if (telemetry.armed()) {
+    std::printf("telemetry: armed (access log: %s, slow threshold: %lld us)\n",
+                telemetry.config().access_log_path.empty()
+                    ? "<off>"
+                    : telemetry.config().access_log_path.c_str(),
+                static_cast<long long>(telemetry.config().slow_us));
+  }
+  tgcrn::serve::Server server(&session, args.port, &telemetry);
+  g_server = &server;
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
   std::string error;
   if (!server.Start(&error)) {
     std::fprintf(stderr, "server start failed: %s\n", error.c_str());
@@ -206,6 +230,11 @@ int main(int argc, char** argv) {
   std::printf("tgcrn_serve listening on 127.0.0.1:%d\n", server.port());
   std::fflush(stdout);
   server.Run();
+  g_server = nullptr;
+  // Same flush a CHECK-failure abort takes: trace + profile + metrics
+  // dump + the telemetry hook (all idempotent; Run already flushed the
+  // access log).
+  tgcrn::obs::FlushObservability();
 
   if (!args.prof_path.empty()) {
     if (tgcrn::obs::WriteProfileFiles(args.prof_path)) {
